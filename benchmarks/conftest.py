@@ -1,0 +1,40 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every bench regenerates one of the paper's tables/figures via its
+experiment driver, times it with pytest-benchmark, prints the rendered
+report, and archives it under ``benchmarks/results/`` so the numbers are
+inspectable after a quiet pytest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.tables import ExperimentReport
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Bench scale: big enough for stable shapes, small enough for minutes.
+BENCH = ExperimentScale(name="bench", trials=800, n_users=50, mc_samples=768)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Print a report and persist it to benchmarks/results/<id>.txt."""
+
+    def _archive(report: ExperimentReport) -> ExperimentReport:
+        text = report.render()
+        print("\n" + text)
+        (results_dir / f"{report.experiment_id}.txt").write_text(text + "\n")
+        return report
+
+    return _archive

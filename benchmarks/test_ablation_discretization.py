@@ -1,0 +1,76 @@
+"""Ablation bench: grid discretization does not stop the longitudinal attack.
+
+Deployments often hope that snapping reported coordinates to a coarse grid
+"anonymises" them.  This bench runs the de-obfuscation attack against the
+discretized/truncated planar Laplace mechanism across grid steps and shows
+the attack degrades only marginally until the grid is far coarser than the
+attack threshold itself.
+"""
+
+import math
+
+import numpy as np
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.core.discretization import TruncatedDiscreteLaplaceMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import OneTimeBudget
+from repro.datagen.casestudy import make_fig4_user
+from repro.datagen.obfuscate import one_time_obfuscate
+from repro.experiments.tables import ExperimentReport
+
+GRID_STEPS = (10.0, 50.0, 100.0, 250.0)
+
+
+def _run() -> ExperimentReport:
+    user = make_fig4_user()
+    home = user.true_tops[0]
+    epsilon = math.log(2) / 200.0
+    rows = []
+
+    continuous = PlanarLaplaceMechanism(OneTimeBudget(epsilon), rng=default_rng(1))
+    observed = one_time_obfuscate(user.trace, continuous)
+    attack = DeobfuscationAttack.against(continuous)
+    guess = attack.infer_top1(observed)
+    rows.append(
+        {
+            "grid_step_m": 0.0,
+            "attack_top1_error_m": guess.distance_to(home),
+        }
+    )
+
+    for step in GRID_STEPS:
+        mech = TruncatedDiscreteLaplaceMechanism(
+            OneTimeBudget(epsilon), grid_step=step, rng=default_rng(1)
+        )
+        observed = one_time_obfuscate(user.trace, mech)
+        attack = DeobfuscationAttack.against(mech)
+        guess = attack.infer_top1(observed)
+        rows.append(
+            {
+                "grid_step_m": step,
+                "attack_top1_error_m": (
+                    guess.distance_to(home) if guess else float("inf")
+                ),
+            }
+        )
+    return ExperimentReport(
+        experiment_id="ablation_discretization",
+        title="attack error vs reporting grid step (one-time geo-IND)",
+        rows=rows,
+        notes=[
+            "coordinate quantisation is not a longitudinal defense: the "
+            "cluster mean still converges (grid bias stays below step/2)",
+        ],
+    )
+
+
+def test_ablation_discretization(benchmark, archive):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    archive(report)
+    errors = {r["grid_step_m"]: r["attack_top1_error_m"] for r in report.rows}
+    # Even at a 100 m reporting grid the attack stays within 200 m.
+    assert errors[100.0] < 200.0
+    # And the error grows at most on the order of the grid step.
+    assert errors[250.0] < errors[0.0] + 300.0

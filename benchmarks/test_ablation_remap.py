@@ -1,0 +1,92 @@
+"""Ablation bench: Bayesian remapping — utility up, longitudinal privacy down.
+
+The related-work remapping post-processors (Bordenabe'14, Chatzikokolakis
+'17) reduce per-report expected error without privacy cost.  This bench
+reproduces both sides of that coin for the longitudinal setting the paper
+studies:
+
+1. remapping reduces expected distance loss (its design goal), and
+2. remapping makes the *longitudinal* attack easier — each remapped report
+   is pulled toward high-prior cells, so the attacker's cluster converges
+   faster.  Post-processing cannot fix longitudinal exposure; only the
+   permanent n-fold release does.
+"""
+
+import math
+
+import numpy as np
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.remap import BayesianRemap, LocationPrior, planar_laplace_noise_loglik
+from repro.datagen.casestudy import make_fig4_user
+from repro.datagen.obfuscate import one_time_obfuscate
+from repro.experiments.tables import ExperimentReport
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+
+def _run() -> ExperimentReport:
+    user = make_fig4_user()
+    home = user.true_tops[0]
+    level = math.log(2)
+    mechanism = PlanarLaplaceMechanism.from_level(level, 200.0, rng=default_rng(3))
+    observed = one_time_obfuscate(user.trace, mechanism)
+
+    # Remapper prior: public knowledge that the victim's reports originate
+    # from a ~1.5 km POI neighbourhood (the setting where remapping shines:
+    # it truncates the Laplace tail back onto the plausible region).
+    prior = LocationPrior.uniform_grid(home, half_extent=1_500.0, step=150.0)
+    remap = BayesianRemap(prior, planar_laplace_noise_loglik(mechanism.epsilon))
+    remapped = [CheckIn(c.timestamp, remap.remap(c.point)) for c in observed]
+
+    # Per-report utility (only top-1 visits, where the prior is informative).
+    top1_reports = [c for c in user.trace if c.point.distance_to(home) < 100.0]
+    idx = [i for i, c in enumerate(user.trace) if c.point.distance_to(home) < 100.0]
+    raw_err = float(
+        np.mean([observed[i].point.distance_to(home) for i in idx])
+    )
+    remap_err = float(
+        np.mean([remapped[i].point.distance_to(home) for i in idx])
+    )
+
+    # Longitudinal attack on both streams.
+    attack = DeobfuscationAttack.against(mechanism)
+    raw_guess = attack.infer_top1(observed)
+    # Remapped outputs live on the prior grid — cluster at grid scale.
+    remap_attack = DeobfuscationAttack(theta=750.0, r_alpha=1_500.0)
+    remap_guess = remap_attack.infer_top1(remapped)
+
+    rows = [
+        {
+            "stream": "raw one-time geo-IND",
+            "mean_report_error_m": raw_err,
+            "attack_top1_error_m": raw_guess.distance_to(home),
+        },
+        {
+            "stream": "with Bayesian remapping",
+            "mean_report_error_m": remap_err,
+            "attack_top1_error_m": remap_guess.distance_to(home),
+        },
+    ]
+    return ExperimentReport(
+        experiment_id="ablation_remap",
+        title="Bayesian remapping: per-report utility vs longitudinal exposure",
+        rows=rows,
+        notes=[
+            "remapping (related work) improves per-report utility but does "
+            "not defend the longitudinal attack — motivating the paper's "
+            "permanent n-fold approach",
+        ],
+    )
+
+
+def test_ablation_remap(benchmark, archive):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    archive(report)
+    raw, remapped = report.rows
+    # Utility claim: remapping reduces mean per-report error.
+    assert remapped["mean_report_error_m"] < raw["mean_report_error_m"]
+    # Privacy claim: the attack still succeeds against remapped streams.
+    assert remapped["attack_top1_error_m"] < 500.0

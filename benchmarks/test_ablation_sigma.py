@@ -1,0 +1,44 @@
+"""Ablation bench: sufficient-statistic calibration vs plain composition.
+
+DESIGN.md ablation #1 — the core analytic claim of Theorem 2: for the
+same (r, eps, delta, n) target, the sufficient-statistic proof needs a
+noise scale that is smaller by a factor growing like sqrt(n) (and beyond,
+since composition also splits delta).
+"""
+
+import math
+
+from repro.core.accounting import composition_vs_sufficient_statistic
+from repro.experiments.tables import ExperimentReport
+
+
+def _build_report() -> ExperimentReport:
+    rows = []
+    for n in (1, 2, 4, 6, 8, 10, 16):
+        cmp_ = composition_vs_sufficient_statistic(500.0, 1.0, 0.01, n)
+        rows.append(
+            {
+                "n": n,
+                "sigma_sufficient": cmp_.sigma_sufficient_statistic,
+                "sigma_composition": cmp_.sigma_plain_composition,
+                "saving_factor": cmp_.saving_factor,
+            }
+        )
+    return ExperimentReport(
+        experiment_id="ablation_sigma",
+        title="noise scale: sufficient statistic vs plain composition",
+        rows=rows,
+        notes=["Theorem 2: the saving factor grows at least like sqrt(n)"],
+    )
+
+
+def test_ablation_sigma(benchmark, archive):
+    report = benchmark(_build_report)
+    archive(report)
+    savings = {r["n"]: r["saving_factor"] for r in report.rows}
+    assert savings[1] == 1.0
+    for n in (2, 4, 6, 8, 10, 16):
+        assert savings[n] >= math.sqrt(n)
+    # Strictly increasing in n.
+    ordered = [savings[n] for n in (1, 2, 4, 6, 8, 10, 16)]
+    assert ordered == sorted(ordered)

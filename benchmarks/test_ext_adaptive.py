@@ -1,0 +1,33 @@
+"""Bench: risk-adaptive LPPM selection (extension experiment)."""
+
+from conftest import BENCH
+
+from repro.experiments import ext_adaptive
+
+
+def test_ext_adaptive(benchmark, archive):
+    report = benchmark.pedantic(
+        ext_adaptive.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    by_policy = {r["policy"]: r for r in report.rows}
+    onetime = by_policy["all one-time"]
+    adaptive = by_policy["adaptive"]
+    permanent = by_policy["all permanent"]
+
+    # Privacy ordering: adaptive sits at (or near) the permanent policy,
+    # far below the broken all-one-time deployment.
+    assert onetime["attack_top1_within_200m"] >= 0.6
+    assert adaptive["attack_top1_within_200m"] <= 0.3
+    assert permanent["attack_top1_within_200m"] <= 0.1
+
+    # Utility ordering: adaptive costs no more than all-permanent.
+    assert adaptive["mean_report_error_m"] <= permanent["mean_report_error_m"] * 1.05
+    assert onetime["mean_report_error_m"] <= adaptive["mean_report_error_m"]
+
+    # The assessor actually differentiates users.
+    assert 0 < adaptive["permanent_users"] <= len_users(report)
+
+
+def len_users(report):
+    return max(r["permanent_users"] for r in report.rows)

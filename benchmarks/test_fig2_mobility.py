@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 2 (single-user 7-day mobility pattern)."""
+
+from repro.experiments import fig2_mobility
+
+
+def test_fig2_mobility(benchmark, archive):
+    report = benchmark.pedantic(fig2_mobility.run, rounds=3, iterations=1)
+    archive(report)
+    shares = [r["share"] for r in report.rows]
+    # Paper: top-1 and top-2 (home/office) dominate the week.
+    assert shares[0] + shares[1] > 0.8
+    # The recovered cluster centroids sit on the true anchors.
+    assert report.rows[0]["dist_to_true_anchor_m"] < 25.0

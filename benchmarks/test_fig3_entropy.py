@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 3 (location entropy vs number of check-ins)."""
+
+from conftest import BENCH
+
+from repro.experiments import fig3_entropy
+
+
+def test_fig3_entropy(benchmark, archive):
+    report = benchmark.pedantic(
+        fig3_entropy.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    populated = [r for r in report.rows if r["users"] > 0]
+    # Paper shape: entropy declines as check-ins grow.
+    assert populated[0]["mean_entropy"] > populated[-1]["mean_entropy"]
+    # Paper statistic: most users below entropy 2 (88.8% at full scale).
+    frac_note = next(n for n in report.notes if "entropy < 2" in n)
+    frac = float(frac_note.split(":")[1].split("(")[0])
+    assert frac > 0.7

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 4 (de-obfuscation case study over time windows)."""
+
+from repro.experiments import fig4_case_study
+
+
+def test_fig4_case_study(benchmark, archive):
+    report = benchmark.pedantic(fig4_case_study.run, rounds=3, iterations=1)
+    archive(report)
+    errors = {r["window"]: r["inference_error_m"] for r in report.rows}
+    # Paper: ~200 m after one week, < 50 m after the full year.
+    assert errors["full year"] < errors["one week"]
+    assert errors["full year"] < 100.0

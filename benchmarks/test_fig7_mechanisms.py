@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 7 (utilization rate of the three mechanisms)."""
+
+from conftest import BENCH
+
+from repro.experiments import fig7_mechanisms
+
+
+def _mean_ur(report, mechanism, n):
+    for r in report.rows:
+        if r["mechanism"] == mechanism and r["n"] == n:
+            return r["mean_UR"]
+    raise KeyError((mechanism, n))
+
+
+def test_fig7_mechanisms(benchmark, archive):
+    report = benchmark.pedantic(
+        fig7_mechanisms.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    # Paper at n=10: n-fold ~100 %, naive ~58 %, composition ~20 %.
+    nfold = _mean_ur(report, "n-fold gaussian", 10)
+    naive = _mean_ur(report, "naive post-processing", 10)
+    comp = _mean_ur(report, "plain composition", 10)
+    assert nfold > 0.9
+    assert nfold > naive > comp
+    assert comp < 0.5
+    # Observation 2: composition *loses* utility as n grows.
+    assert comp < _mean_ur(report, "plain composition", 1)
+    # Observation 3: n-fold gains utility as n grows.
+    assert nfold > _mean_ur(report, "n-fold gaussian", 1)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 8 (minimal utilization rate at alpha = 0.9)."""
+
+from conftest import BENCH
+
+from repro.experiments import fig8_min_utilization
+
+
+def test_fig8_min_utilization(benchmark, archive):
+    report = benchmark.pedantic(
+        fig8_min_utilization.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    rows_eps15 = [r for r in report.rows if r["epsilon"] == 1.5]
+    curve = {r["n"]: r["min_UR(r=500)"] for r in rows_eps15}
+    # Paper: eps=1.5 goes from ~0.6 (n=1) to ~0.9 (n=10).
+    assert curve[1] < 0.8
+    assert curve[10] > 0.8
+    # Paper: eps=1 improves by ~60 % from n=1 to n=10.
+    rows_eps1 = [r for r in report.rows if r["epsilon"] == 1.0]
+    curve1 = {r["n"]: r["min_UR(r=500)"] for r in rows_eps1}
+    assert curve1[10] >= curve1[1] * 1.3
+    # Tighter privacy radius r hurts utility at fixed n.
+    r10 = next(r for r in rows_eps1 if r["n"] == 10)
+    assert r10["min_UR(r=500)"] >= r10["min_UR(r=800)"] - 0.05

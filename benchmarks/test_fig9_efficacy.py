@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 9 (advertising efficacy vs n under various r)."""
+
+from conftest import BENCH
+
+from repro.experiments import fig9_efficacy
+
+
+def test_fig9_efficacy(benchmark, archive):
+    report = benchmark.pedantic(
+        fig9_efficacy.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    by_n = {r["n"]: r for r in report.rows}
+    # Paper Observation 4: with posterior output selection, efficacy does
+    # not significantly decrease as n grows (compare n=2..10 plateau).
+    assert by_n[10]["efficacy(r=500)"] > by_n[2]["efficacy(r=500)"] * 0.8
+    # Larger privacy radius lowers efficacy at fixed n.
+    assert by_n[10]["efficacy(r=500)"] >= by_n[10]["efficacy(r=800)"] - 0.02

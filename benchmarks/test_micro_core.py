@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the hot code paths.
+
+Not tied to a paper table; these track the throughput of the primitives
+the system-level numbers are built from (obfuscation, clustering,
+selection, matching), so regressions are attributable.
+"""
+
+import numpy as np
+
+from repro.ads.campaign import Advertiser, Campaign
+from repro.ads.matching import CampaignIndex
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget, OneTimeBudget
+from repro.core.posterior import PosteriorSelector
+from repro.geo.index import connected_components
+from repro.geo.point import Point
+
+
+def test_nfold_obfuscate(benchmark):
+    mech = NFoldGaussianMechanism(
+        GeoIndBudget(500.0, 1.0, 0.01, 10), rng=default_rng(0)
+    )
+    benchmark(mech.obfuscate, Point(0.0, 0.0))
+
+
+def test_laplace_batch_obfuscate_10k(benchmark):
+    mech = PlanarLaplaceMechanism(OneTimeBudget(0.005), rng=default_rng(0))
+    coords = np.zeros((10_000, 2))
+    benchmark(mech.obfuscate_batch, coords)
+
+
+def test_connectivity_clustering_5k_points(benchmark):
+    rng = default_rng(1)
+    blob = rng.normal(0, 50, (4_000, 2))
+    scatter = rng.uniform(-20_000, 20_000, (1_000, 2))
+    pts = np.vstack([blob, scatter])
+    benchmark(connected_components, pts, 100.0)
+
+
+def test_posterior_selection(benchmark):
+    mech = NFoldGaussianMechanism(
+        GeoIndBudget(500.0, 1.0, 0.01, 10), rng=default_rng(2)
+    )
+    selector = PosteriorSelector(mech.posterior_sigma, rng=default_rng(3))
+    candidates = mech.obfuscate(Point(0.0, 0.0))
+    benchmark(selector.select, candidates)
+
+
+def test_campaign_matching_1k_campaigns(benchmark):
+    rng = default_rng(4)
+    campaigns = [
+        Campaign(
+            campaign_id=f"c{i}",
+            advertiser=Advertiser(f"a{i}"),
+            business_location=Point(float(x), float(y)),
+            radius_m=5_000.0,
+        )
+        for i, (x, y) in enumerate(rng.uniform(-40_000, 40_000, (1_000, 2)))
+    ]
+    index = CampaignIndex(campaigns)
+    benchmark(index.match, Point(0.0, 0.0))

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (platform targeting limits)."""
+
+from repro.experiments import table1_limits
+
+
+def test_table1_platform_limits(benchmark, archive):
+    report = benchmark(table1_limits.run)
+    archive(report)
+    assert len(report.rows) == 4
+    # The derived common interval drives the paper's R = 5 km choice.
+    assert any("5 km" in note for note in report.notes)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table II (obfuscation processing time vs user count).
+
+The paper's reproduced claim is the near-linear scaling shape, not the
+absolute Raspberry Pi 3 numbers; the bench reports doubling ratios and
+asserts they stay close to 2.
+"""
+
+from conftest import BENCH
+
+from repro.experiments import table2_obfuscation_time
+
+
+def test_table2_obfuscation_time(benchmark, archive):
+    report = benchmark.pedantic(
+        table2_obfuscation_time.run,
+        args=(BENCH,),
+        kwargs={"sizes": (100, 200, 400, 800), "pool_size": 30},
+        rounds=1,
+        iterations=1,
+    )
+    archive(report)
+    seconds = [r["seconds"] for r in report.rows]
+    # Monotone growth in workload size.
+    assert seconds == sorted(seconds)
+    # Near-linear scaling: each doubling costs ~2x (generous envelope to
+    # tolerate scheduler noise at small sizes).
+    for a, b in zip(seconds, seconds[1:]):
+        assert 1.3 <= b / a <= 3.2

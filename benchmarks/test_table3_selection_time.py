@@ -1,0 +1,23 @@
+"""Bench: regenerate Table III (output-selection time vs user count).
+
+The paper reports milliseconds-scale, near-linear per-tick selection cost
+for 2,000..32,000 users on a Pi 3; we run the identical sizes on this host.
+"""
+
+from conftest import BENCH
+
+from repro.experiments import table3_selection_time
+
+
+def test_table3_selection_time(benchmark, archive):
+    report = benchmark.pedantic(
+        table3_selection_time.run, args=(BENCH,), rounds=1, iterations=1
+    )
+    archive(report)
+    ms = [r["milliseconds"] for r in report.rows]
+    users = [r["users"] for r in report.rows]
+    assert users == [2_000, 4_000, 8_000, 16_000, 32_000]
+    # Near-linear shape.
+    assert ms == sorted(ms)
+    for a, b in zip(ms, ms[1:]):
+        assert 1.2 <= b / a <= 3.5

@@ -1,0 +1,74 @@
+"""Privacy-utility trade-off study (paper Figures 7-9 in miniature).
+
+Run with::
+
+    python examples/privacy_utility_tradeoff.py
+
+Sweeps the candidate count n and compares, for a fixed (r, eps, delta)
+budget:
+
+* the noise scale required by the sufficient-statistic analysis vs plain
+  composition (Theorem 2's saving),
+* utilization rate (how much of the targeting area stays reachable), and
+* advertising efficacy with posterior vs uniform output selection.
+"""
+
+import numpy as np
+
+from repro.core import (
+    GeoIndBudget,
+    NFoldGaussianMechanism,
+    PosteriorSelector,
+    UniformSelector,
+    composition_vs_sufficient_statistic,
+    default_rng,
+)
+from repro.metrics import efficacy_samples, utilization_samples
+
+
+def main() -> None:
+    r, eps, delta = 500.0, 1.0, 0.01
+    print(f"budget: r = {r:.0f} m, eps = {eps}, delta = {delta}\n")
+    header = (
+        f"{'n':>3}  {'sigma_suff':>10}  {'sigma_comp':>10}  {'saving':>6}  "
+        f"{'mean UR':>8}  {'AE post':>8}  {'AE unif':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for n in (1, 2, 4, 6, 8, 10):
+        comparison = composition_vs_sufficient_statistic(r, eps, delta, n)
+        budget = GeoIndBudget(r=r, epsilon=eps, delta=delta, n=n)
+
+        rng = default_rng(100 + n)
+        mechanism = NFoldGaussianMechanism(budget, rng=rng)
+        ur = utilization_samples(mechanism, trials=300, rng=rng).mean()
+
+        rng = default_rng(200 + n)
+        mech2 = NFoldGaussianMechanism(budget, rng=rng)
+        ae_post = efficacy_samples(
+            mech2, PosteriorSelector(mech2.posterior_sigma, rng=rng), trials=300, rng=rng
+        ).mean()
+
+        rng = default_rng(300 + n)
+        mech3 = NFoldGaussianMechanism(budget, rng=rng)
+        ae_unif = efficacy_samples(
+            mech3, UniformSelector(rng=rng), trials=300, rng=rng
+        ).mean()
+
+        print(
+            f"{n:>3}  {comparison.sigma_sufficient_statistic:>10.0f}  "
+            f"{comparison.sigma_plain_composition:>10.0f}  "
+            f"{comparison.saving_factor:>6.2f}  {ur:>8.3f}  "
+            f"{ae_post:>8.3f}  {ae_unif:>8.3f}"
+        )
+
+    print(
+        "\nreading: the sufficient-statistic analysis needs ~sqrt(n)-times "
+        "less noise than composition; utilization climbs with n while "
+        "posterior selection keeps efficacy from collapsing."
+    )
+
+
+if __name__ == "__main__":
+    main()

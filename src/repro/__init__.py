@@ -1,0 +1,57 @@
+"""Edge-PrivLocAd: thwarting longitudinal location exposure attacks in LBA.
+
+A from-scratch Python reproduction of the ICDCS 2022 paper "Thwarting
+Longitudinal Location Exposure Attacks in Advertising Ecosystem via Edge
+Computing".  The package is organised as:
+
+* :mod:`repro.geo` — planar geometry, projections, spatial indexing.
+* :mod:`repro.core` — geo-IND mechanisms (planar Laplace, 1-/n-fold
+  Gaussian, baselines), posterior output selection, privacy accounting and
+  numerical verification.
+* :mod:`repro.profiles` — check-ins, location profiles, the eta-frequent
+  location set, location entropy.
+* :mod:`repro.attack` — the longitudinal location exposure attack
+  (connectivity clustering + trimming de-obfuscation, profiling, MAP
+  estimation) and its success metrics.
+* :mod:`repro.ads` — a simulated location-based-advertising ecosystem
+  (campaigns, radius targeting, matching, bidding logs).
+* :mod:`repro.edge` — the Edge-PrivLocAd system: clients, edge devices
+  (location management / obfuscation / output selection modules), and the
+  honest-but-curious provider.
+* :mod:`repro.datagen` — synthetic mobility traces calibrated to the
+  paper's dataset statistics.
+* :mod:`repro.metrics` — utilization rate, advertising efficacy, attack
+  success rate, timing harness.
+* :mod:`repro.experiments` — drivers regenerating every table and figure
+  of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    GaussianMechanism,
+    GeoIndBudget,
+    NFoldGaussianMechanism,
+    NaivePostProcessingMechanism,
+    OneTimeBudget,
+    PlainCompositionMechanism,
+    PlanarLaplaceMechanism,
+    PosteriorSelector,
+    UniformSelector,
+)
+from repro.geo import GeoPoint, Point
+
+__all__ = [
+    "__version__",
+    "Point",
+    "GeoPoint",
+    "GeoIndBudget",
+    "OneTimeBudget",
+    "PlanarLaplaceMechanism",
+    "GaussianMechanism",
+    "NFoldGaussianMechanism",
+    "NaivePostProcessingMechanism",
+    "PlainCompositionMechanism",
+    "PosteriorSelector",
+    "UniformSelector",
+]

@@ -1,0 +1,51 @@
+"""Ad delivery filtering at the edge.
+
+Because obfuscated request locations retrieve some irrelevant ads, the
+edge device filters the network's response against the user's *true* area
+of interest before forwarding ads to the device (paper Section V-A, the
+third role of the edge).  Only the trusted edge can do this — it knows the
+true location; the network never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.ads.bidding import Ad
+from repro.geo.point import Point
+
+__all__ = ["DeliveryStats", "filter_ads_to_aoi"]
+
+
+@dataclass(frozen=True)
+class DeliveryStats:
+    """Bandwidth accounting of one filtered delivery."""
+
+    received: int
+    delivered: int
+
+    @property
+    def irrelevant(self) -> int:
+        return self.received - self.delivered
+
+    @property
+    def relevance_ratio(self) -> float:
+        """Share of received ads that were actually relevant."""
+        return self.delivered / self.received if self.received else 1.0
+
+
+def filter_ads_to_aoi(
+    ads: Sequence[Ad],
+    true_location: Point,
+    targeting_radius: float,
+) -> "tuple[List[Ad], DeliveryStats]":
+    """Keep only ads whose business lies within the user's AOI."""
+    if targeting_radius <= 0:
+        raise ValueError("targeting radius must be positive")
+    kept = [
+        ad
+        for ad in ads
+        if ad.business_location.distance_to(true_location) <= targeting_radius
+    ]
+    return kept, DeliveryStats(received=len(ads), delivered=len(kept))

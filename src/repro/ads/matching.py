@@ -1,0 +1,83 @@
+"""Geo-matching of campaigns to reported locations.
+
+An ad network with many radius-targeting campaigns must find, per bid
+request, all campaigns whose targeting circle contains the reported
+location.  The campaign index buckets campaigns on a uniform grid keyed by
+their business locations so a match query inspects only nearby cells —
+the same spatial-index idea the attack's clustering uses, applied to the
+serving path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import math
+
+from repro.ads.campaign import Campaign
+from repro.geo.point import Point
+
+__all__ = ["CampaignIndex"]
+
+
+class CampaignIndex:
+    """Grid-bucketed campaign lookup by reported location.
+
+    The cell size is chosen as the largest campaign radius so that any
+    campaign containing a query point lives in the 3x3 cell neighbourhood
+    of the query.  Campaigns can be added incrementally; the index rebuilds
+    lazily when a new campaign exceeds the current cell size.
+    """
+
+    def __init__(self, campaigns: Sequence[Campaign] = ()):
+        self._campaigns: List[Campaign] = []
+        self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        self._cell_size: float = 0.0
+        for c in campaigns:
+            self.add(c)
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    @property
+    def campaigns(self) -> List[Campaign]:
+        return list(self._campaigns)
+
+    def add(self, campaign: Campaign) -> None:
+        """Insert a campaign, rebuilding the grid if its radius grows the cell."""
+        self._campaigns.append(campaign)
+        if campaign.radius_m > self._cell_size:
+            self._rebuild(campaign.radius_m)
+        else:
+            self._insert(len(self._campaigns) - 1)
+
+    def _rebuild(self, cell_size: float) -> None:
+        self._cell_size = cell_size
+        self._cells = defaultdict(list)
+        for i in range(len(self._campaigns)):
+            self._insert(i)
+
+    def _insert(self, idx: int) -> None:
+        c = self._campaigns[idx]
+        key = self._key(c.business_location)
+        self._cells[key].append(idx)
+
+    def _key(self, p: Point) -> Tuple[int, int]:
+        return (
+            math.floor(p.x / self._cell_size),
+            math.floor(p.y / self._cell_size),
+        )
+
+    def match(self, reported_location: Point) -> List[Campaign]:
+        """All campaigns whose targeting circle contains the location."""
+        if not self._campaigns:
+            return []
+        cx, cy = self._key(reported_location)
+        out: List[Campaign] = []
+        for gx in range(cx - 1, cx + 2):
+            for gy in range(cy - 1, cy + 2):
+                for idx in self._cells.get((gx, gy), ()):
+                    if self._campaigns[idx].targets(reported_location):
+                        out.append(self._campaigns[idx])
+        return out

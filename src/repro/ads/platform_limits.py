@@ -1,0 +1,58 @@
+"""Radius-targeting limits of real LBA platforms (paper Table I).
+
+The paper surveys four major platforms and derives its targeting-radius
+experiment range (5 km, the lower edge of the common interval) from this
+table.  We encode the table as data so campaign validation and the Table I
+bench can consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "PlatformLimit",
+    "PLATFORM_LIMITS",
+    "common_radius_interval",
+    "MILES_TO_M",
+]
+
+MILES_TO_M = 1_609.344
+
+
+@dataclass(frozen=True)
+class PlatformLimit:
+    """Minimal and maximal allowed targeting radius of one platform, metres."""
+
+    name: str
+    min_radius_m: float
+    max_radius_m: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_radius_m <= self.max_radius_m:
+            raise ValueError(f"invalid radius limits for {self.name}")
+
+    def allows(self, radius_m: float) -> bool:
+        """Is the radius within this platform's allowed range (inclusive)?"""
+        return self.min_radius_m <= radius_m <= self.max_radius_m
+
+
+#: Table I, using the metric variant where the paper lists both.
+PLATFORM_LIMITS: Dict[str, PlatformLimit] = {
+    "google": PlatformLimit("google", 5_000.0, 65_000.0),
+    "microsoft": PlatformLimit("microsoft", 1_000.0, 800_000.0),
+    "facebook": PlatformLimit("facebook", 1.0 * MILES_TO_M, 50.0 * MILES_TO_M),
+    "tencent": PlatformLimit("tencent", 500.0, 25_000.0),
+}
+
+
+def common_radius_interval() -> Tuple[float, float]:
+    """The radius interval allowed by *every* surveyed platform.
+
+    The paper notes this is 5 km to 25 km and picks the minimum (5 km) as
+    the hardest utility setting.
+    """
+    lo = max(p.min_radius_m for p in PLATFORM_LIMITS.values())
+    hi = min(p.max_radius_m for p in PLATFORM_LIMITS.values())
+    return (lo, hi)

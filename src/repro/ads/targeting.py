@@ -1,0 +1,196 @@
+"""The paper's three geo-targeting categories (Section II-A).
+
+* **Countries targeting** — match by country code; the request carries a
+  coarse country attribute (never precise coordinates).
+* **Areas targeting** — match administrative areas (cities/districts),
+  modelled as named polygons.
+* **Radius targeting** — the radius-from-business-location matching the
+  rest of the library focuses on (most privacy-sensitive category).
+
+Each category implements the same ``GeoTargeting`` interface so campaigns
+can mix them; the paper's observation that radius targeting is the most
+sensitive follows directly from what each ``matches`` call needs to see:
+a country code, an area id, or a precise location.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence
+
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+
+__all__ = [
+    "RequestGeo",
+    "GeoTargeting",
+    "CountryTargeting",
+    "AreaTargeting",
+    "RadiusTargeting",
+    "AdministrativeArea",
+    "AreaRegistry",
+]
+
+
+@dataclass(frozen=True)
+class RequestGeo:
+    """The geographic attributes an ad request may carry.
+
+    Coarser categories need only the coarser fields — a privacy-aware edge
+    populates exactly what the served campaigns' categories require.
+    """
+
+    country: Optional[str] = None
+    area_ids: FrozenSet[str] = frozenset()
+    location: Optional[Point] = None
+
+    @classmethod
+    def of(
+        cls,
+        country: Optional[str] = None,
+        area_ids: Iterable[str] = (),
+        location: Optional[Point] = None,
+    ) -> "RequestGeo":
+        return cls(
+            country=country, area_ids=frozenset(area_ids), location=location
+        )
+
+
+class GeoTargeting(abc.ABC):
+    """One campaign's geographic predicate."""
+
+    #: Category name matching the paper's taxonomy.
+    category: str = "abstract"
+
+    @abc.abstractmethod
+    def matches(self, geo: RequestGeo) -> bool:
+        """Does the request's geography satisfy this targeting rule?"""
+
+    @property
+    @abc.abstractmethod
+    def required_precision(self) -> str:
+        """What the rule needs to observe: 'country' | 'area' | 'location'."""
+
+
+@dataclass(frozen=True)
+class CountryTargeting(GeoTargeting):
+    """Match any of a set of country codes."""
+
+    countries: FrozenSet[str]
+    category = "countries"
+
+    def __post_init__(self) -> None:
+        if not self.countries:
+            raise ValueError("country targeting needs at least one country")
+        object.__setattr__(
+            self, "countries", frozenset(c.upper() for c in self.countries)
+        )
+
+    @classmethod
+    def of(cls, *countries: str) -> "CountryTargeting":
+        return cls(frozenset(countries))
+
+    def matches(self, geo: RequestGeo) -> bool:
+        """Case-insensitive country-code membership."""
+        return geo.country is not None and geo.country.upper() in self.countries
+
+    @property
+    def required_precision(self) -> str:
+        return "country"
+
+
+@dataclass(frozen=True)
+class AdministrativeArea:
+    """A named administrative area with its polygon boundary."""
+
+    area_id: str
+    name: str
+    boundary: Polygon
+
+    def contains(self, p: Point) -> bool:
+        """Is the point inside this area's boundary polygon?"""
+        return self.boundary.contains(p)
+
+
+class AreaRegistry:
+    """The shared catalogue of administrative areas (cities, districts)."""
+
+    def __init__(self, areas: Sequence[AdministrativeArea] = ()):
+        self._areas: Dict[str, AdministrativeArea] = {}
+        for area in areas:
+            self.add(area)
+
+    def add(self, area: AdministrativeArea) -> None:
+        """Register an area; ids must be unique."""
+        if area.area_id in self._areas:
+            raise ValueError(f"duplicate area id: {area.area_id}")
+        self._areas[area.area_id] = area
+
+    def __len__(self) -> int:
+        return len(self._areas)
+
+    def get(self, area_id: str) -> AdministrativeArea:
+        """Look an area up by id, raising KeyError for unknown ids."""
+        try:
+            return self._areas[area_id]
+        except KeyError:
+            raise KeyError(f"unknown area id: {area_id}") from None
+
+    def areas_containing(self, p: Point) -> FrozenSet[str]:
+        """Area ids whose boundary contains the point.
+
+        This is how the edge derives the coarse ``area_ids`` attribute for
+        a request without revealing the precise location.
+        """
+        return frozenset(
+            area_id for area_id, area in self._areas.items() if area.contains(p)
+        )
+
+
+@dataclass(frozen=True)
+class AreaTargeting(GeoTargeting):
+    """Match requests tagged with any of the targeted area ids."""
+
+    area_ids: FrozenSet[str]
+    category = "areas"
+
+    def __post_init__(self) -> None:
+        if not self.area_ids:
+            raise ValueError("area targeting needs at least one area")
+        object.__setattr__(self, "area_ids", frozenset(self.area_ids))
+
+    @classmethod
+    def of(cls, *area_ids: str) -> "AreaTargeting":
+        return cls(frozenset(area_ids))
+
+    def matches(self, geo: RequestGeo) -> bool:
+        """Any overlap between targeted and request-tagged areas."""
+        return bool(self.area_ids & geo.area_ids)
+
+    @property
+    def required_precision(self) -> str:
+        return "area"
+
+
+@dataclass(frozen=True)
+class RadiusTargeting(GeoTargeting):
+    """Match locations within ``radius_m`` of the business location."""
+
+    business_location: Point
+    radius_m: float
+    category = "radius"
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("radius must be positive")
+
+    def matches(self, geo: RequestGeo) -> bool:
+        """Distance check against the precise reported location."""
+        if geo.location is None:
+            return False
+        return self.business_location.distance_to(geo.location) <= self.radius_m
+
+    @property
+    def required_precision(self) -> str:
+        return "location"

@@ -1,0 +1,75 @@
+"""The longitudinal location exposure attack and its evaluation metrics."""
+
+from repro.attack.clustering import Cluster, connectivity_clusters, largest_cluster
+from repro.attack.deobfuscation import (
+    DEFAULT_ALPHA,
+    DeobfuscationAttack,
+    InferredLocation,
+    attack_params_for,
+)
+from repro.attack.estimator import (
+    MAPAttack,
+    MAPEstimate,
+    gaussian_log_likelihood,
+    laplace_log_likelihood,
+    map_estimate,
+)
+from repro.attack.profiling import (
+    EntropyObservation,
+    ProfilingAttack,
+    bucket_mean_entropy,
+    entropy_vs_checkins,
+    fraction_below_entropy,
+)
+from repro.attack.success import (
+    RankOutcome,
+    UserAttackOutcome,
+    error_quantiles,
+    evaluate_user,
+    success_rate,
+)
+from repro.attack.trimming import TrimResult, trim_cluster
+
+__all__ = [
+    "Cluster",
+    "connectivity_clusters",
+    "largest_cluster",
+    "DeobfuscationAttack",
+    "InferredLocation",
+    "attack_params_for",
+    "DEFAULT_ALPHA",
+    "TrimResult",
+    "trim_cluster",
+    "ProfilingAttack",
+    "EntropyObservation",
+    "entropy_vs_checkins",
+    "fraction_below_entropy",
+    "bucket_mean_entropy",
+    "MAPAttack",
+    "MAPEstimate",
+    "map_estimate",
+    "gaussian_log_likelihood",
+    "laplace_log_likelihood",
+    "RankOutcome",
+    "UserAttackOutcome",
+    "evaluate_user",
+    "success_rate",
+    "error_quantiles",
+]
+
+from repro.attack.kmeans import KMeansAttack, KMeansResult, kmeans
+from repro.attack.temporal import NIGHT, OFFICE_HOURS, HourWindow, TemporalAttack
+
+__all__ += [
+    "KMeansAttack",
+    "KMeansResult",
+    "kmeans",
+    "TemporalAttack",
+    "HourWindow",
+    "NIGHT",
+    "OFFICE_HOURS",
+]
+
+from repro.attack.linking import DeviceLink, DeviceLinker, split_trace_across_devices
+
+__all__ += ["DeviceLinker", "DeviceLink", "split_trace_across_devices"]

@@ -1,0 +1,109 @@
+"""The location profiling attack (paper Section III-B-1).
+
+Given *raw* (unobfuscated) check-ins — what an attacker sees in today's
+LBA ecosystem before any LPPM is deployed — the profiling attack rebuilds
+the user's location profile by connectivity clustering, computes the top
+locations, and measures the location entropy that Figure 3 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.profiles.checkin import CheckIn
+from repro.profiles.profile import (
+    DEFAULT_CONNECT_RADIUS_M,
+    LocationProfile,
+)
+
+__all__ = [
+    "ProfilingAttack",
+    "EntropyObservation",
+    "entropy_vs_checkins",
+    "fraction_below_entropy",
+]
+
+
+class ProfilingAttack:
+    """Rebuild a victim's location profile from observed check-ins."""
+
+    def __init__(self, connect_radius: float = DEFAULT_CONNECT_RADIUS_M):
+        if connect_radius <= 0:
+            raise ValueError(f"connect radius must be positive, got {connect_radius}")
+        self.connect_radius = connect_radius
+
+    def build_profile(self, checkins: Sequence[CheckIn]) -> LocationProfile:
+        """The attacker's reconstruction of the location profile (Eq. 2)."""
+        return LocationProfile.from_checkins(checkins, self.connect_radius)
+
+    def top_locations(self, checkins: Sequence[CheckIn], k: int) -> List:
+        """The attacker's inferred top-k locations."""
+        return [e.location for e in self.build_profile(checkins).top(k)]
+
+    def entropy(self, checkins: Sequence[CheckIn]) -> float:
+        """Location entropy of the reconstructed profile (Eq. 3)."""
+        return self.build_profile(checkins).entropy()
+
+
+@dataclass(frozen=True)
+class EntropyObservation:
+    """One user's (check-in count, entropy) pair for Figure 3."""
+
+    checkins: int
+    entropy: float
+
+
+def entropy_vs_checkins(
+    traces: Dict[str, Sequence[CheckIn]],
+    connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+) -> List[EntropyObservation]:
+    """Per-user entropy observations over a population of traces.
+
+    This is the scatter behind Figure 3: users with more check-ins have
+    lower entropy because routine visits dominate their profiles.
+    """
+    attack = ProfilingAttack(connect_radius)
+    out = []
+    for trace in traces.values():
+        out.append(
+            EntropyObservation(checkins=len(trace), entropy=attack.entropy(trace))
+        )
+    return out
+
+
+def fraction_below_entropy(
+    observations: Sequence[EntropyObservation], threshold: float
+) -> float:
+    """Share of users whose entropy is below ``threshold``.
+
+    The paper reports 88.8% of its 37,262 users below entropy 2.
+    """
+    if not observations:
+        return 0.0
+    below = sum(1 for o in observations if o.entropy < threshold)
+    return below / len(observations)
+
+
+def bucket_mean_entropy(
+    observations: Sequence[EntropyObservation],
+    bucket_edges: Sequence[int],
+) -> List[Tuple[str, int, float]]:
+    """Average entropy per check-in-count bucket (Figure 3's trend line).
+
+    Returns ``(bucket_label, user_count, mean_entropy)`` rows for each
+    half-open bucket ``[edge_i, edge_{i+1})`` plus a final overflow bucket.
+    """
+    edges = list(bucket_edges)
+    if sorted(edges) != edges or len(edges) < 2:
+        raise ValueError("bucket edges must be sorted and have at least two values")
+    rows: List[Tuple[str, int, float]] = []
+    bounds = list(zip(edges[:-1], edges[1:])) + [(edges[-1], float("inf"))]
+    for lo, hi in bounds:
+        members = [o.entropy for o in observations if lo <= o.checkins < hi]
+        label = f"[{lo}, {hi})" if hi != float("inf") else f">={lo}"
+        mean = float(np.mean(members)) if members else float("nan")
+        rows.append((label, len(members), mean))
+    return rows

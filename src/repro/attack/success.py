@@ -1,0 +1,101 @@
+"""Attack-success metrics (paper Section VII-A, metric 1).
+
+An attack on one user *succeeds at rank k* when the k-th inferred top
+location lies within a threshold distance of the user's true k-th top
+location.  The population-level attack success rate is the fraction of
+users on which the attack succeeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.point import Point
+
+__all__ = ["RankOutcome", "UserAttackOutcome", "evaluate_user", "success_rate"]
+
+
+@dataclass(frozen=True)
+class RankOutcome:
+    """Distance between the inferred and true location at one rank."""
+
+    rank: int
+    inferred: Optional[Point]
+    true: Point
+    error_m: float
+
+    def within(self, threshold_m: float) -> bool:
+        """Did the inference land within ``threshold_m`` of the truth?"""
+        return self.error_m <= threshold_m
+
+
+@dataclass(frozen=True)
+class UserAttackOutcome:
+    """Per-user outcomes for every evaluated rank."""
+
+    outcomes: tuple
+
+    def at_rank(self, rank: int) -> Optional[RankOutcome]:
+        """The outcome at a given rank, if that rank was evaluated."""
+        for o in self.outcomes:
+            if o.rank == rank:
+                return o
+        return None
+
+    def success(self, rank: int, threshold_m: float) -> bool:
+        """Did the attack land within the threshold at this rank?"""
+        outcome = self.at_rank(rank)
+        return outcome is not None and outcome.within(threshold_m)
+
+
+def evaluate_user(
+    inferred: Sequence[Optional[Point]], true_tops: Sequence[Point]
+) -> UserAttackOutcome:
+    """Match inferred top locations to true top locations rank by rank.
+
+    ``inferred[i]`` is compared against ``true_tops[i]``; a missing
+    inference (``None`` or a shorter list) scores an infinite error so it
+    can never count as a success.
+    """
+    outcomes: List[RankOutcome] = []
+    for i, truth in enumerate(true_tops):
+        guess = inferred[i] if i < len(inferred) else None
+        error = guess.distance_to(truth) if guess is not None else float("inf")
+        outcomes.append(
+            RankOutcome(rank=i + 1, inferred=guess, true=truth, error_m=error)
+        )
+    return UserAttackOutcome(outcomes=tuple(outcomes))
+
+
+def success_rate(
+    outcomes: Sequence[UserAttackOutcome], rank: int, threshold_m: float
+) -> float:
+    """Fraction of users attacked successfully at ``rank`` within ``threshold_m``.
+
+    Users whose true profile has no location at the requested rank are
+    excluded from the denominator (you cannot fail to recover a second
+    home the user does not have).
+    """
+    eligible = [o for o in outcomes if o.at_rank(rank) is not None]
+    if not eligible:
+        return 0.0
+    hits = sum(1 for o in eligible if o.success(rank, threshold_m))
+    return hits / len(eligible)
+
+
+def error_quantiles(
+    outcomes: Sequence[UserAttackOutcome], rank: int, quantiles: Sequence[float]
+) -> Dict[float, float]:
+    """Quantiles of the inference error at a given rank, in metres."""
+    errors = [
+        o.at_rank(rank).error_m
+        for o in outcomes
+        if o.at_rank(rank) is not None and np.isfinite(o.at_rank(rank).error_m)
+    ]
+    if not errors:
+        return {q: float("nan") for q in quantiles}
+    arr = np.asarray(errors)
+    return {q: float(np.quantile(arr, q)) for q in quantiles}

@@ -1,0 +1,79 @@
+"""Temporal refinement of the longitudinal attack: semantic labelling.
+
+The paper observes that top locations carry semantics — home and work
+place — and Figure 2 shows the diurnal structure that reveals them.  This
+module implements the natural strengthening of the attack: restrict the
+observation stream to a time-of-day window before clustering, so the
+biggest night-time cluster is *home* and the biggest office-hours cluster
+is the *work place*, even when the overall top-1/top-2 ordering is
+ambiguous.  It reuses the de-obfuscation attack on the filtered stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
+
+__all__ = ["HourWindow", "NIGHT", "OFFICE_HOURS", "TemporalAttack"]
+
+
+@dataclass(frozen=True)
+class HourWindow:
+    """A daily local-time window, possibly wrapping midnight."""
+
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        for h in (self.start_hour, self.end_hour):
+            if not 0.0 <= h <= 24.0:
+                raise ValueError(f"hour out of range: {h}")
+
+    def contains(self, timestamp: float) -> bool:
+        """Does the timestamp's local hour fall inside the window?"""
+        hour = (timestamp % SECONDS_PER_DAY) / 3_600.0
+        if self.start_hour <= self.end_hour:
+            return self.start_hour <= hour < self.end_hour
+        # Wrapping window, e.g. 21:00 -> 07:00.
+        return hour >= self.start_hour or hour < self.end_hour
+
+
+#: Typical semantic windows: home is occupied overnight, work by day.
+NIGHT = HourWindow(21.0, 7.0)
+OFFICE_HOURS = HourWindow(9.0, 18.0)
+
+
+class TemporalAttack:
+    """Infer semantically labelled locations from time-sliced observations."""
+
+    def __init__(self, base_attack: DeobfuscationAttack):
+        self.base_attack = base_attack
+
+    def infer_in_window(
+        self, observations: Sequence[CheckIn], window: HourWindow
+    ) -> Optional[Point]:
+        """Top-1 location among observations inside the daily window."""
+        sliced = [c for c in observations if window.contains(c.timestamp)]
+        if not sliced:
+            return None
+        return self.base_attack.infer_top1(sliced)
+
+    def infer_home(self, observations: Sequence[CheckIn]) -> Optional[Point]:
+        """The dominant night-time location."""
+        return self.infer_in_window(observations, NIGHT)
+
+    def infer_workplace(self, observations: Sequence[CheckIn]) -> Optional[Point]:
+        """The dominant office-hours location."""
+        return self.infer_in_window(observations, OFFICE_HOURS)
+
+    def infer_home_and_work(
+        self, observations: Sequence[CheckIn]
+    ) -> Tuple[Optional[Point], Optional[Point]]:
+        """Both semantic locations in one call."""
+        return self.infer_home(observations), self.infer_workplace(observations)

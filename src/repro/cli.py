@@ -1,0 +1,166 @@
+"""Command-line interface for the Edge-PrivLocAd reproduction.
+
+Subcommands::
+
+    repro experiments fig6 fig7 --scale small   # regenerate paper results
+    repro simulate --users 40 --campaigns 300   # end-to-end system run
+    repro attack --level ln2                    # case-study attack demo
+    repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
+                                                # check a budget's calibration
+
+(Equivalent to ``python -m repro.cli ...``; also installed as the
+``repro`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_LEVELS = {"ln2": math.log(2), "ln4": math.log(4), "ln6": math.log(6)}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Edge-PrivLocAd reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("ids", nargs="+", help="experiment ids or 'all'")
+    p_exp.add_argument("--scale", default="small", choices=["small", "medium", "full"])
+
+    p_sim = sub.add_parser("simulate", help="run the end-to-end system")
+    p_sim.add_argument("--users", type=int, default=20)
+    p_sim.add_argument("--campaigns", type=int, default=200)
+    p_sim.add_argument("--edges", type=int, default=4)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--attack", action="store_true", help="also run the provider-side attack"
+    )
+
+    p_atk = sub.add_parser("attack", help="case-study de-obfuscation attack")
+    p_atk.add_argument("--level", default="ln2", choices=sorted(_LEVELS))
+    p_atk.add_argument("--seed", type=int, default=11)
+
+    p_ver = sub.add_parser("verify", help="verify a (r, eps, delta, n) budget")
+    p_ver.add_argument("--r", type=float, default=500.0)
+    p_ver.add_argument("--epsilon", type=float, default=1.0)
+    p_ver.add_argument("--delta", type=float, default=0.01)
+    p_ver.add_argument("--n", type=int, default=10)
+    p_ver.add_argument("--samples", type=int, default=100_000)
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    argv = list(args.ids) + ["--scale", args.scale]
+    return runner_main(argv)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.attack import DeobfuscationAttack, evaluate_user, success_rate
+    from repro.core import GeoIndBudget, NFoldGaussianMechanism
+    from repro.datagen import PopulationConfig, generate_population, shanghai_planar_bbox
+    from repro.edge import EdgePrivLocAdSystem, SystemConfig, seed_campaigns
+
+    users = generate_population(
+        PopulationConfig(n_users=args.users, seed=args.seed)
+    )
+    system = EdgePrivLocAdSystem(
+        SystemConfig(n_edge_devices=args.edges, seed=args.seed)
+    )
+    rng = np.random.default_rng(args.seed)
+    system.register_campaigns(
+        seed_campaigns(shanghai_planar_bbox(), args.campaigns, 5_000.0, rng)
+    )
+    report = system.run(users)
+    print(f"requests served:       {report.requests}")
+    print(f"top-path share:        {report.top_path_share:.1%}")
+    print(f"ad relevance ratio:    {report.relevance_ratio:.1%}")
+
+    if args.attack:
+        budget = GeoIndBudget(500.0, 1.0, 0.01, 10)
+        attack = DeobfuscationAttack.against(NFoldGaussianMechanism(budget))
+        findings = system.provider.attack_all(attack, top_n=1)
+        outcomes = [
+            evaluate_user(
+                [i.location for i in findings[u.user_id].inferred],
+                u.true_tops[:1],
+            )
+            for u in users
+        ]
+        for threshold in (200.0, 500.0):
+            rate = success_rate(outcomes, 1, threshold)
+            print(f"attack success @{threshold:.0f}m: {rate:.1%}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attack import DeobfuscationAttack
+    from repro.core import PlanarLaplaceMechanism, default_rng
+    from repro.datagen import make_fig4_user, one_time_obfuscate
+    from repro.datagen.shanghai import STUDY_START_TS
+    from repro.profiles import SECONDS_PER_DAY, filter_window
+
+    user = make_fig4_user()
+    mechanism = PlanarLaplaceMechanism.from_level(
+        _LEVELS[args.level], 200.0, rng=default_rng(args.seed)
+    )
+    observed = one_time_obfuscate(user.trace, mechanism)
+    attack = DeobfuscationAttack.against(mechanism)
+    print(f"victim: {len(observed)} check-ins, level {args.level} at 200 m")
+    for label, days in (("one week", 7), ("one month", 30), ("full year", 365)):
+        window = filter_window(
+            observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
+        )
+        guess = attack.infer_top1(window)
+        err = guess.distance_to(user.true_tops[0]) if guess else float("inf")
+        print(f"  {label:>9}: home recovered to {err:7.1f} m ({len(window)} obs)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core import NFoldGaussianMechanism, GeoIndBudget
+    from repro.core.verification import empirical_privacy_check, verify_gaussian_geo_ind
+
+    budget = GeoIndBudget(args.r, args.epsilon, args.delta, args.n)
+    mechanism = NFoldGaussianMechanism(budget)
+    print(f"budget: r={args.r} m, eps={args.epsilon}, delta={args.delta}, n={args.n}")
+    print(f"calibrated sigma (Theorem 2): {mechanism.sigma:.1f} m")
+    analytic = verify_gaussian_geo_ind(
+        args.r, args.epsilon, args.delta, args.n, mechanism.sigma
+    )
+    print(f"analytic check:  {'OK' if analytic else 'VIOLATED'}")
+    report = empirical_privacy_check(
+        args.r, args.epsilon, args.delta, args.n, mechanism.sigma,
+        samples=args.samples,
+    )
+    print(report)
+    return 0 if (analytic and report.satisfied) else 1
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "simulate": _cmd_simulate,
+    "attack": _cmd_attack,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Privacy core: geo-IND budgets, mechanisms, selection, accounting, verification."""
+
+from repro.core.accounting import (
+    LongitudinalExposureAccountant,
+    SigmaComparison,
+    composition_vs_sufficient_statistic,
+)
+from repro.core.baselines import NaivePostProcessingMechanism, PlainCompositionMechanism
+from repro.core.calibration import (
+    gaussian_sigma_composition,
+    gaussian_sigma_nfold,
+    gaussian_sigma_single,
+    sigma_for_budget,
+)
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import LPPM, default_rng
+from repro.core.params import GeoIndBudget, OneTimeBudget
+from repro.core.posterior import (
+    OutputSelector,
+    PosteriorSelector,
+    UniformSelector,
+    posterior_density,
+    posterior_weights,
+)
+from repro.core.sampling import (
+    planar_laplace_radial_cdf,
+    planar_laplace_radial_quantile,
+    rayleigh_cdf,
+    rayleigh_quantile,
+    sample_gaussian_noise,
+    sample_planar_laplace_noise,
+)
+from repro.core.verification import (
+    EmpiricalPrivacyReport,
+    empirical_privacy_check,
+    gaussian_delta,
+    verify_gaussian_geo_ind,
+)
+
+__all__ = [
+    "LPPM",
+    "default_rng",
+    "GeoIndBudget",
+    "OneTimeBudget",
+    "PlanarLaplaceMechanism",
+    "GaussianMechanism",
+    "NFoldGaussianMechanism",
+    "NaivePostProcessingMechanism",
+    "PlainCompositionMechanism",
+    "OutputSelector",
+    "PosteriorSelector",
+    "UniformSelector",
+    "posterior_density",
+    "posterior_weights",
+    "gaussian_sigma_single",
+    "gaussian_sigma_nfold",
+    "gaussian_sigma_composition",
+    "sigma_for_budget",
+    "LongitudinalExposureAccountant",
+    "SigmaComparison",
+    "composition_vs_sufficient_statistic",
+    "gaussian_delta",
+    "verify_gaussian_geo_ind",
+    "empirical_privacy_check",
+    "EmpiricalPrivacyReport",
+    "rayleigh_cdf",
+    "rayleigh_quantile",
+    "planar_laplace_radial_cdf",
+    "planar_laplace_radial_quantile",
+    "sample_gaussian_noise",
+    "sample_planar_laplace_noise",
+]
+
+from repro.core.discretization import (
+    TruncatedDiscreteLaplaceMechanism,
+    discretization_adjusted_epsilon,
+    snap_to_grid,
+)
+from repro.core.ledger import BudgetExceededError, LedgerEntry, PrivacyLedger
+from repro.core.remap import (
+    BayesianRemap,
+    LocationPrior,
+    gaussian_noise_loglik,
+    geometric_median,
+    planar_laplace_noise_loglik,
+)
+
+__all__ += [
+    "TruncatedDiscreteLaplaceMechanism",
+    "discretization_adjusted_epsilon",
+    "snap_to_grid",
+    "PrivacyLedger",
+    "LedgerEntry",
+    "BudgetExceededError",
+    "BayesianRemap",
+    "LocationPrior",
+    "geometric_median",
+    "gaussian_noise_loglik",
+    "planar_laplace_noise_loglik",
+]

@@ -1,0 +1,74 @@
+"""Noise-scale calibration for the Gaussian geo-IND mechanisms.
+
+Implements the paper's two calibration results:
+
+* Lemma 1 — the 1-fold Gaussian mechanism satisfies (r, eps, delta, 1)-
+  geo-IND with ``sigma = (r / eps) * sqrt(ln(1 / delta^2) + eps)``.
+* Theorem 2 — the n-fold Gaussian mechanism satisfies (r, eps, delta, n)-
+  geo-IND with ``sigma = (sqrt(n) * r / eps) * sqrt(ln(1 / delta^2) + eps)``,
+  because the sample mean of the n outputs (a sufficient statistic for the
+  true location) is distributed ``N(p, sigma^2 / n)`` and only the mean's
+  release needs to satisfy the 1-fold bound.
+
+The module also exposes the sigma the *plain composition* baseline must
+use, so the advantage of the sufficient-statistic analysis can be measured
+directly (the composition sigma grows ~linearly in n, the paper's ~sqrt(n)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import GeoIndBudget
+
+__all__ = [
+    "gaussian_sigma_single",
+    "gaussian_sigma_nfold",
+    "gaussian_sigma_composition",
+    "sigma_for_budget",
+]
+
+
+def gaussian_sigma_single(r: float, epsilon: float, delta: float) -> float:
+    """Lemma 1 noise scale for one Gaussian-perturbed output."""
+    _validate(r, epsilon, delta)
+    return (r / epsilon) * math.sqrt(math.log(1.0 / (delta * delta)) + epsilon)
+
+
+def gaussian_sigma_nfold(r: float, epsilon: float, delta: float, n: int) -> float:
+    """Theorem 2 noise scale for releasing ``n`` outputs at once.
+
+    Exactly ``sqrt(n)`` times the single-output scale: the mean of the n
+    outputs carries all the information about the true location, and its
+    standard deviation is ``sigma / sqrt(n)``, which must match Lemma 1.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return math.sqrt(n) * gaussian_sigma_single(r, epsilon, delta)
+
+
+def gaussian_sigma_composition(r: float, epsilon: float, delta: float, n: int) -> float:
+    """Per-output noise scale of the plain-composition baseline.
+
+    Each of the ``n`` outputs independently satisfies
+    ``(r, eps/n, delta/n, 1)``-geo-IND, so the whole set satisfies
+    ``(r, eps, delta, n)`` by the composition theorem — at the cost of a
+    noise scale that grows roughly linearly in ``n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return gaussian_sigma_single(r, epsilon / n, delta / n)
+
+
+def sigma_for_budget(budget: GeoIndBudget) -> float:
+    """Theorem 2 sigma for a full :class:`GeoIndBudget` (n-fold)."""
+    return gaussian_sigma_nfold(budget.r, budget.epsilon, budget.delta, budget.n)
+
+
+def _validate(r: float, epsilon: float, delta: float) -> None:
+    if r <= 0:
+        raise ValueError(f"r must be positive, got {r}")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")

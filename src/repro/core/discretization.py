@@ -1,0 +1,132 @@
+"""Discretized and truncated planar Laplace (Andres et al. 2013, Sec. 4.3).
+
+Real deployments do not report arbitrary-precision coordinates: outputs
+are snapped to a finite grid (GPS precision, protocol encoding) and
+clamped to the service region.  Truncation (clamping) is a deterministic
+post-processing step and costs nothing; discretization, however, *does*
+erode pure geo-IND, because two nearby true locations can round to grids
+differently.  Following the original geo-IND paper, the continuous
+mechanism must therefore be run with a slightly stronger budget
+``epsilon'`` such that the discretized release still satisfies the nominal
+``epsilon``:
+
+    epsilon' = epsilon - 2 * epsilon * (step / sqrt(2)) * correction
+
+We use the paper's conservative closed form via the inverse relation
+``epsilon' = epsilon / (1 + epsilon * step * sqrt(2))`` which guarantees
+``epsilon'-geo-IND of the continuous release + rounding to a step grid``
+implies ``epsilon``-geo-IND of the released value for all pairs at
+distance >= step (documented approximation; the exact constant in the
+original paper depends on the rounding norm).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import LPPM
+from repro.core.params import OneTimeBudget
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+__all__ = [
+    "snap_to_grid",
+    "discretization_adjusted_epsilon",
+    "TruncatedDiscreteLaplaceMechanism",
+]
+
+
+def snap_to_grid(point: Point, step: float) -> Point:
+    """Round a point to the nearest vertex of a ``step``-metre grid."""
+    if step <= 0:
+        raise ValueError(f"grid step must be positive, got {step}")
+    return Point(round(point.x / step) * step, round(point.y / step) * step)
+
+
+def discretization_adjusted_epsilon(epsilon: float, step: float) -> float:
+    """The stronger continuous budget that absorbs grid-rounding leakage.
+
+    Rounding moves any output by at most ``step / sqrt(2)`` (half the grid
+    diagonal), which can transfer up to ``2 * (step/sqrt(2))`` of distance
+    advantage between two hypotheses.  Running the continuous mechanism at
+    ``epsilon' = epsilon / (1 + sqrt(2) * epsilon * step)`` keeps the
+    released (rounded) value ``epsilon``-geo-IND.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if step <= 0:
+        raise ValueError("step must be positive")
+    return epsilon / (1.0 + math.sqrt(2.0) * epsilon * step)
+
+
+class TruncatedDiscreteLaplaceMechanism(LPPM):
+    """Planar Laplace + grid snapping + region clamping.
+
+    The deployable variant of the one-time geo-IND mechanism: outputs are
+    vertices of a ``grid_step`` grid, guaranteed inside ``region`` when
+    one is given.  The internal continuous mechanism runs at the adjusted
+    (stronger) epsilon so the *released* value meets the nominal budget.
+    """
+
+    name = "planar-laplace-discrete"
+
+    def __init__(
+        self,
+        budget: OneTimeBudget,
+        grid_step: float,
+        region: Optional[BoundingBox] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(rng)
+        if grid_step <= 0:
+            raise ValueError(f"grid step must be positive, got {grid_step}")
+        self.nominal_budget = budget
+        self.grid_step = grid_step
+        self.region = region
+        adjusted = discretization_adjusted_epsilon(budget.epsilon, grid_step)
+        self._continuous = PlanarLaplaceMechanism(
+            OneTimeBudget(adjusted), rng=self.rng
+        )
+
+    @property
+    def adjusted_epsilon(self) -> float:
+        """The strengthened epsilon the continuous stage actually runs at."""
+        return self._continuous.epsilon
+
+    @property
+    def n_outputs(self) -> int:
+        return 1
+
+    def obfuscate(self, location: Point) -> List[Point]:
+        """Perturb, snap to the grid, and clamp into the region."""
+        raw = self._continuous.obfuscate(location)[0]
+        snapped = snap_to_grid(raw, self.grid_step)
+        if self.region is not None:
+            snapped = snap_to_grid(self.region.clamp(snapped), self.grid_step)
+            # Clamping may land on a non-grid boundary; snap the clamp back
+            # inward so the output is both in-region and on-grid.
+            if not self.region.contains(snapped):
+                snapped = Point(
+                    math.floor(self.region.clamp(raw).x / self.grid_step)
+                    * self.grid_step,
+                    math.floor(self.region.clamp(raw).y / self.grid_step)
+                    * self.grid_step,
+                )
+        return [snapped]
+
+    def obfuscate_batch(self, locations: np.ndarray) -> np.ndarray:
+        """Vectorised variant used by the attack experiments."""
+        noisy = self._continuous.obfuscate_batch(locations)
+        snapped = np.round(noisy / self.grid_step) * self.grid_step
+        if self.region is not None:
+            snapped[:, 0] = np.clip(snapped[:, 0], self.region.min_x, self.region.max_x)
+            snapped[:, 1] = np.clip(snapped[:, 1], self.region.min_y, self.region.max_y)
+        return snapped
+
+    def noise_tail_radius(self, alpha: float) -> float:
+        """Continuous tail plus the worst-case rounding displacement."""
+        return self._continuous.noise_tail_radius(alpha) + self.grid_step / math.sqrt(2.0)

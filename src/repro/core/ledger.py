@@ -1,0 +1,116 @@
+"""Per-user privacy budget ledger for the edge's obfuscation module.
+
+A user's eta-frequent location set changes over time (new home, new job).
+Every *new* top location the edge pins consumes one (r, eps, delta, n)
+release, and those releases compose: the total exposure after pinning k
+distinct locations is (k*eps, k*delta) by basic composition (each pinned
+set is about a different secret location, but a cautious deployment
+budgets them jointly).  The ledger makes that spend explicit and lets a
+deployment cap it — once the cap is reached, further pinning is refused
+and the edge must fall back to coarser protection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.params import GeoIndBudget
+
+__all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyLedger"]
+
+
+class BudgetExceededError(RuntimeError):
+    """Raised when a spend would push the ledger past its cap."""
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded budget spend."""
+
+    budget: GeoIndBudget
+    label: str
+    timestamp: float
+
+
+@dataclass
+class PrivacyLedger:
+    """Tracks cumulative (eps, delta) spend under basic composition.
+
+    Args:
+        max_epsilon: optional cap on total epsilon; ``spend`` raises
+            :class:`BudgetExceededError` beyond it.
+        max_delta: optional cap on total delta.
+    """
+
+    max_epsilon: Optional[float] = None
+    max_delta: Optional[float] = None
+    entries: List[LedgerEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_epsilon is not None and self.max_epsilon <= 0:
+            raise ValueError("max_epsilon must be positive when set")
+        if self.max_delta is not None and not 0 < self.max_delta < 1:
+            raise ValueError("max_delta must be in (0, 1) when set")
+
+    @property
+    def total_epsilon(self) -> float:
+        return sum(e.budget.epsilon for e in self.entries)
+
+    @property
+    def total_delta(self) -> float:
+        return sum(e.budget.delta for e in self.entries)
+
+    @property
+    def spends(self) -> int:
+        return len(self.entries)
+
+    def can_spend(self, budget: GeoIndBudget) -> bool:
+        """Would this spend stay within both caps?"""
+        if self.max_epsilon is not None:
+            if self.total_epsilon + budget.epsilon > self.max_epsilon + 1e-12:
+                return False
+        if self.max_delta is not None:
+            if self.total_delta + budget.delta > self.max_delta + 1e-15:
+                return False
+        return True
+
+    def spend(
+        self, budget: GeoIndBudget, label: str = "", timestamp: float = 0.0
+    ) -> LedgerEntry:
+        """Record a spend, raising if it would exceed a cap."""
+        if not self.can_spend(budget):
+            raise BudgetExceededError(
+                f"spend of eps={budget.epsilon}, delta={budget.delta} would "
+                f"exceed the cap (spent eps={self.total_epsilon:.4g}/"
+                f"{self.max_epsilon}, delta={self.total_delta:.3g}/"
+                f"{self.max_delta})"
+            )
+        entry = LedgerEntry(budget=budget, label=label, timestamp=timestamp)
+        self.entries.append(entry)
+        return entry
+
+    def remaining_epsilon(self) -> float:
+        """Epsilon headroom (infinite when uncapped)."""
+        if self.max_epsilon is None:
+            return float("inf")
+        return max(0.0, self.max_epsilon - self.total_epsilon)
+
+    def remaining_spends(self, budget: GeoIndBudget) -> int:
+        """How many more identical spends fit under the caps."""
+        import math
+
+        candidates = []
+        if self.max_epsilon is not None:
+            candidates.append(
+                math.floor(
+                    (self.max_epsilon - self.total_epsilon) / budget.epsilon + 1e-9
+                )
+            )
+        if self.max_delta is not None:
+            candidates.append(
+                math.floor((self.max_delta - self.total_delta) / budget.delta + 1e-9)
+            )
+        if not candidates:
+            return 2**31 - 1
+        return max(0, min(candidates))

@@ -1,0 +1,82 @@
+"""The location privacy-preserving mechanism (LPPM) interface.
+
+Every mechanism in this library maps one true location to a *set* of
+obfuscated output locations (a set of size one for the classic one-shot
+mechanisms).  The interface also exposes the tail quantile of the noise
+radius, which both the utility analysis and the *attacker* use: the
+de-obfuscation attack's trimming radius ``r_alpha`` (paper Eq. 4) is the
+radius beyond which an obfuscated check-in is implausible at confidence
+``alpha``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.point import Point
+
+__all__ = ["LPPM", "default_rng"]
+
+
+def default_rng(seed: Optional[int] = None) -> np.random.Generator:
+    """The library-wide RNG constructor (PCG64 via numpy's default)."""
+    return np.random.default_rng(seed)
+
+
+class LPPM(abc.ABC):
+    """Abstract base for location privacy-preserving mechanisms.
+
+    Subclasses implement :meth:`obfuscate`, producing ``self.n_outputs``
+    obfuscated locations for one true location, and
+    :meth:`noise_tail_radius`, the radius such that a single output falls
+    farther than it from the true location with probability at most
+    ``alpha``.
+    """
+
+    #: Human-readable mechanism name used in reports and benchmarks.
+    name: str = "lppm"
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = rng if rng is not None else default_rng()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def reseed(self, seed: int) -> None:
+        """Replace the mechanism's RNG (for reproducible experiments)."""
+        self._rng = default_rng(seed)
+
+    @property
+    @abc.abstractmethod
+    def n_outputs(self) -> int:
+        """How many obfuscated locations one call to obfuscate() returns."""
+
+    @abc.abstractmethod
+    def obfuscate(self, location: Point) -> List[Point]:
+        """Produce the mechanism's obfuscated output set for one location."""
+
+    @abc.abstractmethod
+    def noise_tail_radius(self, alpha: float) -> float:
+        """Radius r_alpha with ``Pr[dist(output, truth) > r_alpha] <= alpha``."""
+
+    def obfuscate_one(self, location: Point) -> Point:
+        """Convenience: obfuscate and return a single output.
+
+        Only valid for single-output mechanisms; multi-output mechanisms
+        must go through an output-selection policy instead.
+        """
+        outputs = self.obfuscate(location)
+        if len(outputs) != 1:
+            raise ValueError(
+                f"{self.name} returns {len(outputs)} outputs; use an output "
+                "selection policy rather than obfuscate_one()"
+            )
+        return outputs[0]
+
+    def obfuscate_stream(self, locations: Sequence[Point]) -> List[List[Point]]:
+        """Obfuscate each location in a stream independently."""
+        return [self.obfuscate(p) for p in locations]

@@ -1,0 +1,84 @@
+"""Privacy-budget parameter objects.
+
+Two budget flavours appear in the paper:
+
+* **One-time geo-IND** (Definition 1): a pure ``epsilon`` per unit distance,
+  usually written as a privacy level ``l`` at a radius ``r`` so that
+  ``epsilon = l / r`` (per metre).  Used by the planar Laplace mechanism
+  that the longitudinal attack defeats.
+* **(r, eps, delta, n)-geo-IND** (Definition 3): a bounded guarantee over a
+  *set* of ``n`` simultaneous outputs for any pair of ``r``-neighbouring
+  true locations.  Used by the n-fold Gaussian mechanism and the baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["OneTimeBudget", "GeoIndBudget"]
+
+
+@dataclass(frozen=True)
+class OneTimeBudget:
+    """Pure geo-IND budget: ``epsilon`` is per metre (``l / r``)."""
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0 and math.isfinite(self.epsilon)):
+            raise ValueError(f"epsilon must be positive and finite, got {self.epsilon}")
+
+    @classmethod
+    def from_level(cls, level: float, radius_m: float) -> "OneTimeBudget":
+        """Build from the paper's ``(l, r)`` convention: ``epsilon = l / r``.
+
+        For example the paper uses ``l = ln(2)`` at ``r = 200`` m, i.e. a
+        ``(ln(2)/200) m^-1`` geo-IND guarantee.
+        """
+        if level <= 0:
+            raise ValueError(f"privacy level must be positive, got {level}")
+        if radius_m <= 0:
+            raise ValueError(f"radius must be positive, got {radius_m}")
+        return cls(epsilon=level / radius_m)
+
+
+@dataclass(frozen=True)
+class GeoIndBudget:
+    """A ``(r, epsilon, delta, n)``-geo-IND budget (Definition 3).
+
+    Attributes:
+        r: the indistinguishability radius in metres — any two true
+            locations closer than ``r`` must be near-indistinguishable.
+        epsilon: the privacy-loss bound over the whole output set.
+        delta: the slack probability of the bounded guarantee.
+        n: how many obfuscated locations are released simultaneously.
+    """
+
+    r: float
+    epsilon: float
+    delta: float
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.r <= 0 or not math.isfinite(self.r):
+            raise ValueError(f"r must be positive and finite, got {self.r}")
+        if self.epsilon <= 0 or not math.isfinite(self.epsilon):
+            raise ValueError(f"epsilon must be positive and finite, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.n < 1 or not isinstance(self.n, int):
+            raise ValueError(f"n must be a positive integer, got {self.n}")
+
+    def with_n(self, n: int) -> "GeoIndBudget":
+        """The same (r, epsilon, delta) budget at a different fold count."""
+        return GeoIndBudget(self.r, self.epsilon, self.delta, n)
+
+    def split_for_composition(self) -> "GeoIndBudget":
+        """The per-output budget under the plain composition theorem.
+
+        Composing ``n`` independent ``(r, eps/n, delta/n, 1)`` releases
+        yields ``(r, eps, delta, n)`` in total — the paper's second
+        baseline spends its budget this way.
+        """
+        return GeoIndBudget(self.r, self.epsilon / self.n, self.delta / self.n, 1)

@@ -1,0 +1,88 @@
+"""Trace obfuscation helpers: what the ad network actually observes.
+
+Bridges the data generators and the mechanisms: given a raw trace and an
+LPPM, produce the obfuscated observation stream the longitudinal attacker
+sees.
+
+* :func:`one_time_obfuscate` — independent per-check-in perturbation, the
+  deployment style of the one-time geo-IND schemes the paper attacks.
+* :func:`permanent_obfuscate` — the Edge-PrivLocAd deployment: top
+  locations get pinned n-fold candidate sets (reported via an output
+  selector), and the per-check-in mechanism is only used for nomadic
+  check-ins.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mechanism import LPPM
+from repro.core.posterior import OutputSelector
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn, checkins_to_array
+
+__all__ = ["one_time_obfuscate", "permanent_obfuscate"]
+
+
+def one_time_obfuscate(
+    trace: Sequence[CheckIn], mechanism: LPPM
+) -> List[CheckIn]:
+    """Perturb every check-in independently (one-time geo-IND deployment)."""
+    if mechanism.n_outputs != 1:
+        raise ValueError(
+            "one-time deployment requires a single-output mechanism, "
+            f"got {mechanism.name} with n={mechanism.n_outputs}"
+        )
+    # Fast path for mechanisms exposing a vectorised batch API.
+    batch = getattr(mechanism, "obfuscate_batch", None)
+    if batch is not None and trace:
+        coords = checkins_to_array(trace)
+        noisy = batch(coords)
+        return [
+            CheckIn(c.timestamp, Point(float(x), float(y)))
+            for c, (x, y) in zip(trace, noisy)
+        ]
+    return [
+        CheckIn(c.timestamp, mechanism.obfuscate(c.point)[0]) for c in trace
+    ]
+
+
+def permanent_obfuscate(
+    trace: Sequence[CheckIn],
+    top_locations: Sequence[Point],
+    mechanism: LPPM,
+    selector: OutputSelector,
+    match_radius: float = 100.0,
+    nomadic_mechanism: Optional[LPPM] = None,
+) -> List[CheckIn]:
+    """The Edge-PrivLocAd reporting stream.
+
+    Each top location in ``top_locations`` is obfuscated *once* into a
+    pinned candidate set by ``mechanism`` (the n-fold Gaussian); every
+    check-in within ``match_radius`` of a top location is then reported as
+    a candidate drawn by ``selector``.  Check-ins matching no top location
+    are nomadic and go through ``nomadic_mechanism`` (defaults to
+    ``mechanism`` itself, taking the selector over a fresh candidate set).
+    """
+    if match_radius <= 0:
+        raise ValueError("match radius must be positive")
+    candidate_sets = [mechanism.obfuscate(p) for p in top_locations]
+    out: List[CheckIn] = []
+    for checkin in trace:
+        matched = None
+        best = match_radius
+        for tops_idx, top in enumerate(top_locations):
+            d = checkin.point.distance_to(top)
+            if d <= best:
+                matched = tops_idx
+                best = d
+        if matched is not None:
+            reported = selector.select(candidate_sets[matched])
+        elif nomadic_mechanism is not None:
+            reported = nomadic_mechanism.obfuscate(checkin.point)[0]
+        else:
+            reported = selector.select(mechanism.obfuscate(checkin.point))
+        out.append(CheckIn(checkin.timestamp, reported))
+    return out

@@ -1,0 +1,186 @@
+"""Population generator calibrated to the paper's dataset statistics.
+
+The paper's (proprietary) dataset has 37,262 Shanghai users observed over
+two years, contributing between 20 and 11,435 check-ins each (~1k on
+average), with strongly routine-driven mobility: 88.8 % of users have
+location entropy below 2, and entropy declines as the number of check-ins
+grows (Figure 3).  This module synthesises a population with the same
+aggregate structure:
+
+* per-user check-in counts follow a clipped log-normal with the paper's
+  bounds and a ~1k mean;
+* each user has 1-4 top locations whose routine share grows with how
+  active the user is (heavy reporters are commuters whose traffic is
+  dominated by home/work);
+* the remaining check-ins are nomadic one-offs around the user's home.
+
+The calibration test suite checks the generated population against the
+paper's published statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.mobility import MobilityModel, TopLocation
+from repro.datagen.shanghai import STUDY_DAYS, STUDY_START_TS, shanghai_planar_bbox
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+__all__ = ["PopulationConfig", "SyntheticUser", "generate_population", "iter_population"]
+
+#: The paper's per-user check-in bounds.
+PAPER_MIN_CHECKINS = 20
+PAPER_MAX_CHECKINS = 11_435
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the synthetic population.
+
+    Defaults reproduce the paper's aggregate statistics at a laptop-friendly
+    scale; set ``n_users=37_262`` for full paper scale.
+    """
+
+    n_users: int = 2_000
+    seed: int = 20220522
+    start_ts: float = STUDY_START_TS
+    days: float = STUDY_DAYS
+    min_checkins: int = PAPER_MIN_CHECKINS
+    max_checkins: int = PAPER_MAX_CHECKINS
+    #: Log-normal parameters of the check-in count (mean ~= 1k with a heavy
+    #: tail reaching the paper's 11,435 cap).
+    count_log_mean: float = math.log(450.0)
+    count_log_sigma: float = 1.15
+    #: Nomadic share at the minimum check-in count and its power-law decay
+    #: with activity (more active users are more routine-bound, which
+    #: produces Figure 3's declining entropy trend): a user with ``n``
+    #: check-ins gets ``base * (n / min_checkins) ** -decay`` nomadic share
+    #: before log-normal per-user noise.
+    nomadic_base: float = 0.5
+    nomadic_decay: float = 0.47
+    nomadic_min: float = 0.01
+    nomadic_max: float = 0.5
+    gps_noise_m: float = 15.0
+    region_margin_m: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {self.n_users}")
+        if self.min_checkins < 1 or self.max_checkins < self.min_checkins:
+            raise ValueError("invalid check-in bounds")
+        if self.days <= 0:
+            raise ValueError("days must be positive")
+
+
+@dataclass
+class SyntheticUser:
+    """A generated user: ground truth plus the raw (unperturbed) trace."""
+
+    user_id: str
+    model: MobilityModel
+    trace: List[CheckIn]
+
+    @property
+    def true_tops(self) -> List[Point]:
+        """Ground-truth top locations, most frequent first."""
+        return self.model.true_top_points
+
+    @property
+    def n_checkins(self) -> int:
+        return len(self.trace)
+
+
+def _draw_count(config: PopulationConfig, rng: np.random.Generator) -> int:
+    raw = rng.lognormal(config.count_log_mean, config.count_log_sigma)
+    return int(np.clip(raw, config.min_checkins, config.max_checkins))
+
+
+def _draw_anchor_points(
+    home_region: BoundingBox, n_tops: int, rng: np.random.Generator
+) -> List[Tuple[Point, str]]:
+    """Home uniformly in the (margined) region; other anchors in rings around it."""
+    hx = rng.uniform(home_region.min_x, home_region.max_x)
+    hy = rng.uniform(home_region.min_y, home_region.max_y)
+    anchors: List[Tuple[Point, str]] = [(Point(float(hx), float(hy)), "home")]
+    ring_bounds = [(2_000.0, 15_000.0), (500.0, 5_000.0), (500.0, 5_000.0)]
+    kinds = ["work", "other", "other"]
+    for j in range(n_tops - 1):
+        lo, hi = ring_bounds[j]
+        radius = rng.uniform(lo, hi)
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        anchors.append(
+            (
+                Point(float(hx + radius * math.cos(theta)), float(hy + radius * math.sin(theta))),
+                kinds[j],
+            )
+        )
+    return anchors
+
+
+def _draw_weights(n_tops: int, activity: float, rng: np.random.Generator) -> np.ndarray:
+    """Routine-share split across top locations, top-1 dominant.
+
+    ``activity`` in [0, 1] scales how much the top-1 location dominates:
+    heavy reporters are strongly home-anchored.
+    """
+    top1 = rng.uniform(0.5, 0.65) + 0.25 * activity
+    top1 = min(top1, 0.9)
+    if n_tops == 1:
+        return np.array([1.0])
+    rest = rng.dirichlet(np.linspace(2.0, 1.0, n_tops - 1)) * (1.0 - top1)
+    weights = np.concatenate([[top1], np.sort(rest)[::-1]])
+    return weights / weights.sum()
+
+
+def _build_user(
+    idx: int, config: PopulationConfig, rng: np.random.Generator
+) -> Tuple[MobilityModel, int]:
+    region = shanghai_planar_bbox()
+    home_region = region.expand(-config.region_margin_m)
+    n_checkins = _draw_count(config, rng)
+    # Activity score in [0, 1] on a log scale between the count bounds.
+    activity = math.log(n_checkins / config.min_checkins) / math.log(
+        config.max_checkins / config.min_checkins
+    )
+    n_tops = int(rng.choice([1, 2, 3, 4], p=[0.15, 0.5, 0.25, 0.1]))
+    anchors = _draw_anchor_points(home_region, n_tops, rng)
+    weights = _draw_weights(n_tops, activity, rng)
+    tops = [
+        TopLocation(point=p, weight=float(w), kind=kind)
+        for (p, kind), w in zip(anchors, weights)
+    ]
+    nomadic = config.nomadic_base * (
+        n_checkins / config.min_checkins
+    ) ** (-config.nomadic_decay)
+    nomadic *= float(rng.lognormal(0.0, 0.35))
+    nomadic = float(np.clip(nomadic, config.nomadic_min, config.nomadic_max))
+    model = MobilityModel(
+        user_id=f"user-{idx:06d}",
+        top_locations=tops,
+        nomadic_fraction=nomadic,
+        gps_noise_m=config.gps_noise_m,
+        region=region,
+    )
+    return model, n_checkins
+
+
+def iter_population(config: PopulationConfig) -> Iterator[SyntheticUser]:
+    """Stream users one at a time (constant memory for very large populations)."""
+    rng = np.random.default_rng(config.seed)
+    for idx in range(config.n_users):
+        model, n_checkins = _build_user(idx, config, rng)
+        trace = model.generate(n_checkins, config.start_ts, config.days, rng)
+        yield SyntheticUser(user_id=model.user_id, model=model, trace=trace)
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> List[SyntheticUser]:
+    """Materialise the whole population (fine up to a few thousand users)."""
+    if config is None:
+        config = PopulationConfig()
+    return list(iter_population(config))

@@ -1,0 +1,50 @@
+"""The paper's Shanghai study region and its planar projection.
+
+The dataset in the paper covers latitude [30.7, 31.4] and longitude
+[121, 122] — roughly a 78 km x 95 km box.  All synthetic traces are
+generated inside this box (projected onto the local tangent plane at its
+centre) so that distances, radii, and densities are comparable to the
+paper's setting.
+"""
+
+from __future__ import annotations
+
+from repro.geo.bbox import BoundingBox, GeoBoundingBox
+from repro.geo.projection import GeoPoint, LocalProjection
+
+__all__ = [
+    "SHANGHAI_GEO_BBOX",
+    "SHANGHAI_PROJECTION",
+    "shanghai_planar_bbox",
+    "STUDY_START_TS",
+    "STUDY_END_TS",
+    "STUDY_DAYS",
+]
+
+#: The paper's dataset bounding box (Section VII-A).
+SHANGHAI_GEO_BBOX = GeoBoundingBox(
+    min_lat=30.7, min_lon=121.0, max_lat=31.4, max_lon=122.0
+)
+
+#: Shared projection centred on the study region.
+SHANGHAI_PROJECTION = LocalProjection(SHANGHAI_GEO_BBOX.center)
+
+#: Dataset time span: 2019-06-01T00:00:00Z .. 2021-05-31T24:00:00Z.
+STUDY_START_TS = 1_559_347_200.0
+STUDY_END_TS = 1_622_505_600.0
+STUDY_DAYS = (STUDY_END_TS - STUDY_START_TS) / 86_400.0
+
+
+def shanghai_planar_bbox() -> BoundingBox:
+    """The study region projected to planar metres around its centre."""
+    corners = [
+        GeoPoint(SHANGHAI_GEO_BBOX.min_lat, SHANGHAI_GEO_BBOX.min_lon),
+        GeoPoint(SHANGHAI_GEO_BBOX.max_lat, SHANGHAI_GEO_BBOX.max_lon),
+    ]
+    pts = [SHANGHAI_PROJECTION.to_plane(c) for c in corners]
+    return BoundingBox(
+        min_x=min(p.x for p in pts),
+        min_y=min(p.y for p in pts),
+        max_x=max(p.x for p in pts),
+        max_y=max(p.y for p in pts),
+    )

@@ -1,0 +1,55 @@
+"""The Edge-PrivLocAd system: clients, edge devices, provider, orchestration."""
+
+from repro.edge.client import ClientStats, MobileClient
+from repro.edge.clock import SimulationClock
+from repro.edge.device import EdgeConfig, EdgeDevice, EdgeServeResult
+from repro.edge.location_management import DEFAULT_ETA, LocationManagementModule
+from repro.edge.obfuscation import ObfuscationModule, ObfuscationTable
+from repro.edge.output_selection import OutputSelectionModule
+from repro.edge.provider import AttackFinding, HonestButCuriousProvider
+from repro.edge.system import (
+    EdgePrivLocAdSystem,
+    SystemConfig,
+    SystemReport,
+    seed_campaigns,
+)
+
+__all__ = [
+    "EdgeConfig",
+    "EdgeDevice",
+    "EdgeServeResult",
+    "LocationManagementModule",
+    "DEFAULT_ETA",
+    "ObfuscationModule",
+    "ObfuscationTable",
+    "OutputSelectionModule",
+    "MobileClient",
+    "ClientStats",
+    "HonestButCuriousProvider",
+    "AttackFinding",
+    "SimulationClock",
+    "EdgePrivLocAdSystem",
+    "SystemConfig",
+    "SystemReport",
+    "seed_campaigns",
+]
+
+from repro.edge.secure_merge import (
+    MODULUS,
+    GridSpec,
+    SecureProfileMerge,
+    reconstruct_histogram,
+    share_histogram,
+)
+
+__all__ += [
+    "GridSpec",
+    "SecureProfileMerge",
+    "share_histogram",
+    "reconstruct_histogram",
+    "MODULUS",
+]
+
+from repro.edge.risk import RiskAssessment, RiskAssessor, RiskLevel, self_attack_margin
+
+__all__ += ["RiskAssessor", "RiskAssessment", "RiskLevel", "self_attack_margin"]

@@ -1,0 +1,59 @@
+"""The mobile client: trace-driven ad-request trigger.
+
+A client replays a user's (true) check-in trace against its edge device —
+each check-in stands for an app session that fires an LBA request.  The
+client never talks to the ad network directly: the edge is its only
+upstream, which is the system's trust boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.edge.device import EdgeDevice, EdgeServeResult
+from repro.profiles.checkin import CheckIn
+
+__all__ = ["MobileClient", "ClientStats"]
+
+
+@dataclass
+class ClientStats:
+    """What the client observed across its session."""
+
+    requests: int = 0
+    ads_received: int = 0
+    top_path_requests: int = 0
+    nomadic_path_requests: int = 0
+
+    def update(self, result: EdgeServeResult) -> None:
+        """Fold one serve result into the running counters."""
+        self.requests += 1
+        self.ads_received += len(result.delivered_ads)
+        if result.path == "top":
+            self.top_path_requests += 1
+        else:
+            self.nomadic_path_requests += 1
+
+
+class MobileClient:
+    """One user's device, bound to an edge device."""
+
+    def __init__(self, user_id: str, edge: EdgeDevice):
+        self.user_id = user_id
+        self.edge = edge
+        self.stats = ClientStats()
+
+    def request_ad(self, checkin: CheckIn) -> EdgeServeResult:
+        """Fire one LBA request at the user's current true location."""
+        result = self.edge.handle_ad_request(
+            self.user_id, checkin.point, checkin.timestamp
+        )
+        self.stats.update(result)
+        return result
+
+    def replay(self, trace: Sequence[CheckIn]) -> List[EdgeServeResult]:
+        """Replay a whole trace chronologically, finalizing the profile."""
+        results = [self.request_ad(c) for c in sorted(trace)]
+        self.edge.finalize_user(self.user_id)
+        return results

@@ -1,0 +1,177 @@
+"""The edge device: trusted per-user privacy firewall (paper Section V).
+
+One edge device serves many nearby mobile users.  Per user it runs the
+three Edge-PrivLocAd modules — location management, obfuscation, output
+selection — and on every ad request it:
+
+1. records the true check-in into the user's profile (recomputing top
+   locations at window boundaries and pinning fresh obfuscations);
+2. picks the location to report: a pinned candidate when the user is at a
+   known top location (via posterior output selection), or a one-shot
+   perturbation for nomadic check-ins;
+3. forwards the request to the untrusted ad network; and
+4. filters the returned ads against the user's true area of interest
+   before delivery, saving device bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ads.bidding import Ad
+from repro.ads.delivery import DeliveryStats, filter_ads_to_aoi
+from repro.ads.network import AdNetwork
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.params import GeoIndBudget
+from repro.edge.location_management import DEFAULT_ETA, LocationManagementModule
+from repro.edge.obfuscation import ObfuscationModule
+from repro.edge.output_selection import OutputSelectionModule
+from repro.edge.risk import RiskAssessor
+from repro.geo.point import Point
+from repro.metrics.utilization import DEFAULT_TARGETING_RADIUS_M
+from repro.profiles.checkin import CheckIn
+from repro.profiles.profile import DEFAULT_CONNECT_RADIUS_M
+from repro.profiles.windows import DEFAULT_WINDOW_DAYS
+
+__all__ = ["EdgeConfig", "EdgeServeResult", "EdgeDevice"]
+
+
+@dataclass(frozen=True)
+class EdgeConfig:
+    """Configuration shared by every user of an edge device."""
+
+    budget: GeoIndBudget = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+    eta: float = DEFAULT_ETA
+    window_days: float = DEFAULT_WINDOW_DAYS
+    connect_radius: float = DEFAULT_CONNECT_RADIUS_M
+    #: A check-in within this distance of a current top location is served
+    #: from the pinned candidate set.
+    match_radius: float = 100.0
+    targeting_radius: float = DEFAULT_TARGETING_RADIUS_M
+    #: When set, the edge assesses each user's longitudinal risk at every
+    #: window rollover and pins permanent obfuscations only for users the
+    #: assessment flags (paper Section I: "assess the risk ... and adopt
+    #: the appropriate LPPM").  Low-risk users stay on the one-shot path.
+    adaptive: bool = False
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class EdgeServeResult:
+    """Everything the edge produced for one ad request."""
+
+    user_id: str
+    reported_location: Point
+    path: str  # "top" | "nomadic"
+    delivered_ads: tuple
+    delivery: DeliveryStats
+
+
+@dataclass
+class _UserState:
+    management: LocationManagementModule
+    obfuscation: ObfuscationModule
+    selection: OutputSelectionModule
+    #: Whether this user's top locations get the permanent treatment
+    #: (always True when the edge is not adaptive).
+    protect: bool = True
+
+
+class EdgeDevice:
+    """A trusted edge device multiplexing the three modules across users."""
+
+    def __init__(self, device_id: str, network: AdNetwork, config: EdgeConfig):
+        self.device_id = device_id
+        self.network = network
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        # Mechanisms are shared across users (stateless apart from the RNG);
+        # tables and profiles are per user.
+        self._nfold = NFoldGaussianMechanism(config.budget, rng=rng)
+        self._nomadic = GaussianMechanism(config.budget.with_n(1), rng=rng)
+        self._selector_rng = rng
+        self._assessor = RiskAssessor() if config.adaptive else None
+        self._users: Dict[str, _UserState] = {}
+        self.requests_served = 0
+
+    @property
+    def user_count(self) -> int:
+        return len(self._users)
+
+    @property
+    def nfold_sigma(self) -> float:
+        return self._nfold.sigma
+
+    def state_for(self, user_id: str) -> _UserState:
+        """The per-user module state, created on first contact."""
+        state = self._users.get(user_id)
+        if state is None:
+            state = _UserState(
+                management=LocationManagementModule(
+                    eta=self.config.eta,
+                    window_days=self.config.window_days,
+                    connect_radius=self.config.connect_radius,
+                ),
+                obfuscation=ObfuscationModule(
+                    self._nfold, match_radius=self.config.match_radius
+                ),
+                selection=OutputSelectionModule.posterior(
+                    self._nfold.posterior_sigma, rng=self._selector_rng
+                ),
+            )
+            self._users[user_id] = state
+        return state
+
+    def choose_report_location(
+        self, user_id: str, true_location: Point, timestamp: float
+    ) -> "tuple[Point, str]":
+        """Steps 1-2: record the check-in and pick the reported location."""
+        state = self.state_for(user_id)
+        new_tops = state.management.record(CheckIn(timestamp, true_location))
+        if new_tops:
+            self._maybe_pin(state, new_tops)
+        candidates = state.obfuscation.candidates_for(true_location)
+        if candidates is not None:
+            return state.selection.select(candidates), "top"
+        return self._nomadic.obfuscate(true_location)[0], "nomadic"
+
+    def _maybe_pin(self, state: _UserState, new_tops) -> None:
+        """Pin fresh tops, subject to the adaptive risk policy."""
+        if self._assessor is not None and state.management.profile is not None:
+            assessment = self._assessor.assess(state.management.profile)
+            state.protect = assessment.needs_permanent_obfuscation
+        if state.protect:
+            state.obfuscation.ensure_obfuscated(new_tops)
+
+    def handle_ad_request(
+        self, user_id: str, true_location: Point, timestamp: float
+    ) -> EdgeServeResult:
+        """The full serve path: report, bid, filter, deliver."""
+        reported, path = self.choose_report_location(
+            user_id, true_location, timestamp
+        )
+        request = self.network.new_request(user_id, reported, timestamp)
+        response = self.network.handle(request)
+        delivered, stats = filter_ads_to_aoi(
+            response.ads, true_location, self.config.targeting_radius
+        )
+        self.requests_served += 1
+        return EdgeServeResult(
+            user_id=user_id,
+            reported_location=reported,
+            path=path,
+            delivered_ads=tuple(delivered),
+            delivery=stats,
+        )
+
+    def finalize_user(self, user_id: str) -> None:
+        """Flush the user's trailing window (end of a trace replay)."""
+        state = self._users.get(user_id)
+        if state is None:
+            return
+        tops = state.management.flush()
+        if tops:
+            self._maybe_pin(state, tops)

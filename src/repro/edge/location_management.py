@@ -1,0 +1,89 @@
+"""The location management module (paper Section V-B).
+
+Collects a user's check-ins passively as LBA requests arrive, and at each
+time-window boundary recomputes the user's location profile and its
+eta-frequent location set — the top locations that the obfuscation module
+must (permanently) obfuscate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
+from repro.profiles.frequent import eta_frequent_set
+from repro.profiles.profile import DEFAULT_CONNECT_RADIUS_M, LocationProfile
+from repro.profiles.windows import DEFAULT_WINDOW_DAYS, WindowedProfileBuilder
+
+__all__ = ["LocationManagementModule", "DEFAULT_ETA"]
+
+#: Default frequent-set threshold: top locations covering 80 % of activity.
+DEFAULT_ETA = 0.8
+
+
+class LocationManagementModule:
+    """Per-user profile manager feeding the obfuscation module.
+
+    ``record`` ingests one check-in and returns the *new* top locations
+    when a window just closed (None otherwise).  The module keeps the
+    latest profile and top-location set queryable at any time.
+    """
+
+    def __init__(
+        self,
+        eta: float = DEFAULT_ETA,
+        window_days: float = DEFAULT_WINDOW_DAYS,
+        connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+    ):
+        if eta <= 0:
+            raise ValueError(f"eta must be positive, got {eta}")
+        self.eta = eta
+        self._builder = WindowedProfileBuilder(
+            window_seconds=window_days * SECONDS_PER_DAY,
+            connect_radius=connect_radius,
+        )
+        self._profile: Optional[LocationProfile] = None
+        self._top_locations: List[Point] = []
+        self.windows_closed = 0
+        #: Per-window top-location history, for drift inspection: how a
+        #: user's eta-frequent set evolved across recomputation windows.
+        self.top_history: List[List[Point]] = []
+
+    @property
+    def profile(self) -> Optional[LocationProfile]:
+        """The most recent per-window profile (None before the first window)."""
+        return self._profile
+
+    @property
+    def top_locations(self) -> List[Point]:
+        """The current eta-frequent location set."""
+        return list(self._top_locations)
+
+    def record(self, checkin: CheckIn) -> Optional[List[Point]]:
+        """Ingest a check-in; returns fresh top locations on window rollover."""
+        result = self._builder.add(checkin)
+        if result is None:
+            return None
+        return self._refresh(result.profile)
+
+    def flush(self) -> Optional[List[Point]]:
+        """Close the trailing partial window (end of a simulation run)."""
+        result = self._builder.flush()
+        if result is None:
+            return None
+        return self._refresh(result.profile)
+
+    def _refresh(self, profile: LocationProfile) -> List[Point]:
+        self.windows_closed += 1
+        self._profile = profile
+        self._top_locations = eta_frequent_set(profile, self.eta)
+        self.top_history.append(list(self._top_locations))
+        return list(self._top_locations)
+
+    def is_top_location(self, location: Point, match_radius: float) -> bool:
+        """Is ``location`` within ``match_radius`` of a current top location?"""
+        return any(
+            top.distance_to(location) <= match_radius for top in self._top_locations
+        )

@@ -1,0 +1,114 @@
+"""The location obfuscation module and its permanent obfuscation table.
+
+The module maintains the table ``T`` mapping every top location to its
+pinned set of obfuscated candidate locations (paper Section V-C).  The
+table is *permanent*: a top location is obfuscated exactly once, on first
+sight, and the same candidates are reused for every subsequent request —
+re-randomising would leak fresh noise draws to the longitudinal attacker
+and degrade the budget by composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ledger import PrivacyLedger
+from repro.core.mechanism import LPPM
+from repro.geo.point import Point
+
+__all__ = ["ObfuscationTable", "ObfuscationModule"]
+
+
+class ObfuscationTable:
+    """The permanent map from top locations to candidate output sets.
+
+    Lookups tolerate small drift in the recomputed top-location centroid:
+    a query location matches a stored entry when it lies within
+    ``match_radius`` of it, so a re-clustered centroid that moved a few
+    metres does not trigger a fresh (budget-spending) obfuscation.
+    """
+
+    def __init__(self, match_radius: float = 100.0):
+        if match_radius <= 0:
+            raise ValueError("match radius must be positive")
+        self.match_radius = match_radius
+        self._entries: List[Tuple[Point, List[Point]]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, location: Point) -> Optional[List[Point]]:
+        """The pinned candidates for ``location``, if already obfuscated."""
+        best: Optional[List[Point]] = None
+        best_dist = self.match_radius
+        for stored, candidates in self._entries:
+            d = stored.distance_to(location)
+            if d <= best_dist:
+                best = candidates
+                best_dist = d
+        return best
+
+    def pin(self, location: Point, candidates: Sequence[Point]) -> None:
+        """Permanently record the candidates for a new top location."""
+        if not candidates:
+            raise ValueError("cannot pin an empty candidate set")
+        if self.lookup(location) is not None:
+            raise ValueError(
+                f"location {location} already has pinned candidates; "
+                "permanent entries must never be replaced"
+            )
+        self._entries.append((location, list(candidates)))
+
+    @property
+    def entries(self) -> List[Tuple[Point, List[Point]]]:
+        return [(loc, list(cands)) for loc, cands in self._entries]
+
+
+class ObfuscationModule:
+    """Generates and pins candidate sets for top locations (Section V-C).
+
+    An optional :class:`~repro.core.ledger.PrivacyLedger` caps the total
+    budget the user may spend across profile changes: when the ledger
+    refuses a spend, the new top location is simply *not* pinned (the edge
+    keeps serving it through the nomadic path), and the skip is counted.
+    """
+
+    def __init__(
+        self,
+        mechanism: LPPM,
+        match_radius: float = 100.0,
+        ledger: Optional[PrivacyLedger] = None,
+    ):
+        self.mechanism = mechanism
+        self.table = ObfuscationTable(match_radius)
+        self.ledger = ledger
+        #: How many times the module actually spent budget (for tests and
+        #: the permanence ablation).
+        self.obfuscation_count = 0
+        #: Pins refused by the ledger cap.
+        self.skipped_by_ledger = 0
+
+    def ensure_obfuscated(self, top_locations: Sequence[Point]) -> None:
+        """Obfuscate any top location not yet in the table (Algorithm flow).
+
+        Called by the location management module after each time window's
+        eta-frequent set is recomputed.
+        """
+        for top in top_locations:
+            if self.table.lookup(top) is not None:
+                continue
+            if self.ledger is not None:
+                budget = getattr(self.mechanism, "budget", None)
+                if budget is not None and not self.ledger.can_spend(budget):
+                    self.skipped_by_ledger += 1
+                    continue
+                if budget is not None:
+                    self.ledger.spend(budget, label=f"pin@({top.x:.0f},{top.y:.0f})")
+            candidates = self.mechanism.obfuscate(top)
+            self.table.pin(top, candidates)
+            self.obfuscation_count += 1
+
+    def candidates_for(self, location: Point) -> Optional[List[Point]]:
+        """The pinned candidates covering ``location``, if it is a known top."""
+        return self.table.lookup(location)

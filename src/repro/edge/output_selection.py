@@ -1,0 +1,52 @@
+"""The output selection module (paper Section V-D).
+
+Per LBA request, draws the reported location from the pinned candidate set
+via the posterior-based sampler (Algorithm 4).  Selection is pure
+post-processing of the already-released candidates, so it costs no privacy
+budget no matter how many requests are served.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.posterior import OutputSelector, PosteriorSelector
+from repro.geo.point import Point
+
+__all__ = ["OutputSelectionModule"]
+
+
+class OutputSelectionModule:
+    """Wraps a selection policy and counts selections for the benches."""
+
+    def __init__(self, selector: OutputSelector):
+        self.selector = selector
+        self.selection_count = 0
+
+    @classmethod
+    def posterior(
+        cls, sigma: float, rng: Optional[np.random.Generator] = None
+    ) -> "OutputSelectionModule":
+        """The paper's default: posterior-weighted sampling at noise scale sigma."""
+        return cls(PosteriorSelector(sigma, rng=rng))
+
+    def select(self, candidates: Sequence[Point]) -> Point:
+        """Draw the location to report for one ad request."""
+        self.selection_count += 1
+        return self.selector.select(candidates)
+
+    def select_batch(self, candidates: Sequence[Point], size: int) -> List[Point]:
+        """Draw reported locations for ``size`` requests against one candidate set.
+
+        Used by the scalability bench (Table III), which serves thousands
+        of users per tick.
+        """
+        if size < 1:
+            raise ValueError("size must be positive")
+        cand = list(candidates)
+        probs = self.selector.probabilities(cand)
+        idx = self.selector.rng.choice(len(cand), size=size, p=probs)
+        self.selection_count += size
+        return [cand[int(i)] for i in idx]

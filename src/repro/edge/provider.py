@@ -1,0 +1,58 @@
+"""The honest-but-curious LBA service provider.
+
+Owns the ad network (it follows the serving protocol faithfully) but also
+mounts the longitudinal attack on its own bidding log — the paper's threat
+model.  Having the attacker inside the system object makes end-to-end
+privacy experiments one-liners: replay traces through the edge, then ask
+the provider what it could infer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.ads.network import AdNetwork
+from repro.attack.deobfuscation import DeobfuscationAttack, InferredLocation
+from repro.geo.point import Point
+
+__all__ = ["HonestButCuriousProvider", "AttackFinding"]
+
+
+@dataclass(frozen=True)
+class AttackFinding:
+    """The provider's inference result for one device."""
+
+    device_id: str
+    observations: int
+    inferred: tuple  # of InferredLocation
+
+
+class HonestButCuriousProvider:
+    """An ad network operator that also runs the longitudinal attack."""
+
+    def __init__(self, network: Optional[AdNetwork] = None):
+        self.network = network if network is not None else AdNetwork()
+
+    def attack_device(
+        self, device_id: str, attack: DeobfuscationAttack, top_n: int = 2
+    ) -> AttackFinding:
+        """Run the de-obfuscation attack on one device's logged traffic."""
+        observations = self.network.bid_log.observations_for(device_id)
+        inferred: List[InferredLocation] = []
+        if len(observations) > 0:
+            inferred = attack.infer_top_locations(observations, top_n)
+        return AttackFinding(
+            device_id=device_id,
+            observations=len(observations),
+            inferred=tuple(inferred),
+        )
+
+    def attack_all(
+        self, attack: DeobfuscationAttack, top_n: int = 2
+    ) -> Dict[str, AttackFinding]:
+        """Attack every device seen in the bidding log."""
+        return {
+            device_id: self.attack_device(device_id, attack, top_n)
+            for device_id in self.network.bid_log.devices()
+        }

@@ -1,0 +1,37 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments import (
+    ext_adaptive,
+    fig2_mobility,
+    fig3_entropy,
+    fig4_case_study,
+    fig6_attack,
+    fig7_mechanisms,
+    fig8_min_utilization,
+    fig9_efficacy,
+    table1_limits,
+    table2_obfuscation_time,
+    table3_selection_time,
+)
+from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
+from repro.experiments.tables import ExperimentReport, format_table
+
+__all__ = [
+    "ExperimentReport",
+    "ext_adaptive",
+    "ExperimentScale",
+    "format_table",
+    "SMALL",
+    "MEDIUM",
+    "FULL",
+    "fig2_mobility",
+    "fig3_entropy",
+    "fig4_case_study",
+    "fig6_attack",
+    "fig7_mechanisms",
+    "fig8_min_utilization",
+    "fig9_efficacy",
+    "table1_limits",
+    "table2_obfuscation_time",
+    "table3_selection_time",
+]

@@ -1,0 +1,135 @@
+"""Extension experiment: risk-adaptive LPPM selection at the edge.
+
+The paper's edge is supposed to "assess the risk of location privacy
+breaches ... and adopt the appropriate LPPM" (Section I).  This experiment
+quantifies that policy against the two static extremes:
+
+* **all one-time** — every user reports through per-check-in planar
+  Laplace noise (sharp reports, no longitudinal protection);
+* **adaptive** — the edge assesses each user's risk from their profile
+  and gives MEDIUM/HIGH-risk users the permanent n-fold treatment while
+  LOW-risk users keep one-time noise;
+* **all permanent** — every user gets the n-fold treatment.
+
+Reported per policy: longitudinal attack success (privacy) and the mean
+distance between true and reported locations (report utility).  The
+adaptive policy should track the permanent policy's privacy at a fraction
+of its utility cost, because the vulnerable users are exactly the
+routine-heavy ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.attack.success import UserAttackOutcome, evaluate_user, success_rate
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.core.posterior import PosteriorSelector
+from repro.datagen.obfuscate import one_time_obfuscate, permanent_obfuscate
+from repro.datagen.population import PopulationConfig, SyntheticUser, iter_population
+from repro.edge.risk import RiskAssessor
+from repro.experiments.config import SMALL, ExperimentScale
+from repro.experiments.tables import ExperimentReport
+from repro.profiles.checkin import CheckIn
+from repro.profiles.frequent import eta_frequent_set
+from repro.profiles.profile import LocationProfile
+
+__all__ = ["run", "POLICIES"]
+
+POLICIES = ("all one-time", "adaptive", "all permanent")
+
+_ONETIME_LEVEL = math.log(2)
+_DEFENSE_BUDGET = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+
+
+def _report_stream(
+    user: SyntheticUser, policy: str, assessor: RiskAssessor, seed: int
+) -> Tuple[List[CheckIn], bool]:
+    """The user's outgoing stream under a policy; returns (stream, permanent?)."""
+    profile = LocationProfile.from_checkins(user.trace)
+    rng = default_rng(seed)
+    if policy == "all one-time":
+        permanent = False
+    elif policy == "all permanent":
+        permanent = True
+    elif policy == "adaptive":
+        permanent = assessor.assess(profile).needs_permanent_obfuscation
+    else:
+        raise ValueError(f"unknown policy: {policy}")
+
+    if not permanent:
+        mech = PlanarLaplaceMechanism.from_level(
+            _ONETIME_LEVEL, 200.0, rng=rng
+        )
+        return one_time_obfuscate(user.trace, mech), False
+    mech = NFoldGaussianMechanism(_DEFENSE_BUDGET, rng=rng)
+    nomadic = GaussianMechanism(_DEFENSE_BUDGET.with_n(1), rng=rng)
+    selector = PosteriorSelector(mech.posterior_sigma, rng=rng)
+    tops = eta_frequent_set(profile, 0.8)
+    return (
+        permanent_obfuscate(
+            user.trace, tops, mech, selector, nomadic_mechanism=nomadic
+        ),
+        True,
+    )
+
+
+def _attack_stream(stream: Sequence[CheckIn], permanent: bool):
+    mech = (
+        NFoldGaussianMechanism(_DEFENSE_BUDGET)
+        if permanent
+        else PlanarLaplaceMechanism.from_level(_ONETIME_LEVEL, 200.0)
+    )
+    return DeobfuscationAttack.against(mech)
+
+
+def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
+    """Compare the three protection policies on one population."""
+    users = list(
+        iter_population(PopulationConfig(n_users=scale.n_users, seed=scale.seed))
+    )
+    assessor = RiskAssessor()
+    rows = []
+    for policy in POLICIES:
+        outcomes: List[UserAttackOutcome] = []
+        report_errors: List[float] = []
+        protected = 0
+        for i, user in enumerate(users):
+            stream, permanent = _report_stream(
+                user, policy, assessor, seed=scale.seed + i
+            )
+            protected += int(permanent)
+            report_errors.extend(
+                true.point.distance_to(obs.point)
+                for true, obs in zip(user.trace, stream)
+            )
+            attack = _attack_stream(stream, permanent)
+            inferred = [
+                r.location for r in attack.infer_top_locations(stream, 1)
+            ]
+            outcomes.append(evaluate_user(inferred, user.true_tops[:1]))
+        rows.append(
+            {
+                "policy": policy,
+                "permanent_users": protected,
+                "attack_top1_within_200m": success_rate(outcomes, 1, 200.0),
+                "mean_report_error_m": float(np.mean(report_errors)),
+            }
+        )
+    return ExperimentReport(
+        experiment_id="ext_adaptive",
+        title="risk-adaptive LPPM selection (extension)",
+        rows=rows,
+        notes=[
+            "the edge protects only users its risk assessment flags; the "
+            "vulnerable users are the routine-heavy ones, so adaptive "
+            "should approach all-permanent privacy at lower report cost",
+        ],
+    )

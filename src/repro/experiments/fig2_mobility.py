@@ -1,0 +1,49 @@
+"""Figure 2: a single user's 7-day mobility pattern.
+
+The paper illustrates the threat with one victim's 7-day trace (2,414 raw
+check-ins) whose top-1/top-2 locations are visually obvious.  This driver
+regenerates the equivalent synthetic victim and reports the reconstructed
+profile — the textual analogue of the figure: a couple of dominant
+clusters plus scattered nomadic visits.
+"""
+
+from __future__ import annotations
+
+from repro.attack.profiling import ProfilingAttack
+from repro.datagen.casestudy import make_fig2_user
+from repro.experiments.tables import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(seed: int = 7) -> ExperimentReport:
+    """Regenerate Figure 2's single-victim mobility summary."""
+    user = make_fig2_user(seed=seed)
+    profile = ProfilingAttack().build_profile(user.trace)
+    rows = []
+    for rank, entry in enumerate(profile.top(5), start=1):
+        true_err = min(
+            entry.location.distance_to(t) for t in user.true_tops
+        )
+        rows.append(
+            {
+                "rank": rank,
+                "frequency": entry.frequency,
+                "share": entry.frequency / profile.total_checkins,
+                "x_m": entry.location.x,
+                "y_m": entry.location.y,
+                "dist_to_true_anchor_m": true_err,
+            }
+        )
+    return ExperimentReport(
+        experiment_id="fig2",
+        title="7-day mobility pattern of one victim",
+        rows=rows,
+        notes=[
+            f"trace: {len(user.trace)} check-ins over 7 days "
+            f"(paper victim: 2,414)",
+            f"clustered locations: {len(profile)}; entropy: {profile.entropy():.3f}",
+            "paper: top-1 (home) and top-2 (office) dominate and are "
+            "visually recoverable",
+        ],
+    )

@@ -1,0 +1,66 @@
+"""Figure 4: the de-obfuscation case study over growing time windows.
+
+One victim's year of check-ins is perturbed with one-time planar Laplace
+noise (the original geo-IND setting, l = ln 2 at 200 m); the de-obfuscation
+attack is then run on the first week, first month, and the full year of
+perturbed data.  The paper's observation: the inference error shrinks from
+~200 m (one week) to under 50 m (full year).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.datagen.casestudy import make_fig4_user
+from repro.datagen.obfuscate import one_time_obfuscate
+from repro.datagen.shanghai import STUDY_START_TS
+from repro.experiments.config import PAPER_ONETIME_RADIUS_M
+from repro.experiments.tables import ExperimentReport
+from repro.profiles.checkin import SECONDS_PER_DAY, filter_window
+
+__all__ = ["run"]
+
+WINDOWS = (("one week", 7.0), ("one month", 30.0), ("full year", 365.0))
+
+
+def run(level: float = math.log(2), seed: int = 11) -> ExperimentReport:
+    """Regenerate Figure 4's windowed de-obfuscation case study."""
+    user = make_fig4_user()
+    mechanism = PlanarLaplaceMechanism.from_level(
+        level, PAPER_ONETIME_RADIUS_M, rng=default_rng(seed)
+    )
+    observed = one_time_obfuscate(user.trace, mechanism)
+    attack = DeobfuscationAttack.against(mechanism)
+    rows = []
+    for label, days in WINDOWS:
+        window = filter_window(
+            observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
+        )
+        inferred = attack.infer_top1(window)
+        error = (
+            inferred.distance_to(user.true_tops[0])
+            if inferred is not None
+            else float("inf")
+        )
+        rows.append(
+            {
+                "window": label,
+                "observations": len(window),
+                "inference_error_m": error,
+            }
+        )
+    return ExperimentReport(
+        experiment_id="fig4",
+        title="de-obfuscation attack vs observation window",
+        rows=rows,
+        notes=[
+            f"victim: {len(user.trace)} check-ins/yr "
+            f"(paper: 1,969 incl. 1,628 top-1)",
+            f"one-time geo-IND level l = {level:.3f} at 200 m",
+            "paper: error ~200 m after one week, <50 m after a full year",
+        ],
+    )

@@ -1,0 +1,103 @@
+"""Figure 7: utilization rate of the three mechanisms vs n.
+
+Fixes eps = 1, r = 500 m, R = 5 km and sweeps the number of obfuscated
+outputs n = 1..10, measuring the utilization-rate distribution for:
+
+* the n-fold Gaussian mechanism (sufficient-statistic calibration),
+* the naive post-processing baseline, and
+* the plain-composition Gaussian baseline.
+
+Paper result: at n = 10 the n-fold mechanism reaches ~100 % UR, naive
+post-processing ~58 %, plain composition ~20 % — and composition *loses*
+utility as n grows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.core.baselines import (
+    NaivePostProcessingMechanism,
+    PlainCompositionMechanism,
+)
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import LPPM, default_rng
+from repro.core.params import GeoIndBudget
+from repro.experiments.config import (
+    PAPER_ALPHA,
+    PAPER_DELTA,
+    PAPER_TARGETING_RADIUS_M,
+    SMALL,
+    ExperimentScale,
+)
+from repro.experiments.tables import ExperimentReport
+from repro.metrics.utilization import summarize_utilization, utilization_samples
+
+__all__ = ["run", "MECHANISM_FACTORIES", "ur_for_mechanism"]
+
+MECHANISM_FACTORIES: Dict[str, Callable[[GeoIndBudget, np.random.Generator], LPPM]] = {
+    "n-fold gaussian": lambda budget, rng: NFoldGaussianMechanism(budget, rng=rng),
+    "naive post-processing": lambda budget, rng: NaivePostProcessingMechanism(
+        budget, rng=rng
+    ),
+    "plain composition": lambda budget, rng: PlainCompositionMechanism(
+        budget, rng=rng
+    ),
+}
+
+
+def ur_for_mechanism(
+    name: str,
+    budget: GeoIndBudget,
+    trials: int,
+    mc_samples: int,
+    seed: int,
+) -> np.ndarray:
+    """UR samples for one (mechanism, budget) combination."""
+    factory = MECHANISM_FACTORIES[name]
+    rng = default_rng(seed)
+    mechanism = factory(budget, rng)
+    return utilization_samples(
+        mechanism,
+        trials=trials,
+        targeting_radius=PAPER_TARGETING_RADIUS_M,
+        mc_samples=mc_samples,
+        rng=rng,
+    )
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    epsilon: float = 1.0,
+    r: float = 500.0,
+    ns: Sequence[int] = tuple(range(1, 11)),
+) -> ExperimentReport:
+    """Regenerate Figure 7's mechanism utilization comparison."""
+    rows = []
+    for name in MECHANISM_FACTORIES:
+        for n in ns:
+            budget = GeoIndBudget(r=r, epsilon=epsilon, delta=PAPER_DELTA, n=n)
+            samples = ur_for_mechanism(
+                name, budget, scale.trials, scale.mc_samples, seed=scale.seed + n
+            )
+            summary = summarize_utilization(samples, PAPER_ALPHA)
+            rows.append(
+                {
+                    "mechanism": name,
+                    "n": n,
+                    "mean_UR": summary.mean,
+                    f"min_UR@{PAPER_ALPHA}": summary.minimal_at_alpha,
+                }
+            )
+    return ExperimentReport(
+        experiment_id="fig7",
+        title=f"utilization rate by mechanism (eps={epsilon}, r={r:.0f} m)",
+        rows=rows,
+        notes=[
+            f"trials per point: {scale.trials} (paper: 100,000)",
+            "paper at n=10: n-fold ~100%, naive post-processing ~58%, "
+            "plain composition ~20% (and composition degrades with n)",
+        ],
+    )

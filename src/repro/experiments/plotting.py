@@ -1,0 +1,97 @@
+"""ASCII line charts for the figure drivers.
+
+The paper's evaluation is figures; this module lets the CLI runner render
+each reproduced series as a terminal chart (no plotting dependency), so
+``repro experiments fig7 --charts`` shows the crossover shapes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart", "chart_from_rows"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as a fixed-size ASCII chart.
+
+    Each series gets a marker character; axes are annotated with the data
+    ranges.  Intended for monotone-ish experiment curves, not precision
+    plotting.
+    """
+    if not series:
+        return "(no series)"
+    if width < 10 or height < 4:
+        raise ValueError("chart must be at least 10x4 characters")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no points)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    top = f"{y_max:.3g}".rjust(8)
+    bottom = f"{y_min:.3g}".rjust(8)
+    lines = []
+    for i, row in enumerate(grid):
+        prefix = top if i == 0 else bottom if i == height - 1 else " " * 8
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_axis = " " * 8 + " +" + "-" * width
+    x_labels = (
+        " " * 10
+        + f"{x_min:.3g}".ljust(width // 2)
+        + f"{x_max:.3g}".rjust(width - width // 2)
+    )
+    out = lines + [x_axis, x_labels, " " * 10 + "   ".join(legend)]
+    if y_label:
+        out.insert(0, " " * 8 + y_label)
+    return "\n".join(out)
+
+
+def chart_from_rows(
+    rows: Sequence[dict],
+    x_key: str,
+    y_keys: Sequence[str],
+    group_key: Optional[str] = None,
+    **chart_kwargs,
+) -> str:
+    """Build a chart from experiment-report rows.
+
+    With ``group_key``, one series per distinct group value is drawn from
+    the first ``y_keys`` entry; otherwise each ``y_keys`` column becomes a
+    series.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    if group_key is not None:
+        y_key = y_keys[0]
+        for row in rows:
+            name = str(row[group_key])
+            series.setdefault(name, []).append(
+                (float(row[x_key]), float(row[y_key]))
+            )
+    else:
+        for y_key in y_keys:
+            series[y_key] = [
+                (float(row[x_key]), float(row[y_key])) for row in rows
+            ]
+    return ascii_chart(series, **chart_kwargs)

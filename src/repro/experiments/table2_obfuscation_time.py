@@ -1,0 +1,94 @@
+"""Table II: obfuscation processing time as the user count grows.
+
+The paper measures, on a Raspberry Pi 3, the time for an edge device to
+build every user's location profile and generate their candidate
+locations, for 2,000..32,000 users (340 s .. 4,014 s — near-linear).  We
+measure the same workload on this host: per user, cluster the trace into a
+profile, compute the eta-frequent set, and pin n-fold candidates.
+
+Absolute numbers differ from the Pi 3; the reproduced claim is the
+near-linear scaling shape (see the doubling ratios in the notes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.datagen.population import PopulationConfig, iter_population
+from repro.edge.location_management import DEFAULT_ETA
+from repro.experiments.config import PAPER_DELTA, PAPER_NFOLD_N, SMALL, ExperimentScale
+from repro.experiments.tables import ExperimentReport
+from repro.metrics.timing import TimingRow, measure_scaling
+from repro.profiles.checkin import CheckIn
+from repro.profiles.frequent import eta_frequent_set
+from repro.profiles.profile import LocationProfile
+
+__all__ = ["run", "obfuscation_workload", "PAPER_SIZES", "DEFAULT_SIZES"]
+
+#: The paper's workload sizes.
+PAPER_SIZES = (2_000, 4_000, 8_000, 16_000, 32_000)
+#: Scaled-down default so the bench completes in seconds.
+DEFAULT_SIZES = (200, 400, 800, 1_600, 3_200)
+
+#: Paper-reported Pi 3 timings for the notes (seconds).
+PAPER_TIMES_S = {2_000: 340, 4_000: 627, 8_000: 1_166, 16_000: 2_090, 32_000: 4_014}
+
+
+def _trace_pool(pool_size: int, seed: int) -> List[List[CheckIn]]:
+    """A pool of realistic traces reused cyclically across the workload.
+
+    Trace generation itself is not part of the measured edge workload, so
+    the pool is built once up front.
+    """
+    config = PopulationConfig(n_users=pool_size, seed=seed)
+    return [u.trace for u in iter_population(config)]
+
+
+def obfuscation_workload(traces: Sequence[List[CheckIn]], budget: GeoIndBudget):
+    """Returns the per-size workload callable for :func:`measure_scaling`."""
+    mechanism = NFoldGaussianMechanism(budget, rng=default_rng(0))
+
+    def workload(n_users: int) -> None:
+        for i in range(n_users):
+            trace = traces[i % len(traces)]
+            profile = LocationProfile.from_checkins(trace)
+            tops = eta_frequent_set(profile, DEFAULT_ETA)
+            for top in tops:
+                mechanism.obfuscate(top)
+
+    return workload
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    pool_size: int = 50,
+) -> ExperimentReport:
+    """Regenerate Table II's obfuscation-time scaling rows."""
+    budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
+    traces = _trace_pool(pool_size, scale.seed)
+    workload = obfuscation_workload(traces, budget)
+    timings = measure_scaling(workload, sizes)
+    rows = [
+        {"users": t.size, "seconds": t.seconds, "ms_per_user": t.per_item_ms}
+        for t in timings
+    ]
+    ratios = [
+        timings[i + 1].seconds / timings[i].seconds for i in range(len(timings) - 1)
+    ]
+    return ExperimentReport(
+        experiment_id="table2",
+        title="obfuscation processing time vs number of users",
+        rows=rows,
+        notes=[
+            "paper (Pi 3, Scala): "
+            + ", ".join(f"{k}: {v}s" for k, v in PAPER_TIMES_S.items()),
+            "paper shape: ~2x time per 2x users; measured doubling ratios: "
+            + ", ".join(f"{r:.2f}" for r in ratios),
+        ],
+    )

@@ -1,0 +1,79 @@
+"""Table III: output-selection time as the user count grows.
+
+The paper measures the edge's per-tick cost of answering one ad request
+per user via posterior output selection, for 2,000..32,000 users
+(90 ms .. 1,377 ms on the Pi 3 — near-linear, milliseconds-scale).  We
+run the same workload: every user holds a pinned 10-candidate set; each
+tick draws one posterior-weighted output per user.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.core.posterior import PosteriorSelector
+from repro.experiments.config import PAPER_DELTA, PAPER_NFOLD_N, SMALL, ExperimentScale
+from repro.experiments.tables import ExperimentReport
+from repro.geo.point import Point
+from repro.metrics.timing import measure_scaling
+
+__all__ = ["run", "selection_workload", "PAPER_SIZES"]
+
+PAPER_SIZES = (2_000, 4_000, 8_000, 16_000, 32_000)
+
+#: Paper-reported Pi 3 timings (milliseconds).
+PAPER_TIMES_MS = {2_000: 90, 4_000: 175, 8_000: 350, 16_000: 698, 32_000: 1_377}
+
+
+def selection_workload(budget: GeoIndBudget, max_users: int, seed: int):
+    """Per-size workload: one posterior selection per user per tick."""
+    rng = default_rng(seed)
+    mechanism = NFoldGaussianMechanism(budget, rng=rng)
+    # Pre-pin one candidate set per user (table state, not measured).
+    candidate_sets = [
+        mechanism.obfuscate(Point(0.0, 0.0)) for _ in range(max_users)
+    ]
+    selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
+
+    def workload(n_users: int) -> None:
+        for i in range(n_users):
+            selector.select(candidate_sets[i])
+
+    return workload
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    sizes: Sequence[int] = PAPER_SIZES,
+) -> ExperimentReport:
+    """Regenerate Table III's selection-time scaling rows."""
+    budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
+    workload = selection_workload(budget, max_users=max(sizes), seed=scale.seed)
+    timings = measure_scaling(workload, sizes, repeats=2)
+    rows = [
+        {
+            "users": t.size,
+            "milliseconds": t.seconds * 1_000.0,
+            "us_per_user": t.per_item_ms * 1_000.0,
+        }
+        for t in timings
+    ]
+    ratios = [
+        timings[i + 1].seconds / timings[i].seconds for i in range(len(timings) - 1)
+    ]
+    return ExperimentReport(
+        experiment_id="table3",
+        title="output selection time vs number of users",
+        rows=rows,
+        notes=[
+            "paper (Pi 3, Scala): "
+            + ", ".join(f"{k}: {v}ms" for k, v in PAPER_TIMES_MS.items()),
+            "paper shape: ~2x time per 2x users; measured doubling ratios: "
+            + ", ".join(f"{r:.2f}" for r in ratios),
+        ],
+    )

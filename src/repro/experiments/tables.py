@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver returns structured rows; this module renders them
+as aligned text tables so benches and the CLI print paper-style output
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ExperimentReport", "format_table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1_000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), max(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+@dataclass
+class ExperimentReport:
+    """Structured outcome of one experiment driver.
+
+    ``rows`` regenerate the paper's table/figure series; ``notes`` carry
+    the paper's reference numbers so EXPERIMENTS.md and the bench output
+    show paper-vs-measured side by side.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    columns: Optional[List[str]] = None
+
+    def render(self) -> str:
+        """The report as an aligned text block with notes."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        parts.append(format_table(self.rows, self.columns))
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)

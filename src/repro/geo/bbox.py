@@ -1,0 +1,89 @@
+"""Axis-aligned bounding boxes for planar and geodetic regions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.projection import GeoPoint
+
+__all__ = ["BoundingBox", "GeoBoundingBox"]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A planar axis-aligned box in metres."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains(self, p: Point) -> bool:
+        """Is the point inside (boundary inclusive)?"""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def clamp(self, p: Point) -> Point:
+        """Project a point onto the box (used to keep noisy samples in-region)."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+    def sample_uniform(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample points uniformly from the box as an ``(size, 2)`` array."""
+        xs = rng.uniform(self.min_x, self.max_x, size)
+        ys = rng.uniform(self.min_y, self.max_y, size)
+        return np.column_stack([xs, ys])
+
+    def expand(self, margin: float) -> "BoundingBox":
+        """Grow the box by ``margin`` metres on every side."""
+        return BoundingBox(
+            self.min_x - margin, self.min_y - margin,
+            self.max_x + margin, self.max_y + margin,
+        )
+
+
+@dataclass(frozen=True)
+class GeoBoundingBox:
+    """A geodetic box in degrees, e.g. the paper's Shanghai study region."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self) -> None:
+        if self.min_lat > self.max_lat or self.min_lon > self.max_lon:
+            raise ValueError(f"degenerate geo bounding box: {self}")
+
+    @property
+    def center(self) -> GeoPoint:
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2, (self.min_lon + self.max_lon) / 2
+        )
+
+    def contains(self, g: GeoPoint) -> bool:
+        """Is the geodetic point inside (boundary inclusive)?"""
+        return (
+            self.min_lat <= g.lat <= self.max_lat
+            and self.min_lon <= g.lon <= self.max_lon
+        )

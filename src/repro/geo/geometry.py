@@ -1,0 +1,133 @@
+"""Circle geometry used by the utility metrics.
+
+The paper's utilization rate (Definition 4) is the area of the intersection
+between the *area of interest* (AOI: circle of targeting radius R around the
+user's true location) and the *area of request* (AOR: the union of circles
+of radius R around the reported obfuscated locations), normalised by the AOI
+area.  For a single reported location this is the classical circle-circle
+"lens" intersection, which has a closed form; for unions of several circles
+we estimate coverage with a deterministic low-discrepancy Monte Carlo
+integration over the AOI disc.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.point import Point, points_to_array
+
+__all__ = [
+    "circle_area",
+    "lens_area",
+    "circle_overlap_fraction",
+    "union_coverage_fraction",
+    "sample_uniform_disc",
+    "points_in_any_circle",
+]
+
+
+def circle_area(radius: float) -> float:
+    """Area of a circle, raising on negative radius."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return math.pi * radius * radius
+
+
+def lens_area(r1: float, r2: float, d: float) -> float:
+    """Intersection area of two circles of radii ``r1``/``r2`` at distance ``d``.
+
+    Handles the disjoint (zero) and contained (smaller circle) cases.
+    """
+    if r1 < 0 or r2 < 0 or d < 0:
+        raise ValueError("radii and distance must be non-negative")
+    if d >= r1 + r2:
+        return 0.0
+    # Containment, including distances so small that the lens-formula
+    # denominators (2*d*r) would underflow to zero for subnormal d.
+    if d <= abs(r1 - r2) or 2.0 * d * r1 == 0.0 or 2.0 * d * r2 == 0.0:
+        return circle_area(min(r1, r2))
+    # Standard two-circle lens formula.
+    alpha = math.acos(_clamp((d * d + r1 * r1 - r2 * r2) / (2 * d * r1)))
+    beta = math.acos(_clamp((d * d + r2 * r2 - r1 * r1) / (2 * d * r2)))
+    return (
+        r1 * r1 * (alpha - math.sin(2 * alpha) / 2)
+        + r2 * r2 * (beta - math.sin(2 * beta) / 2)
+    )
+
+
+def _clamp(v: float, lo: float = -1.0, hi: float = 1.0) -> float:
+    return max(lo, min(hi, v))
+
+
+def circle_overlap_fraction(center_a: Point, center_b: Point, radius: float) -> float:
+    """Fraction of circle A covered by an equal-radius circle B.
+
+    This is the analytic utilization rate for a *single* obfuscated output.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    d = center_a.distance_to(center_b)
+    return lens_area(radius, radius, d) / circle_area(radius)
+
+
+def sample_uniform_disc(
+    center: Point, radius: float, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``size`` points uniformly from a disc, as an ``(size, 2)`` array.
+
+    Uses the sqrt radial transform so density is uniform over area rather
+    than over radius.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    theta = rng.uniform(0.0, 2 * math.pi, size)
+    rad = radius * np.sqrt(rng.uniform(0.0, 1.0, size))
+    xs = center.x + rad * np.cos(theta)
+    ys = center.y + rad * np.sin(theta)
+    return np.column_stack([xs, ys])
+
+
+def points_in_any_circle(
+    samples: np.ndarray, centers: Sequence[Point], radius: float
+) -> np.ndarray:
+    """Boolean mask: which sample points fall inside at least one circle."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2 or samples.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) samples, got shape {samples.shape}")
+    if not centers:
+        return np.zeros(len(samples), dtype=bool)
+    carr = points_to_array(centers)
+    # (n_samples, n_centers) squared distances; small n_centers keeps this cheap.
+    d2 = (
+        (samples[:, None, 0] - carr[None, :, 0]) ** 2
+        + (samples[:, None, 1] - carr[None, :, 1]) ** 2
+    )
+    return (d2 <= radius * radius).any(axis=1)
+
+
+def union_coverage_fraction(
+    aoi_center: Point,
+    aoi_radius: float,
+    aor_centers: Sequence[Point],
+    aor_radius: float,
+    samples: int = 4096,
+    rng: "np.random.Generator | None" = None,
+) -> float:
+    """Fraction of the AOI disc covered by the union of AOR discs.
+
+    For a single AOR circle with ``aor_radius == aoi_radius`` the analytic
+    lens is used; otherwise the fraction is estimated by Monte Carlo over
+    the AOI disc.
+    """
+    if len(aor_centers) == 1 and math.isclose(aor_radius, aoi_radius):
+        return circle_overlap_fraction(aoi_center, aor_centers[0], aoi_radius)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    pts = sample_uniform_disc(aoi_center, aoi_radius, samples, rng)
+    covered = points_in_any_circle(pts, aor_centers, aor_radius)
+    return float(covered.mean()) if len(covered) else 0.0

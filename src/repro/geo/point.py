@@ -1,0 +1,101 @@
+"""Planar points and distances.
+
+All core algorithms in this library operate on a *local tangent plane* in
+metres: check-ins are projected from (latitude, longitude) into planar
+coordinates once (see :mod:`repro.geo.projection`) and every mechanism,
+attack, and metric then works with plain Euclidean geometry, exactly as the
+paper does (distances such as the 50 m clustering threshold, the 200 m attack
+threshold, and the 500 m indistinguishability radius are all Euclidean).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "distance",
+    "points_to_array",
+    "array_to_points",
+    "centroid",
+    "pairwise_distances",
+    "distances_to",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """A planar location in metres on the local tangent plane.
+
+    The class is immutable and hashable so that points can be used as
+    dictionary keys (the obfuscation table maps top locations to candidate
+    output sets) and stored in sets.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)`` metres."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)`` as a plain tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def points_to_array(points: Iterable[Point]) -> np.ndarray:
+    """Pack an iterable of :class:`Point` into an ``(n, 2)`` float array."""
+    data = [(p.x, p.y) for p in points]
+    if not data:
+        return np.empty((0, 2), dtype=float)
+    return np.asarray(data, dtype=float)
+
+
+def array_to_points(arr: np.ndarray) -> list:
+    """Unpack an ``(n, 2)`` array into a list of :class:`Point`."""
+    arr = np.asarray(arr, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
+    return [Point(float(x), float(y)) for x, y in arr]
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a non-empty sequence of points."""
+    if not points:
+        raise ValueError("centroid of an empty point sequence is undefined")
+    arr = points_to_array(points)
+    cx, cy = arr.mean(axis=0)
+    return Point(float(cx), float(cy))
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Full ``(n, n)`` Euclidean distance matrix for a point sequence."""
+    arr = points_to_array(points)
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt((diff ** 2).sum(axis=-1))
+
+
+def distances_to(points: Sequence[Point], target: Point) -> np.ndarray:
+    """Vector of distances from every point in ``points`` to ``target``."""
+    arr = points_to_array(points)
+    if arr.size == 0:
+        return np.empty(0, dtype=float)
+    return np.hypot(arr[:, 0] - target.x, arr[:, 1] - target.y)

@@ -1,0 +1,78 @@
+"""Geodetic coordinates and local tangent-plane projection.
+
+The paper's dataset lives in a small bounding box around Shanghai
+(latitude in [30.7, 31.4], longitude in [121, 122], roughly 78 km x 95 km).
+Over such an extent an equirectangular projection around a reference origin
+is accurate to well under 0.1 % of distance, which is far below every
+threshold the paper uses (50 m clustering, 200 m / 500 m attack-success
+radii).  We therefore project all geodetic coordinates once into planar
+metres and run everything else in Euclidean space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.point import Point
+
+__all__ = ["EARTH_RADIUS_M", "GeoPoint", "haversine_m", "LocalProjection"]
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A geodetic coordinate (degrees)."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def haversine_m(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two geodetic points in metres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(h)))
+
+
+class LocalProjection:
+    """Equirectangular projection around a fixed reference origin.
+
+    ``to_plane`` maps a :class:`GeoPoint` to planar metres (east = +x,
+    north = +y) relative to the origin; ``to_geo`` inverts it.  The
+    projection is exact at the origin and its distance distortion grows
+    quadratically with the offset, which is negligible for city-scale
+    regions like the paper's Shanghai box.
+    """
+
+    def __init__(self, origin: GeoPoint):
+        if abs(origin.lat) > 89.0:
+            raise ValueError(
+                "equirectangular projection is unusable near the poles; "
+                f"origin latitude {origin.lat} exceeds +-89 degrees"
+            )
+        self.origin = origin
+        self._cos_lat0 = math.cos(math.radians(origin.lat))
+
+    def to_plane(self, geo: GeoPoint) -> Point:
+        """Project a geodetic point to local planar metres."""
+        x = math.radians(geo.lon - self.origin.lon) * EARTH_RADIUS_M * self._cos_lat0
+        y = math.radians(geo.lat - self.origin.lat) * EARTH_RADIUS_M
+        return Point(x, y)
+
+    def to_geo(self, point: Point) -> GeoPoint:
+        """Invert the projection back to geodetic degrees."""
+        lon = self.origin.lon + math.degrees(point.x / (EARTH_RADIUS_M * self._cos_lat0))
+        lat = self.origin.lat + math.degrees(point.y / EARTH_RADIUS_M)
+        return GeoPoint(lat, lon)

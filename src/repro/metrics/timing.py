@@ -1,0 +1,67 @@
+"""Timing harness for the scalability experiments (Tables II and III).
+
+The paper reports wall-clock processing time of the edge device as the
+number of served users grows.  This harness measures our implementation
+the same way: run a callable over a user workload, repeat, and report the
+per-size timings so the benches can print paper-style rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+__all__ = ["TimingRow", "measure_scaling", "Stopwatch"]
+
+
+class Stopwatch:
+    """Minimal context-manager stopwatch (monotonic clock)."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class TimingRow:
+    """One (workload size, seconds) measurement."""
+
+    size: int
+    seconds: float
+
+    @property
+    def per_item_ms(self) -> float:
+        return 1_000.0 * self.seconds / self.size if self.size else 0.0
+
+
+def measure_scaling(
+    workload: Callable[[int], None],
+    sizes: Sequence[int],
+    repeats: int = 1,
+) -> List[TimingRow]:
+    """Time ``workload(size)`` for each size, keeping the best of ``repeats``.
+
+    Best-of-N is the standard way to suppress scheduler noise when the
+    quantity of interest is the algorithmic cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    rows: List[TimingRow] = []
+    for size in sizes:
+        if size < 1:
+            raise ValueError(f"workload sizes must be positive, got {size}")
+        best = float("inf")
+        for _ in range(repeats):
+            with Stopwatch() as sw:
+                workload(size)
+            best = min(best, sw.elapsed)
+        rows.append(TimingRow(size=size, seconds=best))
+    return rows

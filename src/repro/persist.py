@@ -1,0 +1,122 @@
+"""JSON persistence for traces, profiles, and obfuscation tables.
+
+A deployable system must survive restarts: the obfuscation table in
+particular is *permanent* state — losing it and re-randomising would both
+waste budget and hand the longitudinal attacker fresh noise.  This module
+round-trips the library's durable objects through plain JSON (no pickle,
+so files are inspectable and safe to exchange).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.edge.obfuscation import ObfuscationTable
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+from repro.profiles.profile import LocationProfile, ProfileEntry
+
+__all__ = [
+    "trace_to_json",
+    "trace_from_json",
+    "profile_to_json",
+    "profile_from_json",
+    "table_to_json",
+    "table_from_json",
+    "save_json",
+    "load_json",
+]
+
+
+def _point_obj(p: Point) -> Dict[str, float]:
+    return {"x": p.x, "y": p.y}
+
+
+def _point_from(obj: Dict[str, Any]) -> Point:
+    return Point(float(obj["x"]), float(obj["y"]))
+
+
+def trace_to_json(trace: Sequence[CheckIn]) -> str:
+    """Serialise a check-in trace."""
+    payload = [
+        {"t": c.timestamp, "x": c.point.x, "y": c.point.y} for c in trace
+    ]
+    return json.dumps({"kind": "trace", "checkins": payload})
+
+
+def trace_from_json(text: str) -> List[CheckIn]:
+    """Parse a trace serialised by :func:`trace_to_json`."""
+    obj = json.loads(text)
+    _expect_kind(obj, "trace")
+    return [
+        CheckIn(float(c["t"]), Point(float(c["x"]), float(c["y"])))
+        for c in obj["checkins"]
+    ]
+
+
+def profile_to_json(profile: LocationProfile) -> str:
+    """Serialise a location profile."""
+    payload = [
+        {"location": _point_obj(e.location), "frequency": e.frequency}
+        for e in profile
+    ]
+    return json.dumps({"kind": "profile", "entries": payload})
+
+
+def profile_from_json(text: str) -> LocationProfile:
+    """Parse a profile serialised by :func:`profile_to_json`."""
+    obj = json.loads(text)
+    _expect_kind(obj, "profile")
+    return LocationProfile(
+        [
+            ProfileEntry(_point_from(e["location"]), int(e["frequency"]))
+            for e in obj["entries"]
+        ]
+    )
+
+
+def table_to_json(table: ObfuscationTable) -> str:
+    """Serialise the permanent obfuscation table (the critical state)."""
+    payload = [
+        {
+            "top": _point_obj(top),
+            "candidates": [_point_obj(c) for c in candidates],
+        }
+        for top, candidates in table.entries
+    ]
+    return json.dumps(
+        {"kind": "obfuscation-table", "match_radius": table.match_radius,
+         "entries": payload}
+    )
+
+
+def table_from_json(text: str) -> ObfuscationTable:
+    """Parse a table serialised by :func:`table_to_json`."""
+    obj = json.loads(text)
+    _expect_kind(obj, "obfuscation-table")
+    table = ObfuscationTable(match_radius=float(obj["match_radius"]))
+    for entry in obj["entries"]:
+        table.pin(
+            _point_from(entry["top"]),
+            [_point_from(c) for c in entry["candidates"]],
+        )
+    return table
+
+
+def save_json(path: str, text: str) -> None:
+    """Write a serialised object to disk."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def load_json(path: str) -> str:
+    """Read a serialised object from disk."""
+    with open(path, "r", encoding="utf-8") as f:
+        return f.read()
+
+
+def _expect_kind(obj: Dict[str, Any], kind: str) -> None:
+    found = obj.get("kind")
+    if found != kind:
+        raise ValueError(f"expected a {kind!r} document, found {found!r}")

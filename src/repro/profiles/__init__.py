@@ -1,0 +1,39 @@
+"""Check-ins, location profiles, frequent-location sets, time windows."""
+
+from repro.profiles.checkin import (
+    SECONDS_PER_DAY,
+    CheckIn,
+    checkins_to_array,
+    filter_window,
+)
+from repro.profiles.frequent import (
+    coverage_of_top,
+    eta_frequent_entries,
+    eta_frequent_set,
+)
+from repro.profiles.profile import (
+    DEFAULT_CONNECT_RADIUS_M,
+    LocationProfile,
+    ProfileEntry,
+)
+from repro.profiles.windows import (
+    DEFAULT_WINDOW_DAYS,
+    WindowedProfileBuilder,
+    WindowResult,
+)
+
+__all__ = [
+    "CheckIn",
+    "SECONDS_PER_DAY",
+    "checkins_to_array",
+    "filter_window",
+    "LocationProfile",
+    "ProfileEntry",
+    "DEFAULT_CONNECT_RADIUS_M",
+    "eta_frequent_set",
+    "eta_frequent_entries",
+    "coverage_of_top",
+    "WindowedProfileBuilder",
+    "WindowResult",
+    "DEFAULT_WINDOW_DAYS",
+]

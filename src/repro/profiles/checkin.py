@@ -1,0 +1,64 @@
+"""Check-in records: the raw spatiotemporal unit of the paper.
+
+A *check-in* is one (location, timestamp) observation of a user — in the
+paper these are the raw RTB bid-log entries.  Check-ins are the input to
+both sides of the system: the trusted edge builds location profiles from
+them, and the honest-but-curious provider mounts the longitudinal attack
+on their obfuscated counterparts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.geo.point import Point, points_to_array
+
+__all__ = ["CheckIn", "checkins_to_array", "filter_window", "SECONDS_PER_DAY"]
+
+#: One day in the unix-seconds timeline used throughout the simulators.
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True, order=True)
+class CheckIn:
+    """One spatiotemporal observation.
+
+    Ordering is by timestamp (then coordinates), so sorted streams of
+    check-ins are chronological.
+    """
+
+    timestamp: float
+    point: Point = field(compare=False)
+
+    @property
+    def x(self) -> float:
+        return self.point.x
+
+    @property
+    def y(self) -> float:
+        return self.point.y
+
+    def displaced(self, dx: float, dy: float) -> "CheckIn":
+        """A copy whose location is shifted by ``(dx, dy)`` metres."""
+        return CheckIn(self.timestamp, self.point.translate(dx, dy))
+
+
+def checkins_to_array(checkins: Iterable[CheckIn]) -> np.ndarray:
+    """Pack check-in coordinates into an ``(n, 2)`` float array."""
+    return points_to_array(c.point for c in checkins)
+
+
+def filter_window(
+    checkins: Sequence[CheckIn], start: float, end: float
+) -> List[CheckIn]:
+    """Check-ins with ``start <= timestamp < end`` (chronological slices).
+
+    Used to run the attack and the profile builder over the paper's
+    one-week / one-month / full-year observation windows.
+    """
+    if end < start:
+        raise ValueError(f"window end {end} precedes start {start}")
+    return [c for c in checkins if start <= c.timestamp < end]

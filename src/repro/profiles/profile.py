@@ -1,0 +1,159 @@
+"""User location profiles (paper Eq. 2) and location entropy (Eq. 3).
+
+A location profile is the set of ``(location, frequency)`` tuples obtained
+by clustering a user's check-ins: check-ins within a connectivity threshold
+(50 m in the paper) of each other belong to the same *location*, whose
+coordinate is the cluster centroid and whose frequency is the cluster size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.index import connected_components
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn, checkins_to_array
+
+__all__ = ["ProfileEntry", "LocationProfile", "DEFAULT_CONNECT_RADIUS_M"]
+
+#: The paper's connectivity threshold for raw check-ins (Section III-B-1).
+DEFAULT_CONNECT_RADIUS_M = 50.0
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One clustered location with its visit frequency."""
+
+    location: Point
+    frequency: int
+
+    def __post_init__(self) -> None:
+        if self.frequency < 1:
+            raise ValueError(f"frequency must be >= 1, got {self.frequency}")
+
+
+class LocationProfile:
+    """An ordered location profile ``P = {(l_1, f_1), ..., (l_M, f_M)}``.
+
+    Entries are kept sorted by decreasing frequency (ties broken by
+    coordinates for determinism), matching the ordered-sequence form that
+    the eta-frequent-location-set algorithm (Algorithm 2) consumes.
+    """
+
+    def __init__(self, entries: Sequence[ProfileEntry] = ()):
+        self._entries: List[ProfileEntry] = sorted(
+            entries,
+            key=lambda e: (-e.frequency, e.location.x, e.location.y),
+        )
+
+    @classmethod
+    def from_checkins(
+        cls,
+        checkins: Sequence[CheckIn],
+        connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+    ) -> "LocationProfile":
+        """Cluster check-ins into a profile by connectivity (Section III-B-1).
+
+        Two check-ins are connected when their Euclidean distance is within
+        ``connect_radius``; each connected component becomes one location
+        with the component centroid as coordinate and the component size as
+        frequency.
+        """
+        if not checkins:
+            return cls()
+        coords = checkins_to_array(checkins)
+        entries = []
+        for component in connected_components(coords, connect_radius):
+            member_coords = coords[component]
+            cx, cy = member_coords.mean(axis=0)
+            entries.append(
+                ProfileEntry(Point(float(cx), float(cy)), len(component))
+            )
+        return cls(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ProfileEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, i: int) -> ProfileEntry:
+        return self._entries[i]
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def entries(self) -> Tuple[ProfileEntry, ...]:
+        return tuple(self._entries)
+
+    @property
+    def locations(self) -> List[Point]:
+        return [e.location for e in self._entries]
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        return np.asarray([e.frequency for e in self._entries], dtype=float)
+
+    @property
+    def total_checkins(self) -> int:
+        """The ``sum`` term of Eq. 3 — total number of clustered check-ins."""
+        return int(sum(e.frequency for e in self._entries))
+
+    def top(self, k: int) -> List[ProfileEntry]:
+        """The ``k`` most frequent locations (fewer if the profile is small)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return list(self._entries[:k])
+
+    def entropy(self) -> float:
+        """Location entropy (Eq. 3), in nats; 0 for empty profiles.
+
+        Low entropy means the user's activity concentrates on few top
+        locations — 88.8% of the paper's users fall below 2.
+        """
+        if not self._entries:
+            return 0.0
+        freqs = self.frequencies
+        total = freqs.sum()
+        probs = freqs / total
+        return float(-(probs * np.log(probs)).sum())
+
+    def merged_with(self, other: "LocationProfile", merge_radius: float) -> "LocationProfile":
+        """Merge two partial profiles, coalescing locations within ``merge_radius``.
+
+        Users roam across edge devices, so each edge holds only a local
+        part of the profile (Section V-B); this implements the profile
+        union the paper delegates to an orthogonal MPC protocol.  Matching
+        locations are combined with a frequency-weighted centroid.
+        """
+        combined: List[ProfileEntry] = list(self._entries)
+        for entry in other:
+            match_idx = None
+            for i, mine in enumerate(combined):
+                if mine.location.distance_to(entry.location) <= merge_radius:
+                    match_idx = i
+                    break
+            if match_idx is None:
+                combined.append(entry)
+            else:
+                mine = combined[match_idx]
+                total = mine.frequency + entry.frequency
+                merged_loc = Point(
+                    (mine.location.x * mine.frequency + entry.location.x * entry.frequency) / total,
+                    (mine.location.y * mine.frequency + entry.location.y * entry.frequency) / total,
+                )
+                combined[match_idx] = ProfileEntry(merged_loc, total)
+        return LocationProfile(combined)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(
+            f"({e.location.x:.0f},{e.location.y:.0f})x{e.frequency}"
+            for e in self._entries[:3]
+        )
+        suffix = ", ..." if len(self._entries) > 3 else ""
+        return f"LocationProfile[{len(self._entries)} locations: {head}{suffix}]"

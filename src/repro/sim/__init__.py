@@ -1,0 +1,23 @@
+"""Discrete-event simulation: edge serve-path latency under load."""
+
+from repro.sim.events import Simulator
+from repro.sim.latency import (
+    RTB_DEADLINE_S,
+    LatencyPoint,
+    latency_sweep,
+    lognormal_service,
+    measure_selection_service_time,
+)
+from repro.sim.queueing import EdgeQueueModel, QueueStats, simulate_edge_queue
+
+__all__ = [
+    "Simulator",
+    "EdgeQueueModel",
+    "QueueStats",
+    "simulate_edge_queue",
+    "latency_sweep",
+    "LatencyPoint",
+    "lognormal_service",
+    "measure_selection_service_time",
+    "RTB_DEADLINE_S",
+]

@@ -1,0 +1,88 @@
+"""A minimal discrete-event simulation core.
+
+The scalability story of Edge-PrivLocAd (Tables II-III) is about
+throughput; what those tables do not show is *latency under load* — an
+edge device serves many users whose ad requests contend for its workers,
+and the RTB ecosystem gives the whole matching path a hard deadline
+(~100 ms, paper Section II-A).  This package provides a deterministic
+event-driven simulator to answer that question with the measured
+per-request service costs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Simulator"]
+
+Callback = Callable[..., None]
+
+
+class Simulator:
+    """A deterministic future-event-list simulator.
+
+    Events are ``(time, sequence, callback, args)`` tuples on a heap; the
+    sequence number makes simultaneous events fire in scheduling order, so
+    runs are fully reproducible.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._queue: List[Tuple[float, int, Callback, tuple]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Events fired so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callback, *args: Any) -> None:
+        """Schedule ``callback(*args)`` to fire ``delay`` from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), callback, args)
+        )
+
+    def schedule_at(self, time: float, callback: Callback, *args: Any) -> None:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past (t={time} < now={self.now})")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback, args))
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback, args = heapq.heappop(self._queue)
+        self.now = time
+        self._processed += 1
+        callback(*args)
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event cap.
+
+        Events scheduled exactly at ``until`` still fire; later ones stay
+        queued (and ``now`` advances to ``until``).
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+        if until is not None and until > self.now:
+            self.now = until

@@ -1,0 +1,111 @@
+"""Edge serve-path latency study built on measured service costs.
+
+Bridges the micro-benchmarks and the queueing model: measures this host's
+actual per-request output-selection cost, wraps it in a log-normal service
+distribution (adding a configurable network round-trip), and sweeps the
+arrival rate to find how many requests/second one edge device can absorb
+while keeping p99 response under the RTB deadline (~100 ms).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.core.posterior import PosteriorSelector
+from repro.geo.point import Point
+from repro.sim.queueing import QueueStats, simulate_edge_queue
+
+__all__ = [
+    "RTB_DEADLINE_S",
+    "measure_selection_service_time",
+    "lognormal_service",
+    "latency_sweep",
+    "LatencyPoint",
+]
+
+#: The matching deadline the paper cites for RTB (Section II-A, ref [16]).
+RTB_DEADLINE_S = 0.100
+
+
+def measure_selection_service_time(
+    budget: Optional[GeoIndBudget] = None, samples: int = 2_000, seed: int = 0
+) -> float:
+    """Median wall-clock cost of one posterior output selection, in seconds."""
+    if budget is None:
+        budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+    rng = default_rng(seed)
+    mechanism = NFoldGaussianMechanism(budget, rng=rng)
+    selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
+    candidates = mechanism.obfuscate(Point(0.0, 0.0))
+    times = np.empty(samples)
+    for i in range(samples):
+        t0 = time.perf_counter()
+        selector.select(candidates)
+        times[i] = time.perf_counter() - t0
+    return float(np.median(times))
+
+
+def lognormal_service(
+    median_s: float, sigma: float = 0.5, floor_s: float = 0.0
+) -> Callable[[np.random.Generator], float]:
+    """A log-normal service-time distribution with the given median.
+
+    Real serve paths have heavy right tails (GC pauses, contention); the
+    log-normal is the standard stand-in.  ``floor_s`` adds a deterministic
+    component, e.g. a network round-trip.
+    """
+    if median_s <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    mu = float(np.log(median_s))
+
+    def sample(rng: np.random.Generator) -> float:
+        return floor_s + float(rng.lognormal(mu, sigma))
+
+    return sample
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One arrival-rate point of the latency sweep."""
+
+    arrival_rate: float
+    stats: QueueStats
+
+    @property
+    def meets_rtb_deadline(self) -> bool:
+        return self.stats.meets_deadline(RTB_DEADLINE_S, "p99")
+
+
+def latency_sweep(
+    arrival_rates: Sequence[float],
+    service_median_s: float,
+    n_workers: int = 4,
+    n_requests: int = 20_000,
+    service_sigma: float = 0.5,
+    network_floor_s: float = 0.002,
+    seed: int = 0,
+) -> List[LatencyPoint]:
+    """Response-time statistics across arrival rates for one edge device."""
+    service = lognormal_service(
+        service_median_s, sigma=service_sigma, floor_s=network_floor_s
+    )
+    points = []
+    for i, rate in enumerate(arrival_rates):
+        stats = simulate_edge_queue(
+            arrival_rate=rate,
+            n_requests=n_requests,
+            n_workers=n_workers,
+            service_time=service,
+            seed=seed + i,
+        )
+        points.append(LatencyPoint(arrival_rate=rate, stats=stats))
+    return points

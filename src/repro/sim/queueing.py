@@ -1,0 +1,137 @@
+"""Edge-device queueing model: latency of the serve path under load.
+
+Models one edge device as a multi-worker FIFO queue: ad requests arrive as
+a Poisson process at ``arrival_rate`` requests/second, each needs a
+service time drawn from a caller-supplied distribution (in practice: the
+measured output-selection + network round-trip cost), and ``n_workers``
+requests can be in service concurrently.  The simulation records per-
+request waiting and response times so the bench can check the RTB deadline
+(~100 ms) holds at realistic loads and find the saturation point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+import numpy as np
+
+from repro.sim.events import Simulator
+
+__all__ = ["QueueStats", "EdgeQueueModel", "simulate_edge_queue"]
+
+ServiceTime = Callable[[np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Latency summary of a finished run (seconds)."""
+
+    served: int
+    utilization: float
+    mean_wait: float
+    mean_response: float
+    p50_response: float
+    p95_response: float
+    p99_response: float
+    max_queue_len: int
+
+    def meets_deadline(self, deadline_s: float, percentile: str = "p99") -> bool:
+        """Does the chosen response percentile stay within the deadline?"""
+        value = {
+            "p50": self.p50_response,
+            "p95": self.p95_response,
+            "p99": self.p99_response,
+        }[percentile]
+        return value <= deadline_s
+
+
+class EdgeQueueModel:
+    """M/G/c FIFO queue driven by the discrete-event simulator."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        service_time: ServiceTime,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self.service_time = service_time
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._sim = Simulator()
+        self._busy = 0
+        self._waiting: Deque[float] = deque()  # arrival times of queued requests
+        self._waits: List[float] = []
+        self._responses: List[float] = []
+        self._busy_time = 0.0
+        self._max_queue = 0
+
+    def _arrive(self) -> None:
+        now = self._sim.now
+        if self._busy < self.n_workers:
+            self._start_service(now)
+        else:
+            self._waiting.append(now)
+            self._max_queue = max(self._max_queue, len(self._waiting))
+
+    def _start_service(self, arrival_time: float) -> None:
+        now = self._sim.now
+        wait = now - arrival_time
+        service = float(self.service_time(self.rng))
+        if service < 0:
+            raise ValueError("service time must be non-negative")
+        self._busy += 1
+        self._busy_time += service
+        self._waits.append(wait)
+        self._responses.append(wait + service)
+        self._sim.schedule(service, self._complete)
+
+    def _complete(self) -> None:
+        self._busy -= 1
+        if self._waiting:
+            self._start_service(self._waiting.popleft())
+
+    def run(self, arrival_rate: float, n_requests: int) -> QueueStats:
+        """Simulate ``n_requests`` Poisson arrivals at ``arrival_rate`` req/s."""
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if n_requests < 1:
+            raise ValueError("need at least one request")
+        gaps = self.rng.exponential(1.0 / arrival_rate, n_requests)
+        t = 0.0
+        for gap in gaps:
+            t += float(gap)
+            self._sim.schedule_at(t, self._arrive)
+        self._sim.run()
+        responses = np.asarray(self._responses)
+        waits = np.asarray(self._waits)
+        horizon = self._sim.now if self._sim.now > 0 else 1.0
+        return QueueStats(
+            served=len(responses),
+            utilization=float(self._busy_time / (horizon * self.n_workers)),
+            mean_wait=float(waits.mean()),
+            mean_response=float(responses.mean()),
+            p50_response=float(np.quantile(responses, 0.50)),
+            p95_response=float(np.quantile(responses, 0.95)),
+            p99_response=float(np.quantile(responses, 0.99)),
+            max_queue_len=self._max_queue,
+        )
+
+
+def simulate_edge_queue(
+    arrival_rate: float,
+    n_requests: int,
+    n_workers: int,
+    service_time: ServiceTime,
+    seed: int = 0,
+) -> QueueStats:
+    """Convenience one-shot wrapper around :class:`EdgeQueueModel`."""
+    model = EdgeQueueModel(
+        n_workers=n_workers,
+        service_time=service_time,
+        rng=np.random.default_rng(seed),
+    )
+    return model.run(arrival_rate, n_requests)

@@ -1,0 +1,47 @@
+"""Unit tests for advertisers and radius-targeting campaigns."""
+
+import pytest
+
+from repro.ads.campaign import Advertiser, Campaign
+from repro.geo.point import Point
+
+
+ADV = Advertiser(advertiser_id="adv-1", name="Cafe")
+
+
+class TestCampaign:
+    def test_targets_within_radius(self):
+        c = Campaign("c1", ADV, Point(0, 0), radius_m=1_000.0)
+        assert c.targets(Point(999, 0))
+        assert c.targets(Point(1_000, 0))
+        assert not c.targets(Point(1_001, 0))
+
+    def test_create_assigns_unique_ids(self):
+        a = Campaign.create(ADV, Point(0, 0), 1_000.0)
+        b = Campaign.create(ADV, Point(0, 0), 1_000.0)
+        assert a.campaign_id != b.campaign_id
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            Campaign("c", ADV, Point(0, 0), radius_m=0.0)
+
+    def test_rejects_bad_bid(self):
+        with pytest.raises(ValueError):
+            Campaign("c", ADV, Point(0, 0), radius_m=1_000.0, bid_price=0.0)
+
+    def test_platform_validation_accepts_legal_radius(self):
+        c = Campaign("c", ADV, Point(0, 0), radius_m=10_000.0, platform="google")
+        assert c.platform == "google"
+
+    def test_platform_validation_rejects_illegal_radius(self):
+        """Google's Table I minimum is 5 km."""
+        with pytest.raises(ValueError):
+            Campaign("c", ADV, Point(0, 0), radius_m=1_000.0, platform="google")
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign("c", ADV, Point(0, 0), radius_m=1_000.0, platform="yahoo")
+
+    def test_tencent_allows_500m(self):
+        c = Campaign("c", ADV, Point(0, 0), radius_m=500.0, platform="tencent")
+        assert c.radius_m == 500.0

@@ -1,0 +1,44 @@
+"""Unit tests for edge-side AOI ad filtering."""
+
+import pytest
+
+from repro.ads.bidding import Ad
+from repro.ads.delivery import filter_ads_to_aoi
+from repro.geo.point import Point
+
+
+def ad(x, y):
+    return Ad(
+        campaign_id="c",
+        advertiser_id="a",
+        business_location=Point(x, y),
+        price_paid=1.0,
+    )
+
+
+class TestAoiFiltering:
+    def test_keeps_relevant_drops_irrelevant(self):
+        ads = [ad(100, 0), ad(10_000, 0)]
+        kept, stats = filter_ads_to_aoi(ads, Point(0, 0), targeting_radius=5_000.0)
+        assert len(kept) == 1
+        assert kept[0].business_location == Point(100, 0)
+        assert stats.received == 2
+        assert stats.delivered == 1
+        assert stats.irrelevant == 1
+
+    def test_relevance_ratio(self):
+        ads = [ad(0, 0), ad(1, 0), ad(99_999, 0), ad(99_999, 1)]
+        _, stats = filter_ads_to_aoi(ads, Point(0, 0), 5_000.0)
+        assert stats.relevance_ratio == pytest.approx(0.5)
+
+    def test_empty_delivery_has_unit_ratio(self):
+        _, stats = filter_ads_to_aoi([], Point(0, 0), 5_000.0)
+        assert stats.relevance_ratio == 1.0
+
+    def test_boundary_inclusive(self):
+        kept, _ = filter_ads_to_aoi([ad(5_000, 0)], Point(0, 0), 5_000.0)
+        assert len(kept) == 1
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ValueError):
+            filter_ads_to_aoi([], Point(0, 0), 0.0)

@@ -1,0 +1,112 @@
+"""Unit tests for mixed-category geo ad serving."""
+
+import pytest
+
+from repro.ads.campaign import Advertiser
+from repro.ads.geo_network import GeoAdNetwork, GeoCampaign, build_request_geo
+from repro.ads.targeting import (
+    AdministrativeArea,
+    AreaRegistry,
+    AreaTargeting,
+    CountryTargeting,
+    RadiusTargeting,
+    RequestGeo,
+)
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+
+
+ADV = Advertiser("adv-1", "Shop")
+DOWNTOWN = AdministrativeArea(
+    "d1", "Downtown", Polygon.from_coords([(0, 0), (1_000, 0), (1_000, 1_000), (0, 1_000)])
+)
+
+
+def network_with_all_categories():
+    net = GeoAdNetwork()
+    net.register(GeoCampaign.create(ADV, CountryTargeting.of("CN"), bid_price=1.0))
+    net.register(GeoCampaign.create(ADV, AreaTargeting.of("d1"), bid_price=2.0))
+    net.register(
+        GeoCampaign.create(ADV, RadiusTargeting(Point(500, 500), 200.0), bid_price=3.0)
+    )
+    return net
+
+
+class TestGeoCampaign:
+    def test_unique_ids(self):
+        a = GeoCampaign.create(ADV, CountryTargeting.of("CN"))
+        b = GeoCampaign.create(ADV, CountryTargeting.of("CN"))
+        assert a.campaign_id != b.campaign_id
+
+    def test_bid_validation(self):
+        with pytest.raises(ValueError):
+            GeoCampaign("x", ADV, CountryTargeting.of("CN"), bid_price=0.0)
+
+
+class TestGeoAdNetwork:
+    def test_match_per_category(self):
+        net = network_with_all_categories()
+        geo = RequestGeo.of(
+            country="CN", area_ids=["d1"], location=Point(520, 510)
+        )
+        assert len(net.match(geo)) == 3
+
+    def test_coarse_request_matches_only_coarse(self):
+        net = network_with_all_categories()
+        geo = RequestGeo.of(country="CN", area_ids=["d1"])  # no location
+        matched = net.match(geo)
+        assert len(matched) == 2
+        assert all(c.targeting.required_precision != "location" for c in matched)
+
+    def test_serve_ranks_by_bid(self):
+        net = network_with_all_categories()
+        geo = RequestGeo.of(country="CN", area_ids=["d1"], location=Point(500, 500))
+        served = net.serve(geo)
+        bids = [c.bid_price for c in served]
+        assert bids == sorted(bids, reverse=True)
+
+    def test_serve_caps_count(self):
+        net = GeoAdNetwork(max_ads_per_request=1)
+        net.register_all(
+            [GeoCampaign.create(ADV, CountryTargeting.of("CN")) for _ in range(5)]
+        )
+        assert len(net.serve(RequestGeo.of(country="CN"))) == 1
+
+    def test_precision_demand(self):
+        net = network_with_all_categories()
+        assert net.precision_demand() == {"country": 1, "area": 1, "location": 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoAdNetwork(max_ads_per_request=0)
+
+
+class TestBuildRequestGeo:
+    def test_coarse_attributes_from_true_location(self):
+        registry = AreaRegistry([DOWNTOWN])
+        true_loc = Point(100, 100)
+        reported = Point(5_000, 5_000)  # obfuscated, outside downtown
+        geo = build_request_geo(
+            reported, country="CN", registry=registry, true_location=true_loc
+        )
+        # Coarse attributes reflect the TRUE location (coarse = safe)...
+        assert geo.area_ids == {"d1"}
+        assert geo.country == "CN"
+        # ...while the precise field carries only the obfuscated report.
+        assert geo.location == reported
+
+    def test_no_registry_no_areas(self):
+        geo = build_request_geo(Point(0, 0), country="CN")
+        assert geo.area_ids == frozenset()
+
+    def test_area_campaigns_still_match_despite_obfuscation(self):
+        """Obfuscation does not cost utility for the coarse categories."""
+        registry = AreaRegistry([DOWNTOWN])
+        net = GeoAdNetwork()
+        net.register(GeoCampaign.create(ADV, AreaTargeting.of("d1")))
+        geo = build_request_geo(
+            Point(90_000, 90_000),  # wildly obfuscated report
+            registry=registry,
+            true_location=Point(100, 100),
+        )
+        assert len(net.match(geo)) == 1

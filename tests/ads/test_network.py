@@ -1,0 +1,77 @@
+"""Unit tests for the ad network: matching, auction, logging."""
+
+import pytest
+
+from repro.ads.campaign import Advertiser, Campaign
+from repro.ads.network import AdNetwork
+from repro.geo.point import Point
+
+
+def campaign(cid, x, bid, radius=5_000.0):
+    return Campaign(
+        campaign_id=cid,
+        advertiser=Advertiser(f"adv-{cid}", cid),
+        business_location=Point(x, 0),
+        radius_m=radius,
+        bid_price=bid,
+    )
+
+
+class TestAdNetwork:
+    def test_request_ids_unique(self):
+        net = AdNetwork()
+        a = net.new_request("d", Point(0, 0), 0.0)
+        b = net.new_request("d", Point(0, 0), 1.0)
+        assert a.request_id != b.request_id
+
+    def test_handle_matches_and_serves(self):
+        net = AdNetwork()
+        net.register_campaign(campaign("c1", 0, bid=2.0))
+        resp = net.handle(net.new_request("d", Point(100, 0), 0.0))
+        assert resp.filled
+        assert resp.ads[0].campaign_id == "c1"
+
+    def test_unmatched_request_unfilled_but_logged(self):
+        net = AdNetwork()
+        net.register_campaign(campaign("c1", 100_000, bid=2.0))
+        resp = net.handle(net.new_request("d", Point(0, 0), 0.0))
+        assert not resp.filled
+        assert len(net.bid_log) == 1
+        assert net.bid_log.records_for("d")[0].matched_campaigns == 0
+
+    def test_log_records_reported_location(self):
+        net = AdNetwork()
+        net.handle(net.new_request("d", Point(12.0, 34.0), 5.0))
+        rec = net.bid_log.records_for("d")[0]
+        assert rec.reported_location == Point(12.0, 34.0)
+        assert rec.timestamp == 5.0
+
+    def test_auction_ranks_by_bid(self):
+        net = AdNetwork(max_ads_per_request=2)
+        net.register_campaigns(
+            [campaign("low", 0, 1.0), campaign("high", 0, 5.0), campaign("mid", 0, 3.0)]
+        )
+        resp = net.handle(net.new_request("d", Point(0, 0), 0.0))
+        assert [a.campaign_id for a in resp.ads] == ["high", "mid"]
+
+    def test_second_price_payment(self):
+        net = AdNetwork(max_ads_per_request=1)
+        net.register_campaigns([campaign("a", 0, 5.0), campaign("b", 0, 3.0)])
+        resp = net.handle(net.new_request("d", Point(0, 0), 0.0))
+        assert resp.ads[0].price_paid == pytest.approx(3.0)
+
+    def test_sole_bidder_pays_own_bid(self):
+        net = AdNetwork(max_ads_per_request=1)
+        net.register_campaign(campaign("a", 0, 5.0))
+        resp = net.handle(net.new_request("d", Point(0, 0), 0.0))
+        assert resp.ads[0].price_paid == pytest.approx(5.0)
+
+    def test_max_ads_cap(self):
+        net = AdNetwork(max_ads_per_request=3)
+        net.register_campaigns([campaign(f"c{i}", 0, 1.0 + i) for i in range(10)])
+        resp = net.handle(net.new_request("d", Point(0, 0), 0.0))
+        assert len(resp.ads) == 3
+
+    def test_bad_max_ads_raises(self):
+        with pytest.raises(ValueError):
+            AdNetwork(max_ads_per_request=0)

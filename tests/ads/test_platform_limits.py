@@ -1,0 +1,47 @@
+"""Unit tests for the Table I platform limits."""
+
+import pytest
+
+from repro.ads.platform_limits import (
+    MILES_TO_M,
+    PLATFORM_LIMITS,
+    PlatformLimit,
+    common_radius_interval,
+)
+
+
+class TestPlatformLimit:
+    def test_allows_inside_range(self):
+        limit = PlatformLimit("x", 500.0, 25_000.0)
+        assert limit.allows(5_000.0)
+        assert limit.allows(500.0)
+        assert limit.allows(25_000.0)
+        assert not limit.allows(499.0)
+        assert not limit.allows(25_001.0)
+
+    def test_invalid_limits_raise(self):
+        with pytest.raises(ValueError):
+            PlatformLimit("x", 0.0, 100.0)
+        with pytest.raises(ValueError):
+            PlatformLimit("x", 200.0, 100.0)
+
+
+class TestTableI:
+    def test_all_four_platforms_present(self):
+        assert set(PLATFORM_LIMITS) == {"google", "microsoft", "facebook", "tencent"}
+
+    def test_google_values(self):
+        g = PLATFORM_LIMITS["google"]
+        assert g.min_radius_m == 5_000.0
+        assert g.max_radius_m == 65_000.0
+
+    def test_facebook_uses_miles(self):
+        f = PLATFORM_LIMITS["facebook"]
+        assert f.min_radius_m == pytest.approx(MILES_TO_M)
+        assert f.max_radius_m == pytest.approx(50 * MILES_TO_M)
+
+    def test_common_interval_is_5_to_25_km(self):
+        """The paper derives R = 5 km from this interval."""
+        lo, hi = common_radius_interval()
+        assert lo == pytest.approx(5_000.0)
+        assert hi == pytest.approx(25_000.0)

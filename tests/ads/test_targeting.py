@@ -1,0 +1,105 @@
+"""Unit tests for the three geo-targeting categories (paper Section II-A)."""
+
+import pytest
+
+from repro.ads.targeting import (
+    AdministrativeArea,
+    AreaRegistry,
+    AreaTargeting,
+    CountryTargeting,
+    RadiusTargeting,
+    RequestGeo,
+)
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+
+
+DOWNTOWN = AdministrativeArea(
+    "cn-sh-01", "Downtown", Polygon.from_coords([(0, 0), (100, 0), (100, 100), (0, 100)])
+)
+SUBURB = AdministrativeArea(
+    "cn-sh-02", "Suburb", Polygon.from_coords([(100, 0), (300, 0), (300, 100), (100, 100)])
+)
+
+
+class TestCountryTargeting:
+    def test_matches_case_insensitively(self):
+        t = CountryTargeting.of("cn", "US")
+        assert t.matches(RequestGeo.of(country="CN"))
+        assert t.matches(RequestGeo.of(country="us"))
+        assert not t.matches(RequestGeo.of(country="DE"))
+
+    def test_missing_country_never_matches(self):
+        assert not CountryTargeting.of("CN").matches(RequestGeo.of())
+
+    def test_needs_countries(self):
+        with pytest.raises(ValueError):
+            CountryTargeting(frozenset())
+
+    def test_required_precision(self):
+        assert CountryTargeting.of("CN").required_precision == "country"
+
+
+class TestAreaTargeting:
+    def test_matches_tagged_area(self):
+        t = AreaTargeting.of("cn-sh-01")
+        assert t.matches(RequestGeo.of(area_ids=["cn-sh-01", "cn-sh-05"]))
+        assert not t.matches(RequestGeo.of(area_ids=["cn-sh-02"]))
+
+    def test_empty_request_areas(self):
+        assert not AreaTargeting.of("a").matches(RequestGeo.of())
+
+    def test_needs_areas(self):
+        with pytest.raises(ValueError):
+            AreaTargeting(frozenset())
+
+    def test_required_precision(self):
+        assert AreaTargeting.of("a").required_precision == "area"
+
+
+class TestRadiusTargeting:
+    def test_matches_within_radius(self):
+        t = RadiusTargeting(Point(0, 0), radius_m=100.0)
+        assert t.matches(RequestGeo.of(location=Point(99, 0)))
+        assert not t.matches(RequestGeo.of(location=Point(101, 0)))
+
+    def test_no_location_no_match(self):
+        assert not RadiusTargeting(Point(0, 0), 100.0).matches(RequestGeo.of())
+
+    def test_required_precision_is_full_location(self):
+        """The paper's point: radius targeting needs the precise location."""
+        assert RadiusTargeting(Point(0, 0), 100.0).required_precision == "location"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RadiusTargeting(Point(0, 0), 0.0)
+
+
+class TestAreaRegistry:
+    def test_areas_containing(self):
+        registry = AreaRegistry([DOWNTOWN, SUBURB])
+        assert registry.areas_containing(Point(50, 50)) == {"cn-sh-01"}
+        assert registry.areas_containing(Point(200, 50)) == {"cn-sh-02"}
+        assert registry.areas_containing(Point(1_000, 1_000)) == frozenset()
+
+    def test_boundary_point_in_both(self):
+        registry = AreaRegistry([DOWNTOWN, SUBURB])
+        # (100, 50) is the shared edge of the two rectangles.
+        assert registry.areas_containing(Point(100, 50)) == {"cn-sh-01", "cn-sh-02"}
+
+    def test_duplicate_id_rejected(self):
+        registry = AreaRegistry([DOWNTOWN])
+        with pytest.raises(ValueError):
+            registry.add(DOWNTOWN)
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            AreaRegistry().get("nope")
+
+    def test_coarse_attribute_derivation_hides_location(self):
+        """The edge can answer area campaigns with only area ids."""
+        registry = AreaRegistry([DOWNTOWN, SUBURB])
+        true_location = Point(42.0, 17.0)
+        geo = RequestGeo.of(area_ids=registry.areas_containing(true_location))
+        assert AreaTargeting.of("cn-sh-01").matches(geo)
+        assert geo.location is None  # the precise location never left

@@ -1,0 +1,90 @@
+"""Unit tests for the cross-device linking attack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.attack.linking import (
+    DeviceLinker,
+    split_trace_across_devices,
+)
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.datagen.obfuscate import one_time_obfuscate
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+
+def device_stream(center, count, rng, scale=30.0):
+    return center + rng.normal(0, scale, (count, 2))
+
+
+class TestSplitTrace:
+    def test_partition_complete(self, rng):
+        trace = [CheckIn(float(i), Point(0, 0)) for i in range(100)]
+        slices = split_trace_across_devices(trace, 3, rng)
+        assert len(slices) == 3
+        assert sum(len(s) for s in slices) == 100
+
+    def test_single_device(self, rng):
+        trace = [CheckIn(0.0, Point(0, 0))]
+        assert split_trace_across_devices(trace, 1, rng) == [trace]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            split_trace_across_devices([], 0, rng)
+
+
+class TestDeviceLinker:
+    def _linker(self):
+        return DeviceLinker(
+            DeobfuscationAttack(theta=100.0, r_alpha=200.0), link_radius=300.0
+        )
+
+    def test_links_same_household(self, rng):
+        home = np.array([1_000.0, 1_000.0])
+        other_home = np.array([20_000.0, 0.0])
+        obs = {
+            "phone": device_stream(home, 200, rng),
+            "tablet": device_stream(home, 150, rng),
+            "stranger": device_stream(other_home, 200, rng),
+        }
+        links = self._linker().link(obs)
+        assert len(links) == 2
+        assert links[0].device_ids == ("phone", "tablet")
+        assert links[0].anchor.distance_to(Point(*home)) < 100.0
+
+    def test_sparse_devices_omitted(self, rng):
+        obs = {
+            "phone": device_stream(np.zeros(2), 100, rng),
+            "dead": np.empty((0, 2)),
+        }
+        links = self._linker().link(obs)
+        all_ids = [d for l in links for d in l.device_ids]
+        assert "dead" not in all_ids
+
+    def test_no_devices(self):
+        assert self._linker().link({}) == []
+
+    def test_link_radius_validation(self):
+        with pytest.raises(ValueError):
+            DeviceLinker(DeobfuscationAttack(theta=1.0, r_alpha=2.0), link_radius=0.0)
+
+    def test_links_obfuscated_streams_end_to_end(self, rng):
+        """One-time geo-IND cannot prevent household linking."""
+        mech = PlanarLaplaceMechanism.from_level(
+            math.log(4), 200.0, rng=default_rng(4)
+        )
+        home = Point(5_000.0, 5_000.0)
+        trace = [CheckIn(float(i), home) for i in range(600)]
+        slices = split_trace_across_devices(trace, 2, rng)
+        obs = {}
+        for i, sl in enumerate(slices):
+            perturbed = one_time_obfuscate(sl, mech)
+            obs[f"dev{i}"] = np.array([(c.x, c.y) for c in perturbed])
+        linker = DeviceLinker(DeobfuscationAttack.against(mech), link_radius=300.0)
+        links = linker.link(obs)
+        assert len(links) == 1
+        assert links[0].size == 2

@@ -1,0 +1,89 @@
+"""Unit tests for the location profiling attack and entropy statistics."""
+
+import numpy as np
+import pytest
+
+from repro.attack.profiling import (
+    EntropyObservation,
+    ProfilingAttack,
+    bucket_mean_entropy,
+    entropy_vs_checkins,
+    fraction_below_entropy,
+)
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+
+def trace_at(point, count, t0=0.0):
+    return [CheckIn(t0 + i, point) for i in range(count)]
+
+
+class TestProfilingAttack:
+    def test_builds_profile(self):
+        attack = ProfilingAttack()
+        trace = trace_at(Point(0, 0), 20) + trace_at(Point(1000, 0), 5, t0=100)
+        profile = attack.build_profile(trace)
+        assert len(profile) == 2
+
+    def test_top_locations(self):
+        attack = ProfilingAttack()
+        trace = trace_at(Point(0, 0), 20) + trace_at(Point(1000, 0), 5, t0=100)
+        tops = attack.top_locations(trace, 1)
+        assert len(tops) == 1
+        assert tops[0].distance_to(Point(0, 0)) < 1.0
+
+    def test_entropy_of_single_location_is_zero(self):
+        attack = ProfilingAttack()
+        assert attack.entropy(trace_at(Point(0, 0), 10)) == 0.0
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            ProfilingAttack(connect_radius=0.0)
+
+
+class TestEntropyStatistics:
+    def _observations(self):
+        return [
+            EntropyObservation(checkins=30, entropy=2.5),
+            EntropyObservation(checkins=100, entropy=1.5),
+            EntropyObservation(checkins=900, entropy=0.8),
+            EntropyObservation(checkins=2_500, entropy=0.5),
+        ]
+
+    def test_entropy_vs_checkins(self):
+        traces = {
+            "a": trace_at(Point(0, 0), 12),
+            "b": trace_at(Point(0, 0), 5) + trace_at(Point(1000, 0), 5, t0=50),
+        }
+        obs = entropy_vs_checkins(traces)
+        assert len(obs) == 2
+        by_count = {o.checkins: o.entropy for o in obs}
+        assert by_count[12] == 0.0  # single-location user
+        assert by_count[10] == pytest.approx(np.log(2))  # 50/50 split
+
+    def test_fraction_below_entropy(self):
+        obs = self._observations()
+        assert fraction_below_entropy(obs, 2.0) == pytest.approx(0.75)
+        assert fraction_below_entropy(obs, 10.0) == 1.0
+        assert fraction_below_entropy([], 2.0) == 0.0
+
+    def test_bucket_mean_entropy(self):
+        rows = bucket_mean_entropy(self._observations(), [20, 200, 2_000])
+        labels = [r[0] for r in rows]
+        assert labels == ["[20, 200)", "[200, 2000)", ">=2000"]
+        # First bucket holds the 30- and 100-check-in users.
+        assert rows[0][1] == 2
+        assert rows[0][2] == pytest.approx(2.0)
+        assert rows[2][1] == 1
+
+    def test_bucket_edges_validation(self):
+        with pytest.raises(ValueError):
+            bucket_mean_entropy(self._observations(), [100, 20])
+        with pytest.raises(ValueError):
+            bucket_mean_entropy(self._observations(), [100])
+
+    def test_empty_bucket_is_nan(self):
+        rows = bucket_mean_entropy(self._observations(), [20, 25, 200])
+        # No user has 20-24 check-ins: the first bucket is empty.
+        assert rows[0][1] == 0
+        assert np.isnan(rows[0][2])

@@ -1,0 +1,83 @@
+"""Unit tests for the attack-success metrics."""
+
+import math
+
+import pytest
+
+from repro.attack.success import (
+    error_quantiles,
+    evaluate_user,
+    success_rate,
+)
+from repro.geo.point import Point
+
+
+class TestEvaluateUser:
+    def test_rank_matching(self):
+        outcome = evaluate_user(
+            inferred=[Point(10, 0), Point(1000, 0)],
+            true_tops=[Point(0, 0), Point(1100, 0)],
+        )
+        assert outcome.at_rank(1).error_m == pytest.approx(10.0)
+        assert outcome.at_rank(2).error_m == pytest.approx(100.0)
+
+    def test_missing_inference_is_infinite_error(self):
+        outcome = evaluate_user(inferred=[], true_tops=[Point(0, 0)])
+        assert math.isinf(outcome.at_rank(1).error_m)
+        assert not outcome.success(1, 1e12)
+
+    def test_none_inference(self):
+        outcome = evaluate_user(inferred=[None], true_tops=[Point(0, 0)])
+        assert math.isinf(outcome.at_rank(1).error_m)
+
+    def test_rank_beyond_true_tops_absent(self):
+        outcome = evaluate_user(inferred=[Point(0, 0)], true_tops=[Point(0, 0)])
+        assert outcome.at_rank(2) is None
+
+    def test_success_threshold(self):
+        outcome = evaluate_user([Point(150, 0)], [Point(0, 0)])
+        assert outcome.success(1, 200.0)
+        assert not outcome.success(1, 100.0)
+
+
+class TestSuccessRate:
+    def _outcomes(self):
+        return [
+            evaluate_user([Point(50, 0)], [Point(0, 0)]),       # hit at 200
+            evaluate_user([Point(300, 0)], [Point(0, 0)]),      # miss at 200
+            evaluate_user([Point(100, 0), Point(900, 0)],
+                          [Point(0, 0), Point(1000, 0)]),       # hit both
+        ]
+
+    def test_rate_at_rank1(self):
+        rate = success_rate(self._outcomes(), rank=1, threshold_m=200.0)
+        assert rate == pytest.approx(2 / 3)
+
+    def test_rank2_excludes_single_top_users(self):
+        rate = success_rate(self._outcomes(), rank=2, threshold_m=200.0)
+        # Only the third user has a rank-2 truth; it is a hit.
+        assert rate == 1.0
+
+    def test_empty_outcomes(self):
+        assert success_rate([], 1, 200.0) == 0.0
+
+
+class TestErrorQuantiles:
+    def test_quantiles(self):
+        outcomes = [
+            evaluate_user([Point(d, 0)], [Point(0, 0)]) for d in (10, 20, 30, 40)
+        ]
+        q = error_quantiles(outcomes, rank=1, quantiles=[0.5])
+        assert q[0.5] == pytest.approx(25.0)
+
+    def test_infinite_errors_excluded(self):
+        outcomes = [
+            evaluate_user([Point(10, 0)], [Point(0, 0)]),
+            evaluate_user([], [Point(0, 0)]),
+        ]
+        q = error_quantiles(outcomes, rank=1, quantiles=[0.5])
+        assert q[0.5] == pytest.approx(10.0)
+
+    def test_no_data_is_nan(self):
+        q = error_quantiles([], rank=1, quantiles=[0.5])
+        assert math.isnan(q[0.5])

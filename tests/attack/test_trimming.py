@@ -1,0 +1,82 @@
+"""Unit tests for the trimming refinement (Algorithm 1, lines 10-19)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.trimming import trim_cluster
+
+
+class TestTrimCluster:
+    def test_discards_far_members(self, rng):
+        blob = rng.normal(0, 1, (50, 2))
+        outliers = np.array([[100.0, 0.0], [0.0, 150.0]])
+        coords = np.vstack([blob, outliers])
+        seed = list(range(len(coords)))  # seed includes the outliers
+        result = trim_cluster(coords, seed, r_alpha=10.0)
+        assert result.converged
+        assert len(result.member_indices) == 50
+        assert 50 not in result.member_indices
+        assert 51 not in result.member_indices
+
+    def test_readmits_nearby_points(self, rng):
+        blob = rng.normal(0, 1, (50, 2))
+        # Seed with only half the blob; trimming should pull the rest in.
+        result = trim_cluster(blob, list(range(25)), r_alpha=10.0)
+        assert len(result.member_indices) == 50
+
+    def test_respects_available_mask(self, rng):
+        blob = rng.normal(0, 1, (30, 2))
+        available = np.ones(30, dtype=bool)
+        available[:10] = False
+        result = trim_cluster(blob, list(range(10, 30)), 10.0, available=available)
+        assert all(i >= 10 for i in result.member_indices)
+
+    def test_centroid_near_truth(self, rng):
+        blob = rng.normal(5.0, 1.0, (200, 2))
+        result = trim_cluster(blob, list(range(200)), r_alpha=5.0)
+        assert abs(result.centroid.x - 5.0) < 0.5
+        assert abs(result.centroid.y - 5.0) < 0.5
+
+    def test_empty_seed_raises(self):
+        with pytest.raises(ValueError):
+            trim_cluster(np.zeros((3, 2)), [], 1.0)
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ValueError):
+            trim_cluster(np.zeros((3, 2)), [0], 0.0)
+
+    def test_bad_mask_shape_raises(self):
+        with pytest.raises(ValueError):
+            trim_cluster(np.zeros((3, 2)), [0], 1.0, available=np.ones(2, dtype=bool))
+
+    def test_all_trimmed_falls_back_to_seed(self):
+        """Two far-apart points seeded together: the fixed point keeps one side."""
+        coords = np.array([[0.0, 0.0], [1_000.0, 0.0]])
+        result = trim_cluster(coords, [0, 1], r_alpha=1.0)
+        # Whatever happens, the result must be non-empty and finite.
+        assert result.size >= 1
+        assert np.isfinite([result.centroid.x, result.centroid.y]).all()
+
+    def test_separates_two_blobs_from_merged_seed(self, rng):
+        """Seeded with both blobs, trimming converges onto one of them.
+
+        The blobs are close enough that the merged centroid still captures
+        one blob inside r_alpha, so the iteration walks onto it.
+        """
+        a = rng.normal(0, 1, (60, 2))
+        b = rng.normal(12, 1, (40, 2))
+        coords = np.vstack([a, b])
+        result = trim_cluster(coords, list(range(100)), r_alpha=8.0)
+        members = np.array(result.member_indices)
+        in_a = (members < 60).sum()
+        in_b = (members >= 60).sum()
+        assert min(in_a, in_b) <= 3
+
+    def test_empty_fixed_point_falls_back_to_seed(self, rng):
+        """Far-apart blobs whose joint centroid is empty: keep the seed."""
+        a = rng.normal(0, 1, (60, 2))
+        b = rng.normal(30, 1, (40, 2))
+        coords = np.vstack([a, b])
+        result = trim_cluster(coords, list(range(100)), r_alpha=8.0)
+        # The fallback keeps the (whole) seed rather than returning nothing.
+        assert result.size == 100

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import GeoIndBudget
+from repro.datagen.population import PopulationConfig, generate_population
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests that need different streams reseed."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_budget() -> GeoIndBudget:
+    """The paper's headline budget: (500 m, eps=1, delta=0.01, n=10)."""
+    return GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+
+
+@pytest.fixture(scope="session")
+def tiny_population():
+    """A 12-user population shared across tests (generation is ~1 s)."""
+    return generate_population(PopulationConfig(n_users=12, seed=99))

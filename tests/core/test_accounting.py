@@ -1,0 +1,66 @@
+"""Unit tests for privacy accounting."""
+
+import math
+
+import pytest
+
+from repro.core.accounting import (
+    LongitudinalExposureAccountant,
+    composition_vs_sufficient_statistic,
+)
+
+
+class TestLongitudinalAccountant:
+    def test_single_observation(self):
+        acc = LongitudinalExposureAccountant()
+        acc.observe(0.01)
+        assert acc.total_epsilon == pytest.approx(0.01)
+        assert acc.observations == 1
+
+    def test_bulk_observations_compose_linearly(self):
+        acc = LongitudinalExposureAccountant()
+        acc.observe(math.log(2) / 200.0, count=1000)
+        # After 1,000 observations, the effective level at 200 m is
+        # 1000 * ln 2 — no meaningful protection.
+        assert acc.effective_level(200.0) == pytest.approx(1000 * math.log(2))
+
+    def test_mixed_budgets_accumulate(self):
+        acc = LongitudinalExposureAccountant()
+        acc.observe(0.01, count=2)
+        acc.observe(0.02)
+        assert acc.total_epsilon == pytest.approx(0.04)
+
+    def test_reset(self):
+        acc = LongitudinalExposureAccountant()
+        acc.observe(0.01)
+        acc.reset()
+        assert acc.observations == 0
+        assert acc.total_epsilon == 0.0
+
+    def test_rejects_invalid(self):
+        acc = LongitudinalExposureAccountant()
+        with pytest.raises(ValueError):
+            acc.observe(0.0)
+        with pytest.raises(ValueError):
+            acc.observe(0.01, count=0)
+        with pytest.raises(ValueError):
+            acc.effective_level(0.0)
+
+
+class TestSigmaComparison:
+    def test_saving_factor_at_n1_is_one(self):
+        cmp1 = composition_vs_sufficient_statistic(500, 1.0, 0.01, 1)
+        assert cmp1.saving_factor == pytest.approx(1.0)
+
+    def test_saving_grows_with_n(self):
+        savings = [
+            composition_vs_sufficient_statistic(500, 1.0, 0.01, n).saving_factor
+            for n in (1, 2, 5, 10)
+        ]
+        assert savings == sorted(savings)
+        assert savings[-1] > 3.0
+
+    def test_saving_roughly_sqrt_n(self):
+        cmp10 = composition_vs_sufficient_statistic(500, 1.0, 0.01, 10)
+        # sigma_comp ~ n-linear, sigma_suff ~ sqrt(n): ratio >= sqrt(n).
+        assert cmp10.saving_factor >= math.sqrt(10)

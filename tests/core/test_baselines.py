@@ -1,0 +1,94 @@
+"""Unit tests for the two baseline multi-output mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    NaivePostProcessingMechanism,
+    PlainCompositionMechanism,
+)
+from repro.core.calibration import gaussian_sigma_composition, gaussian_sigma_single
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.geo.point import Point, points_to_array
+
+
+class TestNaivePostProcessing:
+    def test_output_count(self, paper_budget):
+        m = NaivePostProcessingMechanism(paper_budget, rng=default_rng(0))
+        assert len(m.obfuscate(Point(0, 0))) == 10
+
+    def test_sigma_is_single_fold(self, paper_budget):
+        """Post-processing spends only one 1-fold release of budget."""
+        m = NaivePostProcessingMechanism(paper_budget)
+        assert m.sigma == pytest.approx(gaussian_sigma_single(500, 1.0, 0.01))
+
+    def test_default_scatter_radius_is_sigma(self, paper_budget):
+        m = NaivePostProcessingMechanism(paper_budget)
+        assert m.scatter_radius == pytest.approx(m.sigma)
+
+    def test_candidates_cluster_around_one_anchor(self, paper_budget):
+        """All candidates must lie within scatter_radius of a common anchor."""
+        m = NaivePostProcessingMechanism(paper_budget, rng=default_rng(3))
+        outs = points_to_array(m.obfuscate(Point(0, 0)))
+        spread = np.hypot(
+            outs[:, 0] - outs[:, 0].mean(), outs[:, 1] - outs[:, 1].mean()
+        ).max()
+        assert spread <= 2 * m.scatter_radius
+
+    def test_custom_scatter_radius(self, paper_budget):
+        m = NaivePostProcessingMechanism(
+            paper_budget, scatter_radius=10.0, rng=default_rng(4)
+        )
+        outs = points_to_array(m.obfuscate(Point(0, 0)))
+        spread = np.hypot(
+            outs[:, 0] - outs[:, 0].mean(), outs[:, 1] - outs[:, 1].mean()
+        ).max()
+        assert spread <= 20.0
+
+    def test_rejects_bad_scatter(self, paper_budget):
+        with pytest.raises(ValueError):
+            NaivePostProcessingMechanism(paper_budget, scatter_radius=0.0)
+
+    def test_tail_radius_is_conservative(self, rng, paper_budget):
+        m = NaivePostProcessingMechanism(paper_budget, rng=rng)
+        r05 = m.noise_tail_radius(0.05)
+        center = Point(0, 0)
+        exceeded = 0
+        total = 0
+        for _ in range(300):
+            for out in m.obfuscate(center):
+                total += 1
+                if center.distance_to(out) > r05:
+                    exceeded += 1
+        assert exceeded / total <= 0.05 + 0.01
+
+
+class TestPlainComposition:
+    def test_output_count(self, paper_budget):
+        m = PlainCompositionMechanism(paper_budget, rng=default_rng(0))
+        assert len(m.obfuscate(Point(0, 0))) == 10
+
+    def test_sigma_matches_split_budget(self, paper_budget):
+        m = PlainCompositionMechanism(paper_budget)
+        assert m.sigma == pytest.approx(gaussian_sigma_composition(500, 1.0, 0.01, 10))
+
+    def test_noisier_than_nfold(self, paper_budget):
+        comp = PlainCompositionMechanism(paper_budget)
+        nfold = NFoldGaussianMechanism(paper_budget)
+        assert comp.sigma > nfold.sigma
+
+    def test_n1_equivalent_to_nfold_n1(self):
+        b = GeoIndBudget(500, 1.0, 0.01, 1)
+        assert PlainCompositionMechanism(b).sigma == pytest.approx(
+            NFoldGaussianMechanism(b).sigma
+        )
+
+    def test_outputs_independent_spread(self, rng, paper_budget):
+        """Composition candidates scatter at their (large) per-output sigma."""
+        m = PlainCompositionMechanism(paper_budget, rng=rng)
+        outs = points_to_array(m.obfuscate(Point(0, 0)))
+        # With sigma ~18.7 km, candidates should not all huddle within 5 km.
+        spread = np.hypot(outs[:, 0], outs[:, 1])
+        assert spread.max() > 5_000.0

@@ -1,0 +1,91 @@
+"""Unit tests for the sigma calibration formulas (Lemma 1 / Theorem 2)."""
+
+import math
+
+import pytest
+
+from repro.core.calibration import (
+    gaussian_sigma_composition,
+    gaussian_sigma_nfold,
+    gaussian_sigma_single,
+    sigma_for_budget,
+)
+from repro.core.params import GeoIndBudget
+
+
+class TestSingleSigma:
+    def test_matches_lemma1_formula(self):
+        r, eps, delta = 500.0, 1.0, 0.01
+        expected = (r / eps) * math.sqrt(math.log(1 / delta**2) + eps)
+        assert gaussian_sigma_single(r, eps, delta) == pytest.approx(expected)
+
+    def test_scales_linearly_with_r(self):
+        s1 = gaussian_sigma_single(500, 1.0, 0.01)
+        s2 = gaussian_sigma_single(1000, 1.0, 0.01)
+        assert s2 == pytest.approx(2 * s1)
+
+    def test_decreases_with_epsilon(self):
+        assert gaussian_sigma_single(500, 1.5, 0.01) < gaussian_sigma_single(
+            500, 1.0, 0.01
+        )
+
+    def test_decreases_with_delta(self):
+        assert gaussian_sigma_single(500, 1.0, 0.1) < gaussian_sigma_single(
+            500, 1.0, 0.01
+        )
+
+    @pytest.mark.parametrize(
+        "args", [(0, 1, 0.01), (500, 0, 0.01), (500, 1, 0.0), (500, 1, 1.0)]
+    )
+    def test_rejects_invalid(self, args):
+        with pytest.raises(ValueError):
+            gaussian_sigma_single(*args)
+
+
+class TestNFoldSigma:
+    def test_sqrt_n_scaling(self):
+        s1 = gaussian_sigma_single(500, 1.0, 0.01)
+        for n in (1, 2, 5, 10, 100):
+            assert gaussian_sigma_nfold(500, 1.0, 0.01, n) == pytest.approx(
+                math.sqrt(n) * s1
+            )
+
+    def test_paper_headline_value(self):
+        """sigma for (500 m, eps=1, delta=0.01, n=10) is about 5.05 km."""
+        sigma = gaussian_sigma_nfold(500, 1.0, 0.01, 10)
+        assert sigma == pytest.approx(5052.3, abs=0.5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma_nfold(500, 1.0, 0.01, 0)
+
+
+class TestCompositionSigma:
+    def test_n1_matches_single(self):
+        assert gaussian_sigma_composition(500, 1.0, 0.01, 1) == pytest.approx(
+            gaussian_sigma_single(500, 1.0, 0.01)
+        )
+
+    def test_composition_always_noisier_for_n_gt_1(self):
+        for n in (2, 5, 10):
+            assert gaussian_sigma_composition(500, 1.0, 0.01, n) > gaussian_sigma_nfold(
+                500, 1.0, 0.01, n
+            )
+
+    def test_superlinear_growth(self):
+        """Composition sigma grows faster than linearly in n."""
+        s2 = gaussian_sigma_composition(500, 1.0, 0.01, 2)
+        s4 = gaussian_sigma_composition(500, 1.0, 0.01, 4)
+        assert s4 > 2 * s2 * 0.99  # ~linear in n, vs sqrt(2) for n-fold
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma_composition(500, 1.0, 0.01, 0)
+
+
+class TestSigmaForBudget:
+    def test_delegates_to_nfold(self):
+        b = GeoIndBudget(500, 1.0, 0.01, 10)
+        assert sigma_for_budget(b) == pytest.approx(
+            gaussian_sigma_nfold(500, 1.0, 0.01, 10)
+        )

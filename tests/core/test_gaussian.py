@@ -1,0 +1,107 @@
+"""Unit tests for the 1-fold and n-fold Gaussian mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import gaussian_sigma_nfold, gaussian_sigma_single
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.geo.point import Point
+
+
+class TestGaussianMechanism:
+    def test_sigma_matches_lemma1(self):
+        b = GeoIndBudget(500, 1.0, 0.01, 1)
+        m = GaussianMechanism(b)
+        assert m.sigma == pytest.approx(gaussian_sigma_single(500, 1.0, 0.01))
+
+    def test_single_output(self):
+        m = GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 1), rng=default_rng(0))
+        outputs = m.obfuscate(Point(10.0, 20.0))
+        assert len(outputs) == 1
+        assert m.n_outputs == 1
+
+    def test_rejects_multi_output_budget(self):
+        with pytest.raises(ValueError):
+            GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 5))
+
+    def test_obfuscate_one(self):
+        m = GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 1), rng=default_rng(0))
+        out = m.obfuscate_one(Point(0, 0))
+        assert isinstance(out, Point)
+
+    def test_noise_centered_on_input(self, rng):
+        m = GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 1), rng=rng)
+        center = Point(1000.0, -500.0)
+        outs = np.array([tuple(m.obfuscate(center)[0]) for _ in range(4000)])
+        assert outs[:, 0].mean() == pytest.approx(1000.0, abs=m.sigma * 4 / 63)
+        assert outs[:, 1].mean() == pytest.approx(-500.0, abs=m.sigma * 4 / 63)
+
+    def test_tail_radius_is_rayleigh_quantile(self):
+        m = GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 1))
+        r = m.noise_tail_radius(0.05)
+        assert r == pytest.approx(m.sigma * math.sqrt(2 * math.log(1 / 0.05)))
+
+    def test_tail_radius_rejects_bad_alpha(self):
+        m = GaussianMechanism(GeoIndBudget(500, 1.0, 0.01, 1))
+        with pytest.raises(ValueError):
+            m.noise_tail_radius(0.0)
+
+
+class TestNFoldGaussianMechanism:
+    def test_sigma_matches_theorem2(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget)
+        assert m.sigma == pytest.approx(gaussian_sigma_nfold(500, 1.0, 0.01, 10))
+
+    def test_output_count(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget, rng=default_rng(1))
+        assert len(m.obfuscate(Point(0, 0))) == 10
+
+    def test_outputs_are_distinct(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget, rng=default_rng(1))
+        outs = m.obfuscate(Point(0, 0))
+        assert len({(o.x, o.y) for o in outs}) == 10
+
+    def test_obfuscate_one_rejected_for_multi_output(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget)
+        with pytest.raises(ValueError):
+            m.obfuscate_one(Point(0, 0))
+
+    def test_posterior_sigma(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget)
+        assert m.posterior_sigma == pytest.approx(m.sigma / math.sqrt(10))
+
+    def test_mean_tail_tighter_than_single_tail(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget)
+        assert m.mean_tail_radius(0.05) < m.noise_tail_radius(0.05)
+
+    def test_sample_mean_concentrates_as_sufficient_statistic(self, rng):
+        """The candidate mean must be N(p, sigma^2/n) — Theorem 2's core."""
+        budget = GeoIndBudget(500, 1.0, 0.01, 10)
+        m = NFoldGaussianMechanism(budget, rng=rng)
+        trials = 2000
+        means = np.empty((trials, 2))
+        for t in range(trials):
+            outs = m.obfuscate(Point(0, 0))
+            arr = np.array([tuple(o) for o in outs])
+            means[t] = arr.mean(axis=0)
+        expected_std = m.sigma / math.sqrt(10)
+        assert means[:, 0].std() == pytest.approx(expected_std, rel=0.08)
+        assert means[:, 1].std() == pytest.approx(expected_std, rel=0.08)
+
+    def test_obfuscate_stream(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget, rng=default_rng(2))
+        stream = m.obfuscate_stream([Point(0, 0), Point(1, 1)])
+        assert len(stream) == 2
+        assert all(len(s) == 10 for s in stream)
+
+    def test_reseed_reproduces(self, paper_budget):
+        m = NFoldGaussianMechanism(paper_budget)
+        m.reseed(7)
+        first = m.obfuscate(Point(0, 0))
+        m.reseed(7)
+        second = m.obfuscate(Point(0, 0))
+        assert first == second

@@ -1,0 +1,94 @@
+"""Unit tests for the planar Laplace mechanism (one-time geo-IND)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import OneTimeBudget
+from repro.geo.point import Point
+
+
+class TestConstruction:
+    def test_from_level_paper_setting(self):
+        m = PlanarLaplaceMechanism.from_level(math.log(2), 200.0)
+        assert m.epsilon == pytest.approx(math.log(2) / 200.0)
+
+    def test_single_output(self):
+        m = PlanarLaplaceMechanism(OneTimeBudget(0.01), rng=default_rng(0))
+        assert m.n_outputs == 1
+        assert len(m.obfuscate(Point(0, 0))) == 1
+
+
+class TestNoiseDistribution:
+    def test_mean_distance_matches_theory(self, rng):
+        """Planar Laplace mean radius is 2/eps."""
+        eps = math.log(4) / 200.0
+        m = PlanarLaplaceMechanism(OneTimeBudget(eps), rng=rng)
+        center = Point(0, 0)
+        dists = [center.distance_to(m.obfuscate(center)[0]) for _ in range(5000)]
+        assert np.mean(dists) == pytest.approx(2 / eps, rel=0.05)
+
+    def test_batch_matches_scalar_distribution(self, rng):
+        eps = 0.005
+        m = PlanarLaplaceMechanism(OneTimeBudget(eps), rng=rng)
+        coords = np.zeros((5000, 2))
+        noisy = m.obfuscate_batch(coords)
+        radii = np.hypot(noisy[:, 0], noisy[:, 1])
+        assert radii.mean() == pytest.approx(2 / eps, rel=0.05)
+
+    def test_batch_preserves_offsets(self, rng):
+        eps = 0.01
+        m = PlanarLaplaceMechanism(OneTimeBudget(eps), rng=rng)
+        coords = np.array([[0.0, 0.0], [10_000.0, 0.0]]).repeat(2000, axis=0)
+        noisy = m.obfuscate_batch(coords)
+        left = noisy[coords[:, 0] == 0.0]
+        right = noisy[coords[:, 0] == 10_000.0]
+        assert left[:, 0].mean() == pytest.approx(0.0, abs=50)
+        assert right[:, 0].mean() == pytest.approx(10_000.0, abs=50)
+
+
+class TestTailRadius:
+    def test_tail_radius_bounds_noise(self, rng):
+        m = PlanarLaplaceMechanism(OneTimeBudget(0.01), rng=rng)
+        r05 = m.noise_tail_radius(0.05)
+        center = Point(0, 0)
+        dists = np.array(
+            [center.distance_to(m.obfuscate(center)[0]) for _ in range(4000)]
+        )
+        assert (dists > r05).mean() == pytest.approx(0.05, abs=0.015)
+
+    def test_tail_radius_monotone_in_alpha(self):
+        m = PlanarLaplaceMechanism(OneTimeBudget(0.01))
+        assert m.noise_tail_radius(0.01) > m.noise_tail_radius(0.1)
+
+    def test_rejects_bad_alpha(self):
+        m = PlanarLaplaceMechanism(OneTimeBudget(0.01))
+        with pytest.raises(ValueError):
+            m.noise_tail_radius(1.5)
+
+
+class TestGeoIndProperty:
+    def test_empirical_geo_ind_ratio(self, rng):
+        """Histogram likelihood-ratio check of Definition 1 on real samples.
+
+        For two nearby locations p0, p1 the output density ratio must stay
+        within exp(eps * d(p0, p1)) on every coarse histogram cell with
+        enough mass.
+        """
+        eps = 0.01
+        d = 100.0
+        m = PlanarLaplaceMechanism(OneTimeBudget(eps), rng=rng)
+        n = 60_000
+        out0 = m.obfuscate_batch(np.tile([0.0, 0.0], (n, 1)))
+        out1 = m.obfuscate_batch(np.tile([d, 0.0], (n, 1)))
+        bound = math.exp(eps * d) * 1.35  # sampling slack
+        edges = np.linspace(-400, 400, 9)
+        h0, _, _ = np.histogram2d(out0[:, 0], out0[:, 1], bins=[edges, edges])
+        h1, _, _ = np.histogram2d(out1[:, 0], out1[:, 1], bins=[edges, edges])
+        mask = (h0 >= 50) & (h1 >= 50)
+        ratios = h0[mask] / h1[mask]
+        assert (ratios <= bound).all()
+        assert (ratios >= 1 / bound).all()

@@ -1,0 +1,83 @@
+"""Unit tests for the privacy budget ledger."""
+
+import pytest
+
+from repro.core.ledger import BudgetExceededError, PrivacyLedger
+from repro.core.params import GeoIndBudget
+
+
+BUDGET = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+
+
+class TestPrivacyLedger:
+    def test_uncapped_ledger_accumulates(self):
+        ledger = PrivacyLedger()
+        ledger.spend(BUDGET)
+        ledger.spend(BUDGET)
+        assert ledger.total_epsilon == pytest.approx(2.0)
+        assert ledger.total_delta == pytest.approx(0.02)
+        assert ledger.spends == 2
+
+    def test_epsilon_cap_enforced(self):
+        ledger = PrivacyLedger(max_epsilon=2.5)
+        ledger.spend(BUDGET)
+        ledger.spend(BUDGET)
+        assert not ledger.can_spend(BUDGET)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(BUDGET)
+        assert ledger.spends == 2  # failed spend not recorded
+
+    def test_delta_cap_enforced(self):
+        ledger = PrivacyLedger(max_delta=0.015)
+        ledger.spend(BUDGET)
+        with pytest.raises(BudgetExceededError):
+            ledger.spend(BUDGET)
+
+    def test_exact_cap_allowed(self):
+        ledger = PrivacyLedger(max_epsilon=2.0)
+        ledger.spend(BUDGET)
+        ledger.spend(BUDGET)
+        assert ledger.total_epsilon == pytest.approx(2.0)
+
+    def test_remaining_epsilon(self):
+        ledger = PrivacyLedger(max_epsilon=3.0)
+        ledger.spend(BUDGET)
+        assert ledger.remaining_epsilon() == pytest.approx(2.0)
+        assert PrivacyLedger().remaining_epsilon() == float("inf")
+
+    def test_remaining_spends(self):
+        ledger = PrivacyLedger(max_epsilon=3.05, max_delta=1e-1)
+        assert ledger.remaining_spends(BUDGET) == 3
+        ledger.spend(BUDGET)
+        assert ledger.remaining_spends(BUDGET) == 2
+
+    def test_entry_metadata(self):
+        ledger = PrivacyLedger()
+        entry = ledger.spend(BUDGET, label="home", timestamp=42.0)
+        assert entry.label == "home"
+        assert entry.timestamp == 42.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyLedger(max_epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivacyLedger(max_delta=1.5)
+
+
+class TestLedgerInObfuscationModule:
+    def test_module_respects_cap(self):
+        from repro.core.gaussian import NFoldGaussianMechanism
+        from repro.core.mechanism import default_rng
+        from repro.edge.obfuscation import ObfuscationModule
+        from repro.geo.point import Point
+
+        mech = NFoldGaussianMechanism(BUDGET, rng=default_rng(0))
+        ledger = PrivacyLedger(max_epsilon=2.0)
+        module = ObfuscationModule(mech, ledger=ledger)
+        tops = [Point(0, 0), Point(10_000, 0), Point(20_000, 0)]
+        module.ensure_obfuscated(tops)
+        assert module.obfuscation_count == 2
+        assert module.skipped_by_ledger == 1
+        # Already-pinned locations keep working after the cap.
+        assert module.candidates_for(Point(0, 0)) is not None
+        assert module.candidates_for(Point(20_000, 0)) is None

@@ -1,0 +1,61 @@
+"""Unit tests for privacy budget parameter objects."""
+
+import math
+
+import pytest
+
+from repro.core.params import GeoIndBudget, OneTimeBudget
+
+
+class TestOneTimeBudget:
+    def test_from_level_matches_paper_convention(self):
+        b = OneTimeBudget.from_level(math.log(2), 200.0)
+        assert b.epsilon == pytest.approx(math.log(2) / 200.0)
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, float("inf"), float("nan")])
+    def test_rejects_bad_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            OneTimeBudget(eps)
+
+    def test_from_level_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            OneTimeBudget.from_level(0.0, 200.0)
+        with pytest.raises(ValueError):
+            OneTimeBudget.from_level(1.0, 0.0)
+
+
+class TestGeoIndBudget:
+    def test_valid_budget(self):
+        b = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+        assert b.n == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(r=0.0, epsilon=1.0, delta=0.01),
+            dict(r=500.0, epsilon=0.0, delta=0.01),
+            dict(r=500.0, epsilon=1.0, delta=0.0),
+            dict(r=500.0, epsilon=1.0, delta=1.0),
+            dict(r=500.0, epsilon=1.0, delta=0.01, n=0),
+            dict(r=float("inf"), epsilon=1.0, delta=0.01),
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GeoIndBudget(**kwargs)
+
+    def test_with_n(self):
+        b = GeoIndBudget(500.0, 1.0, 0.01, 10)
+        b1 = b.with_n(1)
+        assert b1.n == 1
+        assert (b1.r, b1.epsilon, b1.delta) == (b.r, b.epsilon, b.delta)
+
+    def test_split_for_composition(self):
+        b = GeoIndBudget(500.0, 1.0, 0.01, 10)
+        s = b.split_for_composition()
+        assert s.n == 1
+        assert s.epsilon == pytest.approx(0.1)
+        assert s.delta == pytest.approx(0.001)
+
+    def test_budget_is_hashable(self):
+        assert len({GeoIndBudget(500, 1, 0.01), GeoIndBudget(500, 1, 0.01)}) == 1

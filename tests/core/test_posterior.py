@@ -1,0 +1,99 @@
+"""Unit tests for posterior-based output selection (Algorithm 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.posterior import (
+    PosteriorSelector,
+    UniformSelector,
+    posterior_density,
+    posterior_weights,
+)
+from repro.geo.point import Point
+
+
+class TestPosteriorDensity:
+    def test_peak_at_candidate_mean(self):
+        cands = [Point(-1, 0), Point(1, 0)]
+        at_mean = posterior_density(cands, 1.0, Point(0, 0))
+        off_mean = posterior_density(cands, 1.0, Point(1, 1))
+        assert at_mean > off_mean
+
+    def test_normalisation_constant(self):
+        cands = [Point(0, 0)]
+        assert posterior_density(cands, 2.0, Point(0, 0)) == pytest.approx(
+            1 / (2 * math.pi * 4.0)
+        )
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            posterior_density([Point(0, 0)], 0.0, Point(0, 0))
+
+
+class TestPosteriorWeights:
+    def test_weights_sum_to_one(self):
+        cands = [Point(0, 0), Point(5, 0), Point(-3, 4)]
+        w = posterior_weights(cands, 2.0)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_candidate_near_mean_gets_higher_weight(self):
+        cands = [Point(0.1, 0), Point(10, 0), Point(-10, 0)]
+        w = posterior_weights(cands, 1.0)
+        assert w[0] > w[1]
+        assert w[0] > w[2]
+
+    def test_symmetric_candidates_equal_weight(self):
+        cands = [Point(-3, 0), Point(3, 0)]
+        w = posterior_weights(cands, 1.0)
+        assert w[0] == pytest.approx(w[1])
+
+    def test_numerical_stability_with_distant_candidates(self):
+        """Huge distances must not underflow to all-zero weights."""
+        cands = [Point(0, 0), Point(1e7, 0)]
+        w = posterior_weights(cands, 1.0)
+        assert np.isfinite(w).all()
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            posterior_weights([], 1.0)
+
+
+class TestPosteriorSelector:
+    def test_selection_frequencies_match_weights(self, rng):
+        cands = [Point(0, 0), Point(2, 0), Point(-2, 0)]
+        selector = PosteriorSelector(1.0, rng=rng)
+        expected = selector.probabilities(cands)
+        counts = np.zeros(3)
+        for _ in range(6000):
+            counts[selector.select_index(cands)] += 1
+        observed = counts / counts.sum()
+        assert np.allclose(observed, expected, atol=0.03)
+
+    def test_select_returns_a_candidate(self, rng):
+        cands = [Point(1, 2), Point(3, 4)]
+        assert PosteriorSelector(1.0, rng=rng).select(cands) in cands
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            PosteriorSelector(0.0)
+
+
+class TestUniformSelector:
+    def test_uniform_probabilities(self):
+        probs = UniformSelector().probabilities([Point(0, 0)] * 4)
+        assert np.allclose(probs, 0.25)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            UniformSelector().probabilities([])
+
+    def test_selection_is_roughly_uniform(self, rng):
+        cands = [Point(i, 0) for i in range(5)]
+        sel = UniformSelector(rng=rng)
+        counts = np.zeros(5)
+        for _ in range(5000):
+            counts[sel.select_index(cands)] += 1
+        assert np.allclose(counts / counts.sum(), 0.2, atol=0.03)

@@ -1,0 +1,115 @@
+"""Unit tests for the polar inverse-CDF noise samplers (Algorithm 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.sampling import (
+    planar_laplace_radial_cdf,
+    planar_laplace_radial_quantile,
+    polar_to_cartesian,
+    rayleigh_cdf,
+    rayleigh_quantile,
+    sample_gaussian_noise,
+    sample_planar_laplace_noise,
+)
+
+
+class TestRayleigh:
+    def test_cdf_at_zero(self):
+        assert rayleigh_cdf(np.array(0.0), 100.0) == pytest.approx(0.0)
+
+    def test_cdf_quantile_roundtrip(self):
+        sigma = 123.0
+        for p in (0.1, 0.5, 0.95):
+            r = rayleigh_quantile(p, sigma)
+            assert rayleigh_cdf(np.array(r), sigma) == pytest.approx(p)
+
+    def test_median_formula(self):
+        """Rayleigh median = sigma * sqrt(2 ln 2)."""
+        assert rayleigh_quantile(0.5, 1.0) == pytest.approx(math.sqrt(2 * math.log(2)))
+
+    def test_quantile_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rayleigh_quantile(1.0, 1.0)
+        with pytest.raises(ValueError):
+            rayleigh_quantile(0.5, 0.0)
+
+
+class TestGaussianSampler:
+    def test_shape(self, rng):
+        assert sample_gaussian_noise(10.0, 7, rng).shape == (7, 2)
+
+    def test_marginals_are_gaussian(self, rng):
+        """Each Cartesian coordinate of the polar sampler must be N(0, sigma^2)."""
+        sigma = 50.0
+        noise = sample_gaussian_noise(sigma, 40_000, rng)
+        for axis in (0, 1):
+            _, pvalue = stats.kstest(noise[:, axis] / sigma, "norm")
+            assert pvalue > 1e-3
+
+    def test_radius_is_rayleigh(self, rng):
+        sigma = 10.0
+        noise = sample_gaussian_noise(sigma, 40_000, rng)
+        radii = np.hypot(noise[:, 0], noise[:, 1])
+        _, pvalue = stats.kstest(radii / sigma, "rayleigh")
+        assert pvalue > 1e-3
+
+    def test_isotropy(self, rng):
+        noise = sample_gaussian_noise(5.0, 40_000, rng)
+        angles = np.arctan2(noise[:, 1], noise[:, 0])
+        _, pvalue = stats.kstest((angles + math.pi) / (2 * math.pi), "uniform")
+        assert pvalue > 1e-3
+
+    def test_zero_size(self, rng):
+        assert sample_gaussian_noise(1.0, 0, rng).shape == (0, 2)
+
+    def test_rejects_bad_sigma(self, rng):
+        with pytest.raises(ValueError):
+            sample_gaussian_noise(0.0, 10, rng)
+
+
+class TestPlanarLaplace:
+    def test_cdf_quantile_roundtrip(self):
+        eps = 0.01
+        for p in (0.05, 0.5, 0.95):
+            r = planar_laplace_radial_quantile(p, eps)
+            assert planar_laplace_radial_cdf(np.array(r), eps) == pytest.approx(p)
+
+    def test_quantile_at_zero(self):
+        assert planar_laplace_radial_quantile(0.0, 0.01) == 0.0
+
+    def test_quantile_scales_inversely_with_epsilon(self):
+        r1 = planar_laplace_radial_quantile(0.9, 0.01)
+        r2 = planar_laplace_radial_quantile(0.9, 0.02)
+        assert r1 == pytest.approx(2 * r2)
+
+    def test_sampled_radii_match_cdf(self, rng):
+        eps = 0.005
+        noise = sample_planar_laplace_noise(eps, 30_000, rng)
+        radii = np.hypot(noise[:, 0], noise[:, 1])
+        # Empirical CDF at a few radii vs the analytic C_eps.
+        for r in (100.0, 300.0, 800.0):
+            empirical = (radii <= r).mean()
+            analytic = float(planar_laplace_radial_cdf(np.array(r), eps))
+            assert empirical == pytest.approx(analytic, abs=0.015)
+
+    def test_mean_radius_is_2_over_eps(self, rng):
+        """The planar Laplace radial mean is 2/eps (Gamma(2, 1/eps))."""
+        eps = 0.01
+        noise = sample_planar_laplace_noise(eps, 30_000, rng)
+        radii = np.hypot(noise[:, 0], noise[:, 1])
+        assert radii.mean() == pytest.approx(2 / eps, rel=0.03)
+
+    def test_rejects_bad_epsilon(self, rng):
+        with pytest.raises(ValueError):
+            sample_planar_laplace_noise(0.0, 10, rng)
+
+
+class TestPolarToCartesian:
+    def test_known_angles(self):
+        out = polar_to_cartesian(np.array([1.0, 2.0]), np.array([0.0, math.pi / 2]))
+        assert out[0] == pytest.approx([1.0, 0.0])
+        assert out[1] == pytest.approx([0.0, 2.0], abs=1e-12)

@@ -1,0 +1,48 @@
+"""Unit tests for the single-user case-study fixtures."""
+
+import pytest
+
+from repro.datagen.casestudy import make_fig2_user, make_fig4_user
+from repro.profiles.checkin import SECONDS_PER_DAY
+from repro.profiles.profile import LocationProfile
+
+
+class TestFig2User:
+    def test_paper_trace_size(self):
+        user = make_fig2_user()
+        assert len(user.trace) == 2_414
+
+    def test_seven_day_span(self):
+        user = make_fig2_user()
+        ts = [c.timestamp for c in user.trace]
+        assert max(ts) - min(ts) <= 7 * SECONDS_PER_DAY
+
+    def test_two_dominant_locations(self):
+        user = make_fig2_user()
+        profile = LocationProfile.from_checkins(user.trace)
+        total = profile.total_checkins
+        top2_share = sum(e.frequency for e in profile.top(2)) / total
+        assert top2_share > 0.8
+
+
+class TestFig4User:
+    def test_paper_counts(self):
+        user = make_fig4_user()
+        assert len(user.trace) == 1_969
+
+    def test_top1_share_close_to_paper(self):
+        """Paper: 1,628 of 1,969 check-ins at the top-1 location."""
+        user = make_fig4_user()
+        profile = LocationProfile.from_checkins(user.trace)
+        assert profile[0].frequency == pytest.approx(1_628, rel=0.05)
+
+    def test_custom_composition(self):
+        user = make_fig4_user(n_checkins=500, top1_checkins=400)
+        assert len(user.trace) == 500
+
+    def test_rejects_impossible_composition(self):
+        with pytest.raises(ValueError):
+            make_fig4_user(n_checkins=100, top1_checkins=200)
+
+    def test_deterministic(self):
+        assert make_fig4_user().trace == make_fig4_user().trace

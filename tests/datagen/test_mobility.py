@@ -1,0 +1,120 @@
+"""Unit tests for the per-user mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.mobility import MobilityModel, TopLocation
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY
+
+
+def make_model(nomadic=0.1, gps=5.0, region=None):
+    return MobilityModel(
+        user_id="u",
+        top_locations=[
+            TopLocation(Point(0, 0), 0.7, "home"),
+            TopLocation(Point(5_000, 0), 0.3, "work"),
+        ],
+        nomadic_fraction=nomadic,
+        gps_noise_m=gps,
+        region=region,
+    )
+
+
+class TestTopLocation:
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            TopLocation(Point(0, 0), 0.0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TopLocation(Point(0, 0), 1.0, "gym")
+
+
+class TestMobilityModelValidation:
+    def test_requires_top_locations(self):
+        with pytest.raises(ValueError):
+            MobilityModel(user_id="u", top_locations=[])
+
+    def test_requires_decreasing_weights(self):
+        with pytest.raises(ValueError):
+            MobilityModel(
+                user_id="u",
+                top_locations=[
+                    TopLocation(Point(0, 0), 0.3),
+                    TopLocation(Point(1, 1), 0.7),
+                ],
+            )
+
+    def test_rejects_bad_nomadic_fraction(self):
+        with pytest.raises(ValueError):
+            make_model(nomadic=1.0)
+
+
+class TestGeneration:
+    def test_count_and_chronology(self, rng):
+        trace = make_model().generate(500, start_ts=0.0, days=30.0, rng=rng)
+        assert len(trace) == 500
+        ts = [c.timestamp for c in trace]
+        assert ts == sorted(ts)
+        assert all(0 <= t < 30 * SECONDS_PER_DAY for t in ts)
+
+    def test_zero_checkins(self, rng):
+        assert make_model().generate(0, 0.0, 1.0, rng) == []
+
+    def test_routine_split_matches_weights(self, rng):
+        trace = make_model(nomadic=0.0).generate(3_000, 0.0, 365.0, rng)
+        near_home = sum(1 for c in trace if c.point.distance_to(Point(0, 0)) < 100)
+        near_work = sum(
+            1 for c in trace if c.point.distance_to(Point(5_000, 0)) < 100
+        )
+        assert near_home + near_work == 3_000
+        assert near_home / 3_000 == pytest.approx(0.7, abs=0.03)
+
+    def test_gps_noise_scale(self, rng):
+        trace = make_model(nomadic=0.0, gps=15.0).generate(2_000, 0.0, 30.0, rng)
+        home_pts = [c for c in trace if c.point.distance_to(Point(0, 0)) < 100]
+        xs = np.array([c.x for c in home_pts])
+        assert xs.std() == pytest.approx(15.0, rel=0.1)
+
+    def test_nomadic_fraction_respected(self, rng):
+        trace = make_model(nomadic=0.3).generate(3_000, 0.0, 365.0, rng)
+        routine = sum(
+            1
+            for c in trace
+            if c.point.distance_to(Point(0, 0)) < 100
+            or c.point.distance_to(Point(5_000, 0)) < 100
+        )
+        assert 1 - routine / 3_000 == pytest.approx(0.3, abs=0.03)
+
+    def test_nomadic_points_within_wander_radius(self, rng):
+        model = make_model(nomadic=0.5)
+        trace = model.generate(1_000, 0.0, 30.0, rng)
+        max_dist = max(c.point.distance_to(Point(0, 0)) for c in trace)
+        assert max_dist <= model.nomadic_radius_m + 5_100  # work anchor offset
+
+    def test_region_clamp(self, rng):
+        region = BoundingBox(-1_000, -1_000, 1_000, 1_000)
+        model = make_model(region=region)
+        trace = model.generate(500, 0.0, 30.0, rng)
+        assert all(region.contains(c.point) for c in trace)
+
+    def test_diurnal_pattern(self, rng):
+        """Home check-ins land at night/morning, work during office hours."""
+        trace = make_model(nomadic=0.0, gps=1.0).generate(4_000, 0.0, 365.0, rng)
+        for c in trace:
+            hour = (c.timestamp % SECONDS_PER_DAY) / 3_600.0
+            if c.point.distance_to(Point(0, 0)) < 100:
+                assert hour < 8.0 or hour >= 19.0
+            else:
+                assert 9.0 <= hour < 18.0
+
+    def test_rejects_bad_generate_args(self, rng):
+        with pytest.raises(ValueError):
+            make_model().generate(-1, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            make_model().generate(1, 0.0, 0.0, rng)
+
+    def test_true_top_points_ordered(self):
+        assert make_model().true_top_points == [Point(0, 0), Point(5_000, 0)]

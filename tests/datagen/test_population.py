@@ -1,0 +1,98 @@
+"""Unit + calibration tests for the synthetic population generator."""
+
+import numpy as np
+import pytest
+
+from repro.attack.profiling import entropy_vs_checkins, fraction_below_entropy
+from repro.datagen.population import (
+    PAPER_MAX_CHECKINS,
+    PAPER_MIN_CHECKINS,
+    PopulationConfig,
+    generate_population,
+    iter_population,
+)
+from repro.datagen.shanghai import shanghai_planar_bbox
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        PopulationConfig()
+
+    def test_rejects_bad_users(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_users=0)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(min_checkins=100, max_checkins=10)
+
+
+class TestGeneration:
+    def test_user_count_and_ids_unique(self, tiny_population):
+        assert len(tiny_population) == 12
+        ids = {u.user_id for u in tiny_population}
+        assert len(ids) == 12
+
+    def test_checkin_counts_within_paper_bounds(self, tiny_population):
+        for u in tiny_population:
+            assert PAPER_MIN_CHECKINS <= u.n_checkins <= PAPER_MAX_CHECKINS
+
+    def test_traces_chronological(self, tiny_population):
+        for u in tiny_population:
+            ts = [c.timestamp for c in u.trace]
+            assert ts == sorted(ts)
+
+    def test_all_checkins_inside_region(self, tiny_population):
+        region = shanghai_planar_bbox()
+        for u in tiny_population:
+            assert all(region.contains(c.point) for c in u.trace)
+
+    def test_true_tops_nonempty_and_ordered(self, tiny_population):
+        for u in tiny_population:
+            weights = [t.weight for t in u.model.top_locations]
+            assert weights == sorted(weights, reverse=True)
+            assert 1 <= len(u.true_tops) <= 4
+
+    def test_deterministic_given_seed(self):
+        a = generate_population(PopulationConfig(n_users=3, seed=7))
+        b = generate_population(PopulationConfig(n_users=3, seed=7))
+        for ua, ub in zip(a, b):
+            assert ua.trace == ub.trace
+
+    def test_different_seeds_differ(self):
+        a = generate_population(PopulationConfig(n_users=3, seed=7))
+        b = generate_population(PopulationConfig(n_users=3, seed=8))
+        assert any(ua.trace != ub.trace for ua, ub in zip(a, b))
+
+    def test_iter_population_streams_same_users(self):
+        config = PopulationConfig(n_users=4, seed=13)
+        eager = generate_population(config)
+        lazy = list(iter_population(config))
+        assert [u.user_id for u in eager] == [u.user_id for u in lazy]
+
+
+class TestCalibration:
+    """The generator must reproduce the paper's aggregate statistics."""
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        return generate_population(PopulationConfig(n_users=250, seed=42))
+
+    def test_fraction_below_entropy_2(self, population):
+        """Paper: 88.8% of users have location entropy < 2."""
+        obs = entropy_vs_checkins({u.user_id: u.trace for u in population})
+        frac = fraction_below_entropy(obs, 2.0)
+        assert 0.78 <= frac <= 0.97
+
+    def test_entropy_declines_with_checkins(self, population):
+        """Paper Figure 3: more check-ins -> lower entropy."""
+        obs = entropy_vs_checkins({u.user_id: u.trace for u in population})
+        light = [o.entropy for o in obs if o.checkins < 200]
+        heavy = [o.entropy for o in obs if o.checkins >= 1_000]
+        assert light and heavy
+        assert np.mean(heavy) < np.mean(light)
+
+    def test_count_distribution_heavy_tailed(self, population):
+        counts = np.array([u.n_checkins for u in population])
+        assert np.median(counts) < counts.mean()
+        assert counts.max() > 2_000

@@ -1,0 +1,38 @@
+"""Unit tests for the Shanghai study-region constants."""
+
+import pytest
+
+from repro.datagen.shanghai import (
+    SHANGHAI_GEO_BBOX,
+    SHANGHAI_PROJECTION,
+    STUDY_DAYS,
+    shanghai_planar_bbox,
+)
+from repro.geo.projection import GeoPoint
+
+
+class TestShanghaiRegion:
+    def test_paper_bounding_box(self):
+        assert SHANGHAI_GEO_BBOX.min_lat == 30.7
+        assert SHANGHAI_GEO_BBOX.max_lat == 31.4
+        assert SHANGHAI_GEO_BBOX.min_lon == 121.0
+        assert SHANGHAI_GEO_BBOX.max_lon == 122.0
+
+    def test_study_spans_two_years(self):
+        assert STUDY_DAYS == pytest.approx(731.0, abs=1.0)
+
+    def test_planar_bbox_dimensions(self):
+        """The box should be roughly 95 km wide and 78 km tall."""
+        box = shanghai_planar_bbox()
+        assert box.width == pytest.approx(95_000, rel=0.05)
+        assert box.height == pytest.approx(78_000, rel=0.05)
+
+    def test_planar_bbox_centered_on_origin(self):
+        box = shanghai_planar_bbox()
+        assert abs(box.center.x) < 1.0
+        assert abs(box.center.y) < 1.0
+
+    def test_projection_centered_on_region(self):
+        center = SHANGHAI_PROJECTION.to_plane(GeoPoint(31.05, 121.5))
+        assert abs(center.x) < 1.0
+        assert abs(center.y) < 1.0

@@ -1,0 +1,81 @@
+"""Unit tests for the edge device's adaptive risk policy."""
+
+import numpy as np
+import pytest
+
+from repro.ads.network import AdNetwork
+from repro.core.params import GeoIndBudget
+from repro.edge.device import EdgeConfig, EdgeDevice
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY
+
+
+DAY = SECONDS_PER_DAY
+HOME = Point(0.0, 0.0)
+
+
+def make_device(adaptive, window_days=10.0):
+    return EdgeDevice(
+        "edge-a",
+        AdNetwork(),
+        EdgeConfig(
+            budget=GeoIndBudget(500.0, 1.0, 0.01, 10),
+            window_days=window_days,
+            adaptive=adaptive,
+            seed=5,
+        ),
+    )
+
+
+def routine_stream(device, user_id, days=12, per_day=30):
+    """A heavily routine user: hundreds of check-ins at one location."""
+    for day in range(days):
+        for k in range(per_day):
+            device.choose_report_location(
+                user_id, HOME, day * DAY + k * (DAY / per_day)
+            )
+
+
+def diffuse_stream(device, user_id, rng, days=12, per_day=2):
+    """A light, diffuse user: few check-ins, all over the city."""
+    t = 0.0
+    for day in range(days):
+        for k in range(per_day):
+            p = Point(*rng.uniform(-20_000, 20_000, 2))
+            device.choose_report_location(user_id, p, t)
+            t += DAY / per_day
+
+
+class TestAdaptiveDevice:
+    def test_routine_user_gets_pinned(self):
+        device = make_device(adaptive=True)
+        routine_stream(device, "commuter")
+        state = device.state_for("commuter")
+        assert state.protect
+        assert state.obfuscation.obfuscation_count >= 1
+
+    def test_diffuse_user_stays_unpinned(self):
+        device = make_device(adaptive=True)
+        rng = np.random.default_rng(3)
+        diffuse_stream(device, "wanderer", rng)
+        device.finalize_user("wanderer")
+        state = device.state_for("wanderer")
+        assert not state.protect
+        assert state.obfuscation.obfuscation_count == 0
+
+    def test_non_adaptive_pins_everyone(self):
+        device = make_device(adaptive=False)
+        rng = np.random.default_rng(3)
+        diffuse_stream(device, "wanderer", rng)
+        device.finalize_user("wanderer")
+        state = device.state_for("wanderer")
+        assert state.protect
+        assert state.obfuscation.obfuscation_count >= 1
+
+    def test_adaptive_routine_user_served_from_pins(self):
+        device = make_device(adaptive=True)
+        routine_stream(device, "commuter")
+        reported, path = device.choose_report_location(
+            "commuter", HOME, 100 * DAY
+        )
+        assert path == "top"

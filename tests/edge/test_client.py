@@ -1,0 +1,47 @@
+"""Unit tests for the mobile client."""
+
+from repro.ads.network import AdNetwork
+from repro.edge.client import MobileClient
+from repro.edge.device import EdgeConfig, EdgeDevice
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
+
+
+def make_client():
+    device = EdgeDevice("e", AdNetwork(), EdgeConfig(seed=1))
+    return MobileClient("u", device)
+
+
+class TestMobileClient:
+    def test_request_ad_updates_stats(self):
+        client = make_client()
+        client.request_ad(CheckIn(0.0, Point(0, 0)))
+        assert client.stats.requests == 1
+        assert client.stats.nomadic_path_requests == 1
+
+    def test_replay_sorts_trace(self):
+        client = make_client()
+        trace = [CheckIn(5.0, Point(0, 0)), CheckIn(1.0, Point(0, 0))]
+        results = client.replay(trace)
+        assert len(results) == 2
+        # The edge would raise on out-of-order check-ins, so the replay
+        # succeeding proves the trace was sorted first.
+        assert client.stats.requests == 2
+
+    def test_replay_finalizes_profile(self):
+        client = make_client()
+        trace = [CheckIn(float(i), Point(0, 0)) for i in range(25)]
+        client.replay(trace)
+        state = client.edge.state_for("u")
+        assert state.management.top_locations  # flush happened
+
+    def test_path_mix_recorded(self):
+        client = make_client()
+        day = SECONDS_PER_DAY
+        trace = [CheckIn(i * day, Point(0, 0)) for i in range(120)]
+        client.replay(trace)
+        assert (
+            client.stats.top_path_requests + client.stats.nomadic_path_requests
+            == client.stats.requests
+        )
+        assert client.stats.top_path_requests > 0

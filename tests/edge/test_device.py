@@ -1,0 +1,102 @@
+"""Unit tests for the edge device serve path."""
+
+import pytest
+
+from repro.ads.campaign import Advertiser, Campaign
+from repro.ads.network import AdNetwork
+from repro.core.params import GeoIndBudget
+from repro.edge.device import EdgeConfig, EdgeDevice
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY
+
+
+DAY = SECONDS_PER_DAY
+HOME = Point(0.0, 0.0)
+
+
+def make_device(window_days=30.0, **config_kwargs):
+    network = AdNetwork()
+    config = EdgeConfig(
+        budget=GeoIndBudget(500.0, 1.0, 0.01, 10),
+        window_days=window_days,
+        seed=3,
+        **config_kwargs,
+    )
+    return EdgeDevice("edge-0", network, config), network
+
+
+class TestReportPath:
+    def test_nomadic_before_first_window(self):
+        device, _ = make_device()
+        reported, path = device.choose_report_location("u", HOME, 0.0)
+        assert path == "nomadic"
+        assert reported != HOME
+
+    def test_top_path_after_window_closes(self):
+        device, _ = make_device(window_days=10.0)
+        for i in range(30):
+            device.choose_report_location("u", HOME, i * DAY / 3)
+        # Cross the window boundary.
+        _, path = device.choose_report_location("u", HOME, 11 * DAY)
+        assert path == "top"
+
+    def test_top_reports_come_from_pinned_set(self):
+        device, _ = make_device(window_days=10.0)
+        for i in range(30):
+            device.choose_report_location("u", HOME, i * DAY / 3)
+        reports = set()
+        for k in range(100):
+            reported, path = device.choose_report_location(
+                "u", HOME, 11 * DAY + k
+            )
+            assert path == "top"
+            reports.add((reported.x, reported.y))
+        assert len(reports) <= 10
+
+    def test_per_user_state_isolation(self):
+        device, _ = make_device(window_days=10.0)
+        device.choose_report_location("alice", HOME, 0.0)
+        device.choose_report_location("bob", Point(9_000, 0), 0.0)
+        assert device.user_count == 2
+        assert device.state_for("alice") is not device.state_for("bob")
+
+
+class TestServePath:
+    def test_handle_logs_obfuscated_location_only(self):
+        """The network log must never contain the true location."""
+        device, network = make_device()
+        result = device.handle_ad_request("u", HOME, 0.0)
+        rec = network.bid_log.records_for("u")[0]
+        assert rec.reported_location == result.reported_location
+        assert rec.reported_location.distance_to(HOME) > 1.0
+
+    def test_delivered_ads_are_aoi_relevant(self):
+        device, network = make_device()
+        near = Campaign.create(
+            Advertiser("a1"), Point(1_000, 0), radius_m=25_000.0, bid_price=2.0
+        )
+        far = Campaign.create(
+            Advertiser("a2"), Point(40_000, 0), radius_m=25_000.0, bid_price=3.0
+        )
+        network.register_campaigns([near, far])
+        result = device.handle_ad_request("u", HOME, 0.0)
+        for ad in result.delivered_ads:
+            assert ad.business_location.distance_to(HOME) <= device.config.targeting_radius
+
+    def test_requests_counted(self):
+        device, _ = make_device()
+        device.handle_ad_request("u", HOME, 0.0)
+        device.handle_ad_request("u", HOME, 1.0)
+        assert device.requests_served == 2
+
+    def test_finalize_user_pins_tops(self):
+        device, _ = make_device(window_days=10_000.0)
+        for i in range(20):
+            device.handle_ad_request("u", HOME, float(i))
+        device.finalize_user("u")
+        state = device.state_for("u")
+        assert state.obfuscation.obfuscation_count >= 1
+
+    def test_finalize_unknown_user_noop(self):
+        device, _ = make_device()
+        device.finalize_user("ghost")  # must not raise

@@ -1,0 +1,84 @@
+"""Unit tests for the location management module."""
+
+import pytest
+
+from repro.edge.location_management import LocationManagementModule
+from repro.geo.point import Point
+from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
+
+
+DAY = SECONDS_PER_DAY
+
+
+def ci(t, x=0.0, y=0.0):
+    return CheckIn(t, Point(x, y))
+
+
+class TestLocationManagementModule:
+    def test_no_tops_before_first_window(self):
+        m = LocationManagementModule(window_days=30.0)
+        assert m.record(ci(0.0)) is None
+        assert m.top_locations == []
+        assert m.profile is None
+
+    def test_tops_computed_on_rollover(self):
+        m = LocationManagementModule(eta=0.8, window_days=30.0)
+        for i in range(20):
+            m.record(ci(i * DAY, 0.0, 0.0))
+        tops = m.record(ci(31 * DAY, 0.0, 0.0))
+        assert tops is not None
+        assert len(tops) == 1
+        assert tops[0].distance_to(Point(0, 0)) < 1.0
+        assert m.windows_closed == 1
+
+    def test_eta_selects_frequent_prefix(self):
+        m = LocationManagementModule(eta=0.8, window_days=30.0)
+        # 70% at home, 20% at work, 10% elsewhere.
+        t = 0.0
+        for _ in range(14):
+            m.record(ci(t, 0.0, 0.0)); t += DAY / 10
+        for _ in range(4):
+            m.record(ci(t, 5_000.0, 0.0)); t += DAY / 10
+        for _ in range(2):
+            m.record(ci(t, 20_000.0, 0.0)); t += DAY / 10
+        tops = m.record(ci(40 * DAY))
+        # 14/20 = 0.7 < 0.8; adding work makes 0.9 >= 0.8: two tops.
+        assert len(tops) == 2
+
+    def test_flush_emits_partial_window(self):
+        m = LocationManagementModule(window_days=30.0)
+        m.record(ci(0.0))
+        tops = m.flush()
+        assert tops is not None
+        assert m.top_locations == tops
+
+    def test_is_top_location(self):
+        m = LocationManagementModule(eta=0.8, window_days=30.0)
+        for i in range(10):
+            m.record(ci(float(i), 0.0, 0.0))
+        m.flush()
+        assert m.is_top_location(Point(20, 0), match_radius=100.0)
+        assert not m.is_top_location(Point(500, 0), match_radius=100.0)
+
+    def test_rejects_bad_eta(self):
+        with pytest.raises(ValueError):
+            LocationManagementModule(eta=0.0)
+
+
+class TestTopHistory:
+    def test_history_grows_per_window(self):
+        m = LocationManagementModule(window_days=10.0)
+        for i in range(10):
+            m.record(ci(i * DAY, 0.0, 0.0))
+        m.record(ci(11 * DAY))  # closes the first window
+        m.flush()  # closes the trailing partial window
+        assert len(m.top_history) == m.windows_closed == 2
+
+    def test_history_entries_are_snapshots(self):
+        m = LocationManagementModule(window_days=10.0)
+        for i in range(10):
+            m.record(ci(float(i), 0.0, 0.0))
+        m.flush()
+        snapshot = m.top_history[0]
+        assert snapshot == m.top_locations
+        assert snapshot is not m.top_locations  # defensive copies

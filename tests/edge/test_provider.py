@@ -1,0 +1,50 @@
+"""Unit tests for the honest-but-curious provider."""
+
+import numpy as np
+
+from repro.ads.network import AdNetwork
+from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.edge.provider import HonestButCuriousProvider
+from repro.geo.point import Point
+
+
+def seed_log(network, device_id, center, count, rng, scale=20.0):
+    for i in range(count):
+        x, y = center
+        req = network.new_request(
+            device_id,
+            Point(x + rng.normal(0, scale), y + rng.normal(0, scale)),
+            float(i),
+        )
+        network.handle(req)
+
+
+class TestProvider:
+    def test_attack_device_recovers_cluster_center(self, rng):
+        provider = HonestButCuriousProvider(AdNetwork())
+        seed_log(provider.network, "victim", (1_000.0, -2_000.0), 200, rng)
+        attack = DeobfuscationAttack(theta=50.0, r_alpha=100.0)
+        finding = provider.attack_device("victim", attack, top_n=1)
+        assert finding.observations == 200
+        assert len(finding.inferred) == 1
+        guess = finding.inferred[0].location
+        assert guess.distance_to(Point(1_000, -2_000)) < 20.0
+
+    def test_attack_unknown_device(self):
+        provider = HonestButCuriousProvider()
+        attack = DeobfuscationAttack(theta=50.0, r_alpha=100.0)
+        finding = provider.attack_device("nobody", attack)
+        assert finding.observations == 0
+        assert finding.inferred == ()
+
+    def test_attack_all_covers_every_device(self, rng):
+        provider = HonestButCuriousProvider()
+        seed_log(provider.network, "a", (0.0, 0.0), 50, rng)
+        seed_log(provider.network, "b", (5_000.0, 0.0), 50, rng)
+        attack = DeobfuscationAttack(theta=50.0, r_alpha=100.0)
+        findings = provider.attack_all(attack, top_n=1)
+        assert set(findings) == {"a", "b"}
+
+    def test_default_network_created(self):
+        provider = HonestButCuriousProvider()
+        assert provider.network is not None

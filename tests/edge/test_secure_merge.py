@@ -1,0 +1,117 @@
+"""Unit tests for secure multi-edge profile merging."""
+
+import numpy as np
+import pytest
+
+from repro.edge.secure_merge import (
+    MODULUS,
+    GridSpec,
+    SecureProfileMerge,
+    reconstruct_histogram,
+    share_histogram,
+)
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+
+GRID = GridSpec(origin_x=0.0, origin_y=0.0, cell_size=100.0, cells_x=10, cells_y=10)
+
+
+def trace_at(x, y, count):
+    return [CheckIn(float(i), Point(x, y)) for i in range(count)]
+
+
+class TestGridSpec:
+    def test_cell_roundtrip(self):
+        cell = GRID.cell_of(Point(250.0, 730.0))
+        center = GRID.center_of(cell)
+        assert center == Point(250.0, 750.0)
+
+    def test_out_of_range_clamped(self):
+        assert GRID.cell_of(Point(-50.0, -50.0)) == 0
+        assert GRID.cell_of(Point(10_000.0, 10_000.0)) == GRID.n_cells - 1
+
+    def test_histogram_counts(self):
+        h = GRID.histogram(trace_at(50, 50, 3) + trace_at(250, 50, 2))
+        assert h.sum() == 5
+        assert h[GRID.cell_of(Point(50, 50))] == 3
+
+    def test_center_validation(self):
+        with pytest.raises(ValueError):
+            GRID.center_of(GRID.n_cells)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GridSpec(0, 0, 0.0, 2, 2)
+        with pytest.raises(ValueError):
+            GridSpec(0, 0, 1.0, 0, 2)
+
+
+class TestSecretSharing:
+    def test_reconstruction_exact(self, rng):
+        counts = rng.integers(0, 1_000, size=50).astype(np.int64)
+        shares = share_histogram(counts, n_parties=3, rng=rng)
+        assert len(shares) == 3
+        assert (reconstruct_histogram(shares) == counts).all()
+
+    def test_strict_subset_reveals_nothing(self, rng):
+        """Any n-1 shares of a constant secret are (near) uniform mod p.
+
+        We check the first share of many sharings of the same secret is
+        spread over the modulus range, not clustered near the secret.
+        """
+        counts = np.array([7], dtype=np.int64)
+        firsts = [
+            int(share_histogram(counts, 2, rng)[0][0]) for _ in range(300)
+        ]
+        spread = (max(firsts) - min(firsts)) / MODULUS
+        assert spread > 0.5  # covers most of the range
+        # And no share equals the secret systematically.
+        assert sum(1 for f in firsts if f == 7) <= 2
+
+    def test_two_party_minimum(self, rng):
+        with pytest.raises(ValueError):
+            share_histogram(np.array([1], dtype=np.int64), 1, rng)
+
+    def test_negative_counts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            share_histogram(np.array([-1], dtype=np.int64), 2, rng)
+
+    def test_empty_shares_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_histogram([])
+
+
+class TestSecureProfileMerge:
+    def test_merge_equals_plain_union(self, rng):
+        merger = SecureProfileMerge(GRID, n_aggregators=3, rng=rng)
+        edge_a = trace_at(50, 50, 20) + trace_at(350, 350, 5)
+        edge_b = trace_at(50, 50, 10) + trace_at(750, 150, 8)
+        merger.contribute(edge_a)
+        merger.contribute(edge_b)
+        merged = merger.merge()
+        plain = GRID.histogram(edge_a) + GRID.histogram(edge_b)
+        assert (merged == plain).all()
+        assert merger.contributions == 2
+
+    def test_merged_profile_ordering(self, rng):
+        merger = SecureProfileMerge(GRID, rng=rng)
+        merger.contribute(trace_at(50, 50, 20))
+        merger.contribute(trace_at(350, 350, 5))
+        profile = merger.merged_profile()
+        assert len(profile) == 2
+        assert profile[0].frequency == 20
+        assert profile[0].location == Point(50.0, 50.0)
+
+    def test_aggregator_pools_do_not_reveal_counts(self, rng):
+        """No single aggregator pool equals the plain histogram."""
+        merger = SecureProfileMerge(GRID, n_aggregators=3, rng=rng)
+        trace = trace_at(50, 50, 100)
+        merger.contribute(trace)
+        plain = GRID.histogram(trace)
+        for pool in merger._pools:
+            assert not (pool == plain).all()
+
+    def test_needs_two_aggregators(self):
+        with pytest.raises(ValueError):
+            SecureProfileMerge(GRID, n_aggregators=1)

@@ -1,0 +1,102 @@
+"""Unit tests for the full system orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.population import PopulationConfig, generate_population
+from repro.datagen.shanghai import shanghai_planar_bbox
+from repro.edge.system import (
+    EdgePrivLocAdSystem,
+    SystemConfig,
+    seed_campaigns,
+)
+
+
+class TestSeedCampaigns:
+    def test_count_and_region(self, rng):
+        region = shanghai_planar_bbox()
+        campaigns = seed_campaigns(region, 20, 5_000.0, rng)
+        assert len(campaigns) == 20
+        for c in campaigns:
+            assert region.contains(c.business_location)
+            assert c.radius_m == 5_000.0
+
+    def test_zero_count(self, rng):
+        assert seed_campaigns(shanghai_planar_bbox(), 0, 5_000.0, rng) == []
+
+
+class TestSystemRun:
+    @pytest.fixture(scope="class")
+    def run_result(self):
+        users = generate_population(PopulationConfig(n_users=6, seed=21))
+        system = EdgePrivLocAdSystem(SystemConfig(n_edge_devices=2))
+        rng = np.random.default_rng(0)
+        system.register_campaigns(
+            seed_campaigns(shanghai_planar_bbox(), 100, 5_000.0, rng)
+        )
+        report = system.run(users)
+        return users, system, report
+
+    def test_all_requests_served(self, run_result):
+        users, system, report = run_result
+        total = sum(u.n_checkins for u in users)
+        assert report.requests == total
+        assert len(system.network.bid_log) == total
+
+    def test_every_user_in_bid_log(self, run_result):
+        users, system, _ = run_result
+        devices = set(system.network.bid_log.devices())
+        assert devices == {u.user_id for u in users}
+
+    def test_clients_pinned_to_one_edge(self, run_result):
+        users, system, _ = run_result
+        for u in users:
+            client = system.client_for(u.user_id)
+            assert client is system.client_for(u.user_id)
+
+    def test_path_accounting_consistent(self, run_result):
+        _, _, report = run_result
+        assert (
+            report.top_path_requests + report.nomadic_path_requests
+            == report.requests
+        )
+        assert 0.0 <= report.top_path_share <= 1.0
+
+    def test_reported_locations_never_true(self, run_result):
+        """No logged location may exactly equal a raw check-in location."""
+        users, system, _ = run_result
+        for u in users[:2]:
+            true_points = {(c.x, c.y) for c in u.trace}
+            for rec in system.network.bid_log.records_for(u.user_id)[:200]:
+                assert (
+                    rec.reported_location.x,
+                    rec.reported_location.y,
+                ) not in true_points
+
+    def test_relevance_ratio_bounded(self, run_result):
+        _, _, report = run_result
+        assert 0.0 <= report.relevance_ratio <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_edge_devices=0)
+
+
+class TestAdaptiveSystem:
+    def test_adaptive_flag_propagates_to_edges(self):
+        from repro.edge.device import EdgeConfig
+
+        system = EdgePrivLocAdSystem(
+            SystemConfig(edge=EdgeConfig(adaptive=True), n_edge_devices=2)
+        )
+        assert all(edge.config.adaptive for edge in system.edges)
+
+    def test_adaptive_run_completes(self):
+        from repro.edge.device import EdgeConfig
+
+        users = generate_population(PopulationConfig(n_users=3, seed=8))
+        system = EdgePrivLocAdSystem(
+            SystemConfig(edge=EdgeConfig(adaptive=True), n_edge_devices=2)
+        )
+        report = system.run(users)
+        assert report.requests == sum(u.n_checkins for u in users)

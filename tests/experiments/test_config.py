@@ -1,0 +1,51 @@
+"""Unit tests for the experiment scale configuration."""
+
+import math
+
+import pytest
+
+from repro.experiments.config import (
+    FULL,
+    MEDIUM,
+    PAPER_DELTA,
+    PAPER_EPSILONS,
+    PAPER_NFOLD_N,
+    PAPER_ONETIME_LEVELS,
+    PAPER_RADII_M,
+    PAPER_TARGETING_RADIUS_M,
+    PAPER_TRIALS,
+    SMALL,
+    ExperimentScale,
+)
+
+
+class TestPaperConstants:
+    def test_match_section_vii(self):
+        """The constants must mirror the paper's Section VII-A settings."""
+        assert PAPER_DELTA == 0.01
+        assert PAPER_EPSILONS == (1.0, 1.5)
+        assert PAPER_RADII_M == (500.0, 600.0, 700.0, 800.0)
+        assert PAPER_TARGETING_RADIUS_M == 5_000.0
+        assert PAPER_TRIALS == 100_000
+        assert PAPER_NFOLD_N == 10
+
+    def test_onetime_levels(self):
+        assert PAPER_ONETIME_LEVELS == (math.log(2), math.log(4), math.log(6))
+
+
+class TestScales:
+    def test_ordering(self):
+        assert SMALL.trials < MEDIUM.trials < FULL.trials
+        assert SMALL.n_users < MEDIUM.n_users < FULL.n_users
+
+    def test_full_matches_paper(self):
+        assert FULL.trials == PAPER_TRIALS
+        assert FULL.n_users == 37_262
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", trials=0, n_users=10)
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", trials=10, n_users=0)
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", trials=10, n_users=10, mc_samples=0)

@@ -1,0 +1,149 @@
+"""Smoke + shape tests for every experiment driver at tiny scale.
+
+These are the reproduction's own regression tests: each driver must run
+and its rows must exhibit the paper's qualitative shape (who wins, which
+direction curves move).  The benchmarks run the same drivers at larger
+scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig2_mobility,
+    fig3_entropy,
+    fig4_case_study,
+    fig6_attack,
+    fig7_mechanisms,
+    fig8_min_utilization,
+    fig9_efficacy,
+    table1_limits,
+    table2_obfuscation_time,
+    table3_selection_time,
+)
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", trials=60, n_users=15, mc_samples=256)
+
+
+class TestTable1:
+    def test_four_platforms(self):
+        report = table1_limits.run()
+        assert len(report.rows) == 4
+
+
+class TestFig2:
+    def test_top2_dominate(self):
+        report = fig2_mobility.run()
+        shares = [r["share"] for r in report.rows]
+        assert shares[0] + shares[1] > 0.8
+
+
+class TestFig3:
+    def test_entropy_trend(self):
+        report = fig3_entropy.run(TINY)
+        assert report.rows
+        means = [r["mean_entropy"] for r in report.rows if r["users"] > 0]
+        # Declining overall: first populated bucket above last.
+        assert means[0] > means[-1]
+
+
+class TestFig4:
+    def test_error_shrinks_with_window(self):
+        report = fig4_case_study.run()
+        errors = [r["inference_error_m"] for r in report.rows]
+        assert len(errors) == 3
+        assert errors[2] < errors[0]
+        assert errors[2] < 100.0  # paper: <50 m at full year
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig6_attack.run(TINY)
+
+    def test_one_time_highly_vulnerable(self, report):
+        onetime = [r for r in report.rows if r["mechanism"] == "one-time geo-IND"]
+        assert all(r["top1_within_200m"] >= 0.6 for r in onetime)
+
+    def test_defense_thwarts_attack(self, report):
+        defended = [r for r in report.rows if "10-fold" in r["mechanism"]]
+        assert all(r["top1_within_200m"] <= 0.15 for r in defended)
+
+    def test_defense_weaker_than_one_time_everywhere(self, report):
+        onetime = [r for r in report.rows if r["mechanism"] == "one-time geo-IND"]
+        defended = [r for r in report.rows if "10-fold" in r["mechanism"]]
+        worst_defended = max(r["top1_within_200m"] for r in defended)
+        best_onetime = min(r["top1_within_200m"] for r in onetime)
+        assert worst_defended < best_onetime
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig7_mechanisms.run(TINY, ns=(1, 5, 10))
+
+    def _mean_ur(self, report, mechanism, n):
+        for r in report.rows:
+            if r["mechanism"] == mechanism and r["n"] == n:
+                return r["mean_UR"]
+        raise KeyError((mechanism, n))
+
+    def test_nfold_wins_at_n10(self, report):
+        nfold = self._mean_ur(report, "n-fold gaussian", 10)
+        naive = self._mean_ur(report, "naive post-processing", 10)
+        comp = self._mean_ur(report, "plain composition", 10)
+        assert nfold > naive > comp
+
+    def test_composition_degrades_with_n(self, report):
+        assert self._mean_ur(report, "plain composition", 10) < self._mean_ur(
+            report, "plain composition", 1
+        )
+
+    def test_nfold_improves_with_n(self, report):
+        assert self._mean_ur(report, "n-fold gaussian", 10) > self._mean_ur(
+            report, "n-fold gaussian", 1
+        )
+
+
+class TestFig8:
+    def test_min_ur_rises_with_n(self):
+        report = fig8_min_utilization.run(TINY, ns=(1, 10))
+        by_eps = {}
+        for r in report.rows:
+            by_eps.setdefault(r["epsilon"], {})[r["n"]] = r["min_UR(r=500)"]
+        for eps, curve in by_eps.items():
+            assert curve[10] > curve[1]
+
+    def test_larger_r_lowers_min_ur(self):
+        report = fig8_min_utilization.run(TINY, ns=(10,))
+        row = report.rows[0]
+        assert row["min_UR(r=500)"] >= row["min_UR(r=800)"] - 0.05
+
+
+class TestFig9:
+    def test_efficacy_stable_with_posterior(self):
+        report = fig9_efficacy.run(TINY, ns=(2, 10))
+        first, last = report.rows[0], report.rows[-1]
+        # Paper Observation 4: no collapse as n grows.
+        assert last["efficacy(r=500)"] > first["efficacy(r=500)"] * 0.7
+
+    def test_uniform_ablation_decays(self):
+        post = fig9_efficacy.run(TINY, ns=(1, 10), selector_kind="posterior")
+        unif = fig9_efficacy.run(TINY, ns=(1, 10), selector_kind="uniform")
+        assert (
+            unif.rows[-1]["efficacy(r=500)"] < post.rows[-1]["efficacy(r=500)"]
+        )
+
+
+class TestScalability:
+    def test_table2_rows_and_monotonicity(self):
+        report = table2_obfuscation_time.run(TINY, sizes=(10, 20, 40), pool_size=8)
+        seconds = [r["seconds"] for r in report.rows]
+        assert len(seconds) == 3
+        assert seconds[2] > seconds[0]
+
+    def test_table3_rows(self):
+        report = table3_selection_time.run(TINY, sizes=(200, 400, 800))
+        ms = [r["milliseconds"] for r in report.rows]
+        assert len(ms) == 3
+        assert ms[2] > ms[0]

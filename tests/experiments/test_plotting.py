@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, chart_from_rows
+
+
+class TestAsciiChart:
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no series)"
+
+    def test_single_series_renders_markers(self):
+        chart = ascii_chart({"ur": [(1, 0.5), (2, 0.7), (3, 0.9)]})
+        assert "o" in chart
+        assert "ur" in chart
+        assert "0.9" in chart and "0.5" in chart  # y-axis range labels
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"a": [(1, 1.0), (2, 2.0)], "b": [(1, 2.0), (2, 1.0)]}
+        )
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(1, 5.0), (2, 5.0)]})
+        assert "flat" in chart
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 0)]}, width=5, height=2)
+
+    def test_extremes_on_grid_edges(self):
+        chart = ascii_chart({"s": [(0, 0.0), (10, 1.0)]}, width=20, height=6)
+        lines = chart.splitlines()
+        plot_lines = [l for l in lines if "|" in l]
+        # Max lands on the top plot row, min on the bottom one.
+        assert "o" in plot_lines[0]
+        assert "o" in plot_lines[-1]
+
+
+class TestChartFromRows:
+    ROWS = [
+        {"n": 1, "mechanism": "a", "mean_UR": 0.5},
+        {"n": 2, "mechanism": "a", "mean_UR": 0.7},
+        {"n": 1, "mechanism": "b", "mean_UR": 0.4},
+        {"n": 2, "mechanism": "b", "mean_UR": 0.3},
+    ]
+
+    def test_grouped_series(self):
+        chart = chart_from_rows(
+            self.ROWS, x_key="n", y_keys=["mean_UR"], group_key="mechanism"
+        )
+        assert "o a" in chart
+        assert "x b" in chart
+
+    def test_column_series(self):
+        rows = [{"n": 1, "u": 0.1, "v": 0.2}, {"n": 2, "u": 0.3, "v": 0.1}]
+        chart = chart_from_rows(rows, x_key="n", y_keys=["u", "v"])
+        assert "o u" in chart
+        assert "x v" in chart
+
+
+class TestRunnerCharts:
+    def test_runner_charts_flag(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table2", "--charts"]) == 0
+        out = capsys.readouterr().out
+        assert "seconds" in out
+        assert "|" in out  # chart axis present

@@ -1,0 +1,34 @@
+"""Unit tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRunnerCli:
+    def test_experiment_registry_complete(self):
+        """Every paper table/figure with evaluation content is registered."""
+        expected = {
+            "table1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "table2", "table3", "ext_adaptive",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "google" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table1", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])

@@ -1,0 +1,42 @@
+"""Unit tests for the text-table report rendering."""
+
+from repro.experiments.tables import ExperimentReport, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 22.25}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4  # header + sep + 2 rows
+
+    def test_explicit_column_order(self):
+        rows = [{"b": 2, "a": 1}]
+        out = format_table(rows, columns=["a", "b"])
+        assert out.splitlines()[0].startswith("a")
+
+    def test_thousands_formatting(self):
+        out = format_table([{"v": 12_345.0}])
+        assert "12,345" in out
+
+    def test_nan_rendering(self):
+        out = format_table([{"v": float("nan")}])
+        assert "nan" in out
+
+
+class TestExperimentReport:
+    def test_render_includes_id_title_notes(self):
+        report = ExperimentReport(
+            experiment_id="figX",
+            title="demo",
+            rows=[{"a": 1}],
+            notes=["paper: something"],
+        )
+        out = report.render()
+        assert "figX" in out
+        assert "demo" in out
+        assert "note: paper: something" in out

@@ -1,0 +1,131 @@
+"""Unit tests for circle geometry (lens areas, union coverage, disc sampling)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import (
+    circle_area,
+    circle_overlap_fraction,
+    lens_area,
+    points_in_any_circle,
+    sample_uniform_disc,
+    union_coverage_fraction,
+)
+from repro.geo.point import Point
+
+
+class TestCircleArea:
+    def test_unit_circle(self):
+        assert circle_area(1.0) == pytest.approx(math.pi)
+
+    def test_zero_radius(self):
+        assert circle_area(0.0) == 0.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            circle_area(-1.0)
+
+
+class TestLensArea:
+    def test_disjoint_circles(self):
+        assert lens_area(1.0, 1.0, 3.0) == 0.0
+
+    def test_touching_circles(self):
+        assert lens_area(1.0, 1.0, 2.0) == 0.0
+
+    def test_coincident_circles(self):
+        assert lens_area(2.0, 2.0, 0.0) == pytest.approx(circle_area(2.0))
+
+    def test_contained_circle(self):
+        assert lens_area(5.0, 1.0, 2.0) == pytest.approx(circle_area(1.0))
+
+    def test_half_overlap_known_value(self):
+        """Equal circles at distance r overlap by 2*pi/3 - sqrt(3)/2 per r^2... known closed form."""
+        r, d = 1.0, 1.0
+        expected = 2 * r * r * math.acos(d / (2 * r)) - (d / 2) * math.sqrt(
+            4 * r * r - d * d
+        )
+        assert lens_area(r, r, d) == pytest.approx(expected, rel=1e-12)
+
+    def test_monotone_in_distance(self):
+        areas = [lens_area(1.0, 1.0, d) for d in np.linspace(0, 2, 21)]
+        assert all(a >= b - 1e-12 for a, b in zip(areas, areas[1:]))
+
+    def test_negative_inputs_raise(self):
+        with pytest.raises(ValueError):
+            lens_area(-1.0, 1.0, 0.5)
+
+
+class TestOverlapFraction:
+    def test_full_overlap(self):
+        assert circle_overlap_fraction(Point(0, 0), Point(0, 0), 5.0) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert circle_overlap_fraction(Point(0, 0), Point(20, 0), 5.0) == 0.0
+
+    def test_zero_radius_raises(self):
+        with pytest.raises(ValueError):
+            circle_overlap_fraction(Point(0, 0), Point(1, 0), 0.0)
+
+
+class TestUniformDisc:
+    def test_all_samples_inside(self, rng):
+        pts = sample_uniform_disc(Point(3, -2), 10.0, 500, rng)
+        d = np.hypot(pts[:, 0] - 3, pts[:, 1] + 2)
+        assert (d <= 10.0 + 1e-9).all()
+
+    def test_area_uniformity(self, rng):
+        """Half the samples should land within radius r/sqrt(2)."""
+        pts = sample_uniform_disc(Point(0, 0), 1.0, 8000, rng)
+        d = np.hypot(pts[:, 0], pts[:, 1])
+        inner = (d <= 1.0 / math.sqrt(2)).mean()
+        assert inner == pytest.approx(0.5, abs=0.03)
+
+    def test_zero_size(self, rng):
+        assert sample_uniform_disc(Point(0, 0), 1.0, 0, rng).shape == (0, 2)
+
+    def test_bad_radius_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_uniform_disc(Point(0, 0), -1.0, 10, rng)
+
+
+class TestPointsInAnyCircle:
+    def test_no_centers_means_uncovered(self):
+        mask = points_in_any_circle(np.zeros((4, 2)), [], 1.0)
+        assert not mask.any()
+
+    def test_membership(self):
+        samples = np.array([[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]])
+        mask = points_in_any_circle(samples, [Point(0, 0), Point(10, 0)], 1.0)
+        assert mask.tolist() == [True, False, True]
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            points_in_any_circle(np.zeros(3), [Point(0, 0)], 1.0)
+
+
+class TestUnionCoverage:
+    def test_single_circle_uses_analytic_lens(self, rng):
+        frac = union_coverage_fraction(Point(0, 0), 10.0, [Point(0, 0)], 10.0)
+        assert frac == pytest.approx(1.0)
+
+    def test_union_beats_any_single(self, rng):
+        aoi = Point(0, 0)
+        near = [Point(8.0, 0.0), Point(-8.0, 0.0)]
+        both = union_coverage_fraction(aoi, 10.0, near, 10.0, samples=20_000, rng=rng)
+        single = circle_overlap_fraction(aoi, near[0], 10.0)
+        assert both > single
+
+    def test_monte_carlo_matches_lens(self, rng):
+        aoi, aor = Point(0, 0), Point(7.0, 0.0)
+        analytic = circle_overlap_fraction(aoi, aor, 10.0)
+        # Force the MC path by using two identical AOR circles.
+        mc = union_coverage_fraction(
+            aoi, 10.0, [aor, aor], 10.0, samples=40_000, rng=rng
+        )
+        assert mc == pytest.approx(analytic, abs=0.01)
+
+    def test_empty_aor_is_zero(self, rng):
+        assert union_coverage_fraction(Point(0, 0), 5.0, [], 5.0, rng=rng) == 0.0

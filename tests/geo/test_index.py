@@ -1,0 +1,154 @@
+"""Unit tests for the grid index and fixed-radius connectivity clustering."""
+
+import numpy as np
+import pytest
+
+from repro.geo.index import GridIndex, UnionFind, connected_components
+
+
+def brute_force_components(points: np.ndarray, radius: float):
+    """Reference O(n^2) transitive clustering for cross-checking."""
+    n = len(points)
+    parent = list(range(n))
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    r2 = radius * radius
+    for i in range(n):
+        for j in range(i + 1, n):
+            d2 = ((points[i] - points[j]) ** 2).sum()
+            if d2 <= r2:
+                parent[find(i)] = find(j)
+    groups = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    comps = [sorted(g) for g in groups.values()]
+    comps.sort(key=lambda c: (-len(c), c[0]))
+    return comps
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(3)
+        assert uf.find(0) != uf.find(1)
+
+    def test_union_merges(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+        assert not uf.union(0, 1)
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_groups(self):
+        uf = UnionFind(4)
+        uf.union(0, 2)
+        groups = sorted(sorted(g) for g in uf.groups().values())
+        assert groups == [[0, 2], [1], [3]]
+
+
+class TestGridIndexQuery:
+    def test_query_finds_exact_neighbors(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [10.0, 0.0]])
+        idx = GridIndex(pts, cell_size=5.0)
+        assert sorted(idx.query(0.0, 0.0, 4.0)) == [0, 1]
+        assert sorted(idx.query(0.0, 0.0, 11.0)) == [0, 1, 2]
+
+    def test_query_radius_is_inclusive(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0]])
+        idx = GridIndex(pts, cell_size=5.0)
+        assert sorted(idx.query(0.0, 0.0, 5.0)) == [0, 1]
+
+    def test_neighbors_excludes_self(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        idx = GridIndex(pts, cell_size=2.0)
+        assert idx.neighbors_within(0, 2.0) == [1]
+
+    def test_empty_index(self):
+        idx = GridIndex(np.empty((0, 2)), cell_size=1.0)
+        assert len(idx) == 0
+        assert idx.query(0, 0, 10) == []
+
+    def test_bad_cell_size_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((1, 2)), cell_size=0.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros((2, 3)), cell_size=1.0)
+
+    def test_negative_radius_raises(self):
+        idx = GridIndex(np.zeros((1, 2)), cell_size=1.0)
+        with pytest.raises(ValueError):
+            idx.query(0, 0, -1.0)
+
+
+class TestConnectedComponents:
+    def test_two_well_separated_clusters(self, rng):
+        a = rng.normal(0, 1, (30, 2))
+        b = rng.normal(100, 1, (20, 2))
+        pts = np.vstack([a, b])
+        comps = connected_components(pts, radius=10.0)
+        assert len(comps) == 2
+        assert len(comps[0]) == 30
+        assert len(comps[1]) == 20
+
+    def test_chain_is_transitively_connected(self):
+        # Points in a line, each 1.0 apart: one component at radius 1.
+        pts = np.column_stack([np.arange(10.0), np.zeros(10)])
+        comps = connected_components(pts, radius=1.0)
+        assert len(comps) == 1
+
+    def test_chain_breaks_below_threshold(self):
+        pts = np.column_stack([np.arange(10.0), np.zeros(10)])
+        comps = connected_components(pts, radius=0.99)
+        assert len(comps) == 10
+
+    def test_matches_brute_force_on_random_data(self, rng):
+        pts = rng.uniform(0, 50, (120, 2))
+        for radius in (2.0, 5.0, 9.0):
+            fast = connected_components(pts, radius)
+            slow = brute_force_components(pts, radius)
+            assert fast == slow
+
+    def test_matches_brute_force_dense_cluster(self, rng):
+        """Dense blob + scattered singletons: the attack's typical shape."""
+        blob = rng.normal(0, 0.5, (200, 2))
+        scatter = rng.uniform(20, 100, (30, 2))
+        pts = np.vstack([blob, scatter])
+        assert connected_components(pts, 3.0) == brute_force_components(pts, 3.0)
+
+    def test_empty_input(self):
+        assert connected_components(np.empty((0, 2)), 1.0) == []
+
+    def test_single_point(self):
+        assert connected_components(np.array([[1.0, 1.0]]), 1.0) == [[0]]
+
+    def test_coincident_points(self):
+        pts = np.zeros((5, 2))
+        comps = connected_components(pts, 0.5)
+        assert comps == [[0, 1, 2, 3, 4]]
+
+    def test_largest_first_ordering(self, rng):
+        small = rng.normal(0, 0.1, (5, 2))
+        large = rng.normal(50, 0.1, (15, 2))
+        comps = connected_components(np.vstack([small, large]), 2.0)
+        assert len(comps[0]) == 15
+
+    def test_bad_radius_raises(self):
+        with pytest.raises(ValueError):
+            connected_components(np.zeros((2, 2)), 0.0)
+
+    def test_gridindex_method_delegates(self, rng):
+        pts = rng.uniform(0, 10, (40, 2))
+        idx = GridIndex(pts, cell_size=1.0)
+        assert idx.connected_components(2.0) == connected_components(pts, 2.0)

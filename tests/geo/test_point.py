@@ -1,0 +1,99 @@
+"""Unit tests for planar points and distance helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.point import (
+    Point,
+    array_to_points,
+    centroid,
+    distance,
+    distances_to,
+    pairwise_distances,
+    points_to_array,
+)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-7.25, 3.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(12.5, -3.25)
+        assert p.distance_to(p) == 0.0
+
+    def test_translate_returns_new_point(self):
+        p = Point(1.0, 2.0)
+        q = p.translate(3.0, -1.0)
+        assert q == Point(4.0, 1.0)
+        assert p == Point(1.0, 2.0)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+    def test_iter_unpacks_coordinates(self):
+        x, y = Point(3.0, 7.0)
+        assert (x, y) == (3.0, 7.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_module_level_distance(self):
+        assert distance(Point(0, 0), Point(0, 2)) == 2.0
+
+
+class TestArrayConversion:
+    def test_points_to_array_roundtrip(self):
+        pts = [Point(1.0, 2.0), Point(-3.0, 4.5)]
+        arr = points_to_array(pts)
+        assert arr.shape == (2, 2)
+        assert array_to_points(arr) == pts
+
+    def test_points_to_array_empty(self):
+        arr = points_to_array([])
+        assert arr.shape == (0, 2)
+
+    def test_array_to_points_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            array_to_points(np.zeros((3, 3)))
+
+
+class TestCentroid:
+    def test_centroid_of_square(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1.0, 1.0)
+
+    def test_centroid_single_point(self):
+        assert centroid([Point(5, -3)]) == Point(5, -3)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestDistanceMatrices:
+    def test_pairwise_distances_shape_and_values(self):
+        pts = [Point(0, 0), Point(3, 4), Point(0, 4)]
+        m = pairwise_distances(pts)
+        assert m.shape == (3, 3)
+        assert np.allclose(np.diag(m), 0.0)
+        assert m[0, 1] == pytest.approx(5.0)
+        assert m[0, 2] == pytest.approx(4.0)
+        assert np.allclose(m, m.T)
+
+    def test_distances_to_matches_pointwise(self):
+        pts = [Point(1, 1), Point(-2, 5)]
+        target = Point(0, 0)
+        d = distances_to(pts, target)
+        assert d[0] == pytest.approx(math.sqrt(2))
+        assert d[1] == pytest.approx(math.sqrt(29))
+
+    def test_distances_to_empty(self):
+        assert distances_to([], Point(0, 0)).shape == (0,)

@@ -1,0 +1,95 @@
+"""Unit tests for simple polygons."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+
+
+SQUARE = Polygon.from_coords([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon.from_coords([(0, 0), (1, 1)])
+
+    def test_rectangle_from_bbox(self):
+        poly = Polygon.rectangle(BoundingBox(0, 0, 4, 2))
+        assert poly.area() == pytest.approx(8.0)
+
+    def test_regular_polygon_area_converges_to_circle(self):
+        poly = Polygon.regular(Point(0, 0), radius=10.0, sides=256)
+        assert poly.area() == pytest.approx(math.pi * 100.0, rel=1e-3)
+
+    def test_regular_validation(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Point(0, 0), 1.0, 2)
+        with pytest.raises(ValueError):
+            Polygon.regular(Point(0, 0), 0.0, 4)
+
+
+class TestAreaAndCentroid:
+    def test_square_area(self):
+        assert SQUARE.area() == pytest.approx(100.0)
+
+    def test_area_orientation_invariant(self):
+        reversed_square = Polygon(tuple(reversed(SQUARE.vertices)))
+        assert reversed_square.area() == pytest.approx(SQUARE.area())
+
+    def test_triangle_area(self):
+        tri = Polygon.from_coords([(0, 0), (4, 0), (0, 3)])
+        assert tri.area() == pytest.approx(6.0)
+
+    def test_square_centroid(self):
+        c = SQUARE.centroid()
+        assert c == Point(5.0, 5.0)
+
+    def test_bounding_box(self):
+        box = SQUARE.bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 10, 10)
+
+
+class TestContainment:
+    def test_interior(self):
+        assert SQUARE.contains(Point(5, 5))
+
+    def test_exterior(self):
+        assert not SQUARE.contains(Point(15, 5))
+        assert not SQUARE.contains(Point(-1, 5))
+
+    def test_boundary_counts_as_inside(self):
+        assert SQUARE.contains(Point(0, 5))
+        assert SQUARE.contains(Point(10, 10))
+
+    def test_concave_polygon(self):
+        # An L-shape: the notch must be outside.
+        lshape = Polygon.from_coords(
+            [(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)]
+        )
+        assert lshape.contains(Point(2, 8))
+        assert lshape.contains(Point(8, 2))
+        assert not lshape.contains(Point(8, 8))
+
+    def test_contains_many_matches_scalar(self, rng):
+        poly = Polygon.regular(Point(0, 0), radius=10.0, sides=7)
+        coords = rng.uniform(-15, 15, (300, 2))
+        mask = poly.contains_many(coords)
+        for (x, y), inside in zip(coords, mask):
+            # Boundary-tolerance differences are irrelevant for random points.
+            assert inside == poly.contains(Point(x, y))
+
+    def test_contains_many_bad_shape(self):
+        with pytest.raises(ValueError):
+            SQUARE.contains_many(np.zeros(3))
+
+    def test_containment_fraction_matches_area(self, rng):
+        """Monte-Carlo check: hit fraction ~ polygon area / box area."""
+        poly = Polygon.regular(Point(0, 0), radius=10.0, sides=6)
+        coords = rng.uniform(-10, 10, (20_000, 2))
+        frac = poly.contains_many(coords).mean()
+        assert frac == pytest.approx(poly.area() / 400.0, abs=0.01)

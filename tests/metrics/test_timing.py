@@ -1,0 +1,50 @@
+"""Unit tests for the timing harness."""
+
+import time
+
+import pytest
+
+from repro.metrics.timing import Stopwatch, TimingRow, measure_scaling
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+
+class TestTimingRow:
+    def test_per_item_ms(self):
+        row = TimingRow(size=100, seconds=0.5)
+        assert row.per_item_ms == pytest.approx(5.0)
+
+    def test_zero_size(self):
+        assert TimingRow(size=0, seconds=1.0).per_item_ms == 0.0
+
+
+class TestMeasureScaling:
+    def test_rows_per_size(self):
+        calls = []
+        rows = measure_scaling(lambda n: calls.append(n), sizes=[1, 2, 4])
+        assert [r.size for r in rows] == [1, 2, 4]
+        assert calls == [1, 2, 4]
+
+    def test_best_of_repeats(self):
+        rows = measure_scaling(lambda n: None, sizes=[1], repeats=3)
+        assert rows[0].seconds >= 0.0
+
+    def test_scaling_reflects_workload(self):
+        def workload(n):
+            total = 0
+            for i in range(n * 20_000):
+                total += i
+
+        rows = measure_scaling(workload, sizes=[1, 8])
+        assert rows[1].seconds > rows[0].seconds
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            measure_scaling(lambda n: None, sizes=[0])
+        with pytest.raises(ValueError):
+            measure_scaling(lambda n: None, sizes=[1], repeats=0)

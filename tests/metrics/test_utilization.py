@@ -1,0 +1,94 @@
+"""Unit tests for the utilization-rate metric (Definition 4 / Eq. 24)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.geo.geometry import circle_overlap_fraction
+from repro.geo.point import Point
+from repro.metrics.utilization import (
+    minimal_utilization,
+    summarize_utilization,
+    utilization_rate,
+    utilization_samples,
+)
+
+
+class TestUtilizationRate:
+    def test_perfect_report_full_ur(self, rng):
+        assert utilization_rate(Point(0, 0), [Point(0, 0)], 5_000.0, rng=rng) == 1.0
+
+    def test_far_report_zero_ur(self, rng):
+        assert utilization_rate(Point(0, 0), [Point(100_000, 0)], 5_000.0, rng=rng) == 0.0
+
+    def test_single_report_matches_lens(self, rng):
+        true, reported = Point(0, 0), Point(4_000, 0)
+        ur = utilization_rate(true, [reported], 5_000.0, rng=rng)
+        assert ur == pytest.approx(circle_overlap_fraction(true, reported, 5_000.0))
+
+    def test_more_candidates_never_reduce_ur(self, rng):
+        true = Point(0, 0)
+        one = utilization_rate(true, [Point(4_000, 0)], 5_000.0, samples=20_000, rng=rng)
+        two = utilization_rate(
+            true, [Point(4_000, 0), Point(-4_000, 0)], 5_000.0, samples=20_000, rng=rng
+        )
+        assert two >= one - 0.01
+
+    def test_empty_report_zero(self, rng):
+        assert utilization_rate(Point(0, 0), [], 5_000.0, rng=rng) == 0.0
+
+    def test_bad_radius_raises(self, rng):
+        with pytest.raises(ValueError):
+            utilization_rate(Point(0, 0), [Point(0, 0)], 0.0, rng=rng)
+
+
+class TestUtilizationSamples:
+    def test_sample_count_and_range(self, paper_budget):
+        mech = NFoldGaussianMechanism(paper_budget, rng=default_rng(0))
+        samples = utilization_samples(mech, trials=30, mc_samples=256)
+        assert samples.shape == (30,)
+        assert ((samples >= 0) & (samples <= 1)).all()
+
+    def test_ur_improves_with_n(self):
+        """Figure 7/8 shape: mean UR grows with the candidate count."""
+        urs = {}
+        for n in (1, 10):
+            budget = GeoIndBudget(500.0, 1.0, 0.01, n)
+            mech = NFoldGaussianMechanism(budget, rng=default_rng(1))
+            urs[n] = utilization_samples(mech, trials=120, mc_samples=512).mean()
+        assert urs[10] > urs[1] + 0.1
+
+    def test_rejects_bad_trials(self, paper_budget):
+        mech = NFoldGaussianMechanism(paper_budget)
+        with pytest.raises(ValueError):
+            utilization_samples(mech, trials=0)
+
+
+class TestMinimalUtilization:
+    def test_quantile_semantics(self):
+        samples = np.linspace(0.0, 1.0, 101)
+        v = minimal_utilization(samples, alpha=0.9)
+        # Pr(UR >= v) >= 0.9 must hold on the sample.
+        assert (samples >= v).mean() >= 0.9
+
+    def test_constant_sample(self):
+        assert minimal_utilization(np.full(50, 0.7), 0.9) == pytest.approx(0.7)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            minimal_utilization(np.ones(5), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            minimal_utilization(np.empty(0), 0.9)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        samples = np.array([0.5, 0.6, 0.7, 0.8])
+        s = summarize_utilization(samples, alpha=0.9)
+        assert s.mean == pytest.approx(0.65)
+        assert s.trials == 4
+        assert s.minimal_at_alpha <= s.mean

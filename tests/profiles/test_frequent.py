@@ -1,0 +1,72 @@
+"""Unit tests for the eta-frequent location set (Definition 6 / Algorithm 2)."""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.profiles.frequent import (
+    coverage_of_top,
+    eta_frequent_entries,
+    eta_frequent_set,
+)
+from repro.profiles.profile import LocationProfile, ProfileEntry
+
+
+def make_profile(freqs):
+    return LocationProfile(
+        [ProfileEntry(Point(float(i), 0.0), f) for i, f in enumerate(freqs)]
+    )
+
+
+class TestEtaFrequentSet:
+    def test_fractional_eta_takes_minimal_prefix(self):
+        profile = make_profile([60, 25, 10, 5])
+        # 0.8 * 100 = 80 -> need 60 + 25 = 85 >= 80: two locations.
+        assert len(eta_frequent_set(profile, 0.8)) == 2
+
+    def test_absolute_eta(self):
+        profile = make_profile([60, 25, 10, 5])
+        assert len(eta_frequent_set(profile, 70.0)) == 2
+        assert len(eta_frequent_set(profile, 60.0)) == 1
+
+    def test_eta_one_single_dominant(self):
+        profile = make_profile([100])
+        assert len(eta_frequent_set(profile, 1.0)) == 1
+
+    def test_minimality(self):
+        """Dropping the last member must fall below the threshold."""
+        profile = make_profile([40, 30, 20, 10])
+        entries = eta_frequent_entries(profile, 0.75)
+        total = profile.total_checkins
+        included = sum(e.frequency for e in entries)
+        assert included >= 0.75 * total
+        assert included - entries[-1].frequency < 0.75 * total
+
+    def test_threshold_above_total_returns_all(self):
+        profile = make_profile([10, 5])
+        assert len(eta_frequent_set(profile, 1_000.0)) == 2
+
+    def test_empty_profile(self):
+        assert eta_frequent_set(LocationProfile(), 0.8) == []
+
+    def test_rejects_nonpositive_eta(self):
+        with pytest.raises(ValueError):
+            eta_frequent_set(make_profile([10]), 0.0)
+
+    def test_returns_locations_most_frequent_first(self):
+        profile = make_profile([10, 50, 30])
+        locs = eta_frequent_set(profile, 0.99)
+        freqs = {e.location: e.frequency for e in profile}
+        assert [freqs[l] for l in locs] == sorted(
+            [freqs[l] for l in locs], reverse=True
+        )
+
+
+class TestCoverage:
+    def test_coverage_of_top(self):
+        profile = make_profile([60, 25, 10, 5])
+        assert coverage_of_top(profile, 1) == pytest.approx(0.6)
+        assert coverage_of_top(profile, 2) == pytest.approx(0.85)
+        assert coverage_of_top(profile, 10) == pytest.approx(1.0)
+
+    def test_coverage_empty_profile(self):
+        assert coverage_of_top(LocationProfile(), 1) == 0.0

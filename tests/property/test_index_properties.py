@@ -1,0 +1,69 @@
+"""Property-based tests for the spatial index and clustering invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geo.index import GridIndex, connected_components
+
+point_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=1, max_value=60), st.just(2)),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64),
+)
+radii = st.floats(min_value=0.5, max_value=5e3, allow_nan=False)
+
+
+class TestClusteringInvariants:
+    @given(point_arrays, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_partition(self, pts, radius):
+        """Components partition the index set exactly."""
+        comps = connected_components(pts, radius)
+        flat = sorted(i for c in comps for i in c)
+        assert flat == list(range(len(pts)))
+
+    @given(point_arrays, radii)
+    @settings(max_examples=60, deadline=None)
+    def test_no_cross_component_closeness(self, pts, radius):
+        """No two points in different components may be within the radius."""
+        comps = connected_components(pts, radius)
+        label = np.empty(len(pts), dtype=int)
+        for k, comp in enumerate(comps):
+            label[comp] = k
+        d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(-1)
+        close = d2 <= radius * radius
+        same = label[:, None] == label[None, :]
+        assert (close <= same).all()  # close implies same component
+
+    @given(point_arrays, radii)
+    @settings(max_examples=40, deadline=None)
+    def test_sizes_sorted_descending(self, pts, radius):
+        comps = connected_components(pts, radius)
+        sizes = [len(c) for c in comps]
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(point_arrays, radii)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_radius(self, pts, radius):
+        """A larger radius can only merge components, never split them."""
+        fine = connected_components(pts, radius)
+        coarse = connected_components(pts, radius * 2)
+        label = np.empty(len(pts), dtype=int)
+        for k, comp in enumerate(coarse):
+            label[comp] = k
+        for comp in fine:
+            assert len({label[i] for i in comp}) == 1
+
+
+class TestQueryInvariants:
+    @given(point_arrays, radii, st.floats(min_value=-1e4, max_value=1e4),
+           st.floats(min_value=-1e4, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_query_matches_brute_force(self, pts, radius, qx, qy):
+        idx = GridIndex(pts, cell_size=max(radius, 1.0))
+        got = sorted(idx.query(qx, qy, radius))
+        d2 = (pts[:, 0] - qx) ** 2 + (pts[:, 1] - qy) ** 2
+        expected = sorted(np.flatnonzero(d2 <= radius * radius).tolist())
+        assert got == expected

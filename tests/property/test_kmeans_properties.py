@@ -1,0 +1,55 @@
+"""Property-based tests for the from-scratch k-means implementation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attack.kmeans import kmeans
+
+point_sets = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(min_value=3, max_value=50), st.just(2)),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=64),
+)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestKMeansProperties:
+    @given(point_sets, st.integers(min_value=1, max_value=3), seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_partition_and_sizes(self, pts, k, seed):
+        result = kmeans(pts, k, rng=np.random.default_rng(seed))
+        assert result.sizes.sum() == len(pts)
+        assert len(result.centroids) == k
+        assert result.labels.min() >= 0
+        assert result.labels.max() < k
+
+    @given(point_sets, st.integers(min_value=1, max_value=3), seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_sorted_descending(self, pts, k, seed):
+        result = kmeans(pts, k, rng=np.random.default_rng(seed))
+        sizes = result.sizes.tolist()
+        assert sizes == sorted(sizes, reverse=True)
+
+    @given(point_sets, st.integers(min_value=1, max_value=3), seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_labels_point_to_nearest_centroid(self, pts, k, seed):
+        result = kmeans(pts, k, rng=np.random.default_rng(seed))
+        d2 = ((pts[:, None, :] - result.centroids[None, :, :]) ** 2).sum(-1)
+        best = d2.min(axis=1)
+        chosen = d2[np.arange(len(pts)), result.labels]
+        assert np.allclose(chosen, best)
+
+    @given(point_sets, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_k1_centroid_is_mean(self, pts, seed):
+        result = kmeans(pts, 1, rng=np.random.default_rng(seed))
+        assert np.allclose(result.centroids[0], pts.mean(axis=0), atol=1e-6)
+
+    @given(point_sets, st.integers(min_value=1, max_value=3), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_inertia_nonnegative_and_finite(self, pts, k, seed):
+        result = kmeans(pts, k, rng=np.random.default_rng(seed))
+        assert np.isfinite(result.inertia)
+        assert result.inertia >= 0.0

@@ -1,0 +1,109 @@
+"""Property-based tests for the mechanisms and calibration invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import (
+    gaussian_sigma_composition,
+    gaussian_sigma_nfold,
+    gaussian_sigma_single,
+)
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget, OneTimeBudget
+from repro.core.sampling import (
+    planar_laplace_radial_quantile,
+    rayleigh_quantile,
+)
+from repro.core.verification import verify_gaussian_geo_ind
+from repro.geo.point import Point
+
+rs = st.floats(min_value=50.0, max_value=2_000.0, allow_nan=False)
+epsilons = st.floats(min_value=0.1, max_value=5.0, allow_nan=False)
+deltas = st.floats(min_value=1e-6, max_value=0.2, allow_nan=False)
+ns = st.integers(min_value=1, max_value=20)
+
+
+class TestCalibrationProperties:
+    @given(rs, epsilons, deltas, ns)
+    def test_nfold_is_sqrt_n_of_single(self, r, eps, delta, n):
+        single = gaussian_sigma_single(r, eps, delta)
+        nfold = gaussian_sigma_nfold(r, eps, delta, n)
+        assert math.isclose(nfold, math.sqrt(n) * single, rel_tol=1e-12)
+
+    @given(rs, epsilons, deltas, st.integers(min_value=2, max_value=20))
+    def test_sufficient_statistic_beats_composition(self, r, eps, delta, n):
+        assert gaussian_sigma_nfold(r, eps, delta, n) < gaussian_sigma_composition(
+            r, eps, delta, n
+        )
+
+    @given(rs, epsilons, deltas, ns)
+    @settings(max_examples=40, deadline=None)
+    def test_calibrated_sigma_satisfies_budget(self, r, eps, delta, n):
+        """Theorem 2 must hold across the whole randomised parameter space."""
+        sigma = gaussian_sigma_nfold(r, eps, delta, n)
+        assert verify_gaussian_geo_ind(r, eps, delta, n, sigma)
+
+    @given(rs, epsilons, deltas)
+    def test_sigma_positive(self, r, eps, delta):
+        assert gaussian_sigma_single(r, eps, delta) > 0
+
+
+class TestQuantileProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=0.999, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+    )
+    def test_rayleigh_quantile_monotone_nonneg(self, p, sigma):
+        r = rayleigh_quantile(p, sigma)
+        assert r >= 0.0
+        if p > 0:
+            assert r > rayleigh_quantile(p / 2, sigma) or p / 2 == 0.0
+
+    @given(
+        st.floats(min_value=0.001, max_value=0.999, allow_nan=False),
+        st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+    )
+    def test_laplace_quantile_positive_and_monotone_in_p(self, p, eps):
+        r = planar_laplace_radial_quantile(p, eps)
+        assert r > 0
+        assert r >= planar_laplace_radial_quantile(p / 2, eps)
+
+
+class TestMechanismOutputProperties:
+    @given(ns, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_nfold_output_count_always_n(self, n, seed):
+        budget = GeoIndBudget(500.0, 1.0, 0.01, n)
+        m = NFoldGaussianMechanism(budget, rng=default_rng(seed))
+        assert len(m.obfuscate(Point(0, 0))) == n
+
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5),
+        st.floats(min_value=-1e5, max_value=1e5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_outputs_finite_for_any_location(self, x, y, seed):
+        m = NFoldGaussianMechanism(
+            GeoIndBudget(500.0, 1.0, 0.01, 5), rng=default_rng(seed)
+        )
+        for out in m.obfuscate(Point(x, y)):
+            assert math.isfinite(out.x) and math.isfinite(out.y)
+
+    @given(
+        st.floats(min_value=1e-4, max_value=0.1),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_laplace_tail_radius_bounds_quantile(self, eps, seed):
+        """noise_tail_radius(alpha) must upper-bound (1-alpha) of draws."""
+        m = PlanarLaplaceMechanism(OneTimeBudget(eps), rng=default_rng(seed))
+        r = m.noise_tail_radius(0.5)
+        draws = m.obfuscate_batch(np.zeros((200, 2)))
+        frac_beyond = (np.hypot(draws[:, 0], draws[:, 1]) > r).mean()
+        assert frac_beyond < 0.75  # loose statistical sanity bound

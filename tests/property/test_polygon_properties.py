@@ -1,0 +1,81 @@
+"""Property-based tests for polygon geometry."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.point import Point
+from repro.geo.polygon import Polygon
+
+centers = st.builds(
+    Point,
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+radii = st.floats(min_value=1.0, max_value=5e3, allow_nan=False)
+sides = st.integers(min_value=3, max_value=24)
+
+
+class TestRegularPolygonProperties:
+    @given(centers, radii, sides)
+    def test_area_formula(self, center, radius, n):
+        """Regular n-gon area = n/2 * r^2 * sin(2*pi/n).
+
+        The shoelace sum cancels terms of magnitude ~|center|^2, so the
+        absolute tolerance scales with the squared coordinate offset.
+        """
+        poly = Polygon.regular(center, radius, n)
+        expected = 0.5 * n * radius * radius * math.sin(2 * math.pi / n)
+        scale = (abs(center.x) + abs(center.y) + radius) ** 2
+        assert math.isclose(
+            poly.area(), expected, rel_tol=1e-6, abs_tol=1e-10 * scale
+        )
+
+    @given(centers, radii, sides)
+    def test_centroid_is_center(self, center, radius, n):
+        c = Polygon.regular(center, radius, n).centroid()
+        # Centroid error inherits the same cancellation, amplified by 1/area.
+        tol = max(1e-6, (abs(center.x) + abs(center.y)) * 1e-7 / max(radius, 1.0))
+        assert c.distance_to(center) < radius * 1e-6 + tol
+
+    @given(centers, radii, sides)
+    def test_center_inside(self, center, radius, n):
+        assert Polygon.regular(center, radius, n).contains(center)
+
+    @given(centers, radii, sides)
+    def test_far_point_outside(self, center, radius, n):
+        far = Point(center.x + 10 * radius, center.y)
+        assert not Polygon.regular(center, radius, n).contains(far)
+
+    @given(centers, radii, sides)
+    def test_bounding_box_contains_vertices(self, center, radius, n):
+        poly = Polygon.regular(center, radius, n)
+        box = poly.bounding_box()
+        for v in poly.vertices:
+            assert box.contains(v)
+
+    @given(centers, radii, sides, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_matches_scalar(self, center, radius, n, seed):
+        poly = Polygon.regular(center, radius, n)
+        rng = np.random.default_rng(seed)
+        coords = np.column_stack(
+            [
+                rng.uniform(center.x - 2 * radius, center.x + 2 * radius, 40),
+                rng.uniform(center.y - 2 * radius, center.y + 2 * radius, 40),
+            ]
+        )
+        mask = poly.contains_many(coords)
+        for (x, y), inside in zip(coords, mask):
+            assert inside == poly.contains(Point(x, y), boundary_tol=0.0)
+
+    @given(centers, radii, sides, st.floats(min_value=0.1, max_value=10.0))
+    def test_area_scales_quadratically(self, center, radius, n, factor):
+        a1 = Polygon.regular(center, radius, n).area()
+        a2 = Polygon.regular(center, radius * factor, n).area()
+        scale = (abs(center.x) + abs(center.y) + radius * (1 + factor)) ** 2
+        assert math.isclose(
+            a2, a1 * factor * factor, rel_tol=1e-5, abs_tol=1e-10 * scale
+        )

@@ -1,0 +1,54 @@
+"""Property-based tests for the output-selection weights."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.posterior import posterior_weights
+from repro.geo.point import Point
+
+# Domains mirror real deployments (city-scale coordinates, noise scales of
+# tens of metres and up); far outside them, float64 cancellation in
+# (x - mean)^2 makes exact translation invariance unattainable.
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+candidate_lists = st.lists(
+    st.builds(Point, coords, coords), min_size=1, max_size=15
+)
+sigmas = st.floats(min_value=10.0, max_value=1e5, allow_nan=False)
+
+
+class TestPosteriorWeightProperties:
+    @given(candidate_lists, sigmas)
+    def test_valid_distribution(self, cands, sigma):
+        w = posterior_weights(cands, sigma)
+        assert len(w) == len(cands)
+        assert (w >= 0).all()
+        assert math.isclose(float(w.sum()), 1.0, rel_tol=1e-9)
+        assert np.isfinite(w).all()
+
+    @given(candidate_lists, sigmas)
+    def test_closer_to_mean_means_heavier(self, cands, sigma):
+        w = posterior_weights(cands, sigma)
+        arr = np.array([tuple(c) for c in cands], dtype=float)
+        mean = arr.mean(axis=0)
+        d = np.hypot(arr[:, 0] - mean[0], arr[:, 1] - mean[1])
+        order = np.argsort(d)
+        sorted_w = w[order]
+        # Weights must be non-increasing in distance from the mean.
+        assert all(
+            a >= b - 1e-12 for a, b in zip(sorted_w, sorted_w[1:])
+        )
+
+    @given(candidate_lists, sigmas, coords, coords)
+    def test_translation_invariance(self, cands, sigma, dx, dy):
+        w1 = posterior_weights(cands, sigma)
+        shifted = [c.translate(dx, dy) for c in cands]
+        w2 = posterior_weights(shifted, sigma)
+        assert np.allclose(w1, w2, atol=1e-3)
+
+    @given(st.builds(Point, coords, coords), st.integers(min_value=1, max_value=10), sigmas)
+    def test_identical_candidates_uniform(self, p, k, sigma):
+        w = posterior_weights([p] * k, sigma)
+        assert np.allclose(w, 1.0 / k)

@@ -1,0 +1,63 @@
+"""Property-based tests for the secret-sharing merge protocol."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.edge.secure_merge import (
+    MODULUS,
+    reconstruct_histogram,
+    share_histogram,
+)
+
+count_vectors = arrays(
+    dtype=np.int64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.integers(min_value=0, max_value=1_000_000),
+)
+party_counts = st.integers(min_value=2, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestSharingProperties:
+    @given(count_vectors, party_counts, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_is_exact(self, counts, parties, seed):
+        rng = np.random.default_rng(seed)
+        shares = share_histogram(counts, parties, rng)
+        assert (reconstruct_histogram(shares) == counts).all()
+
+    @given(count_vectors, party_counts, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_share_count_and_range(self, counts, parties, seed):
+        rng = np.random.default_rng(seed)
+        shares = share_histogram(counts, parties, rng)
+        assert len(shares) == parties
+        for s in shares:
+            assert (s >= 0).all()
+            assert (s < MODULUS).all()
+
+    @given(count_vectors, party_counts, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_additivity_of_two_sharings(self, counts, parties, seed):
+        """Share-wise sums reconstruct to the sum of the secrets."""
+        rng = np.random.default_rng(seed)
+        shares_a = share_histogram(counts, parties, rng)
+        shares_b = share_histogram(counts, parties, rng)
+        summed = [
+            (a + b) % MODULUS for a, b in zip(shares_a, shares_b)
+        ]
+        assert (reconstruct_histogram(summed) == 2 * counts).all()
+
+    @given(count_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_sharings_are_randomised(self, counts, seed):
+        """Two sharings of the same secret differ (overwhelmingly)."""
+        rng = np.random.default_rng(seed)
+        first = share_histogram(counts, 2, rng)
+        second = share_histogram(counts, 2, rng)
+        if counts.size > 0:
+            assert not all(
+                (a == b).all() for a, b in zip(first, second)
+            )

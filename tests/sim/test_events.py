@@ -1,0 +1,88 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.events import Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+        assert sim.now == 5.0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(k):
+            fired.append(k)
+            if k < 3:
+                sim.schedule(1.0, chain, k + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_includes_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_at(105.0, fired.append, "x")
+        sim.run()
+        assert sim.now == 105.0
+
+    def test_no_past_scheduling(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_step_on_empty_queue(self):
+        assert not Simulator().step()
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.processed == 2

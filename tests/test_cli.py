@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestExperimentsCommand:
+    def test_runs_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "google" in out
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, capsys):
+        assert main(["simulate", "--users", "3", "--campaigns", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "requests served" in out
+        assert "relevance ratio" in out
+
+    def test_simulation_with_attack(self, capsys):
+        assert main(
+            ["simulate", "--users", "3", "--campaigns", "20", "--attack"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "attack success" in out
+
+
+class TestAttackCommand:
+    def test_case_study_attack(self, capsys):
+        assert main(["attack", "--level", "ln4"]) == 0
+        out = capsys.readouterr().out
+        assert "full year" in out
+        assert "home recovered" in out
+
+
+class TestVerifyCommand:
+    def test_valid_budget_passes(self, capsys):
+        code = main(
+            ["verify", "--r", "500", "--epsilon", "1.0", "--delta", "0.01",
+             "--n", "10", "--samples", "20000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analytic check:  OK" in out

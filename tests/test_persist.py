@@ -1,0 +1,76 @@
+"""Unit tests for JSON persistence of durable system state."""
+
+import pytest
+
+from repro.core.gaussian import NFoldGaussianMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+from repro.edge.obfuscation import ObfuscationTable
+from repro.geo.point import Point
+from repro.persist import (
+    load_json,
+    profile_from_json,
+    profile_to_json,
+    save_json,
+    table_from_json,
+    table_to_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.profiles.checkin import CheckIn
+from repro.profiles.profile import LocationProfile, ProfileEntry
+
+
+class TestTraceRoundtrip:
+    def test_roundtrip(self):
+        trace = [CheckIn(1.5, Point(10.25, -3.5)), CheckIn(2.5, Point(0.0, 0.0))]
+        assert trace_from_json(trace_to_json(trace)) == trace
+
+    def test_empty_trace(self):
+        assert trace_from_json(trace_to_json([])) == []
+
+    def test_kind_mismatch(self):
+        with pytest.raises(ValueError):
+            trace_from_json(profile_to_json(LocationProfile()))
+
+
+class TestProfileRoundtrip:
+    def test_roundtrip_preserves_order_and_entries(self):
+        profile = LocationProfile(
+            [ProfileEntry(Point(0, 0), 10), ProfileEntry(Point(5, 5), 30)]
+        )
+        restored = profile_from_json(profile_to_json(profile))
+        assert restored.entries == profile.entries
+        assert restored.total_checkins == 40
+
+    def test_empty_profile(self):
+        restored = profile_from_json(profile_to_json(LocationProfile()))
+        assert len(restored) == 0
+
+
+class TestTableRoundtrip:
+    def test_roundtrip_preserves_pins(self):
+        mech = NFoldGaussianMechanism(
+            GeoIndBudget(500, 1.0, 0.01, 5), rng=default_rng(0)
+        )
+        table = ObfuscationTable(match_radius=120.0)
+        top = Point(100.0, 200.0)
+        table.pin(top, mech.obfuscate(top))
+        restored = table_from_json(table_to_json(table))
+        assert restored.match_radius == 120.0
+        assert restored.lookup(top) == table.lookup(top)
+
+    def test_restored_table_still_permanent(self):
+        table = ObfuscationTable()
+        table.pin(Point(0, 0), [Point(1, 1)])
+        restored = table_from_json(table_to_json(table))
+        with pytest.raises(ValueError):
+            restored.pin(Point(10, 0), [Point(2, 2)])
+
+
+class TestFileIo:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        trace = [CheckIn(0.0, Point(1, 2))]
+        save_json(path, trace_to_json(trace))
+        assert trace_from_json(load_json(path)) == trace
