@@ -3,11 +3,17 @@
 Every bench regenerates one of the paper's tables/figures via its
 experiment driver, times it with pytest-benchmark, prints the rendered
 report, and archives it under ``benchmarks/results/`` so the numbers are
-inspectable after a quiet pytest run.
+inspectable after a quiet pytest run.  Alongside the human-readable
+``<id>.txt`` archive, each report also lands as machine-readable
+``BENCH_<id>.json`` carrying the wall-clock seconds, the worker count,
+the scale, and any per-stage timings the driver surfaced via
+``ExperimentReport.meta``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
 
 import pytest
@@ -27,14 +33,37 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+def _benchmark_wall_seconds(request) -> float:
+    """Wall-clock of the benchmarked call, when the test timed one."""
+    if "benchmark" not in request.fixturenames:
+        return float("nan")
+    stats = getattr(request.getfixturevalue("benchmark"), "stats", None)
+    stats = getattr(stats, "stats", stats)
+    mean = getattr(stats, "mean", None)
+    return float(mean) if mean is not None else float("nan")
+
+
 @pytest.fixture
-def archive(results_dir):
-    """Print a report and persist it to benchmarks/results/<id>.txt."""
+def archive(results_dir, request):
+    """Print a report and persist it to benchmarks/results/<id>.{txt,json}."""
 
     def _archive(report: ExperimentReport) -> ExperimentReport:
         text = report.render()
         print("\n" + text)
         (results_dir / f"{report.experiment_id}.txt").write_text(text + "\n")
+        payload = {
+            "experiment_id": report.experiment_id,
+            "title": report.title,
+            "wall_seconds": _benchmark_wall_seconds(request),
+            "workers": report.meta.get("workers"),
+            "scale": dataclasses.asdict(BENCH),
+            "stage_seconds": report.meta.get("stage_seconds", {}),
+            "rows": report.rows,
+            "notes": report.notes,
+        }
+        (results_dir / f"BENCH_{report.experiment_id}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
+        )
         return report
 
     return _archive

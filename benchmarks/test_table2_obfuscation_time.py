@@ -14,7 +14,7 @@ def test_table2_obfuscation_time(benchmark, archive):
     report = benchmark.pedantic(
         table2_obfuscation_time.run,
         args=(BENCH,),
-        kwargs={"sizes": (100, 200, 400, 800), "pool_size": 30},
+        kwargs={"sizes": (100, 200, 400, 800), "pool_size": 30, "workers": 4},
         rounds=1,
         iterations=1,
     )

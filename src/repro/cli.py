@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    repro experiments fig6 fig7 --scale small   # regenerate paper results
+    repro experiments fig6 fig7 --scale small --workers 4
+                                                # regenerate paper results
     repro simulate --users 40 --campaigns 300   # end-to-end system run
     repro attack --level ln2                    # case-study attack demo
     repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
@@ -36,6 +37,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("ids", nargs="+", help="experiment ids or 'all'")
     p_exp.add_argument("--scale", default="small", choices=["small", "medium", "full"])
+    p_exp.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for parallelizable experiments "
+        "(default: all cores)",
+    )
 
     p_sim = sub.add_parser("simulate", help="run the end-to-end system")
     p_sim.add_argument("--users", type=int, default=20)
@@ -63,6 +72,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
     argv = list(args.ids) + ["--scale", args.scale]
+    if args.workers is not None:
+        argv += ["--workers", str(args.workers)]
     return runner_main(argv)
 
 

@@ -52,6 +52,17 @@ class GaussianMechanism(LPPM):
         noise = sample_gaussian_noise(self.sigma, 1, self.rng)[0]
         return [Point(location.x + float(noise[0]), location.y + float(noise[1]))]
 
+    def obfuscate_batch(self, locations: np.ndarray) -> np.ndarray:
+        """Vectorised independent obfuscation of an ``(m, 2)`` array.
+
+        One noise draw for the whole batch instead of one per location —
+        the fast path the trace-obfuscation helpers use for nomadic
+        check-in streams.
+        """
+        locations = np.asarray(locations, dtype=float)
+        noise = sample_gaussian_noise(self.sigma, len(locations), self.rng)
+        return locations + noise
+
     def noise_tail_radius(self, alpha: float) -> float:
         """Rayleigh tail quantile of the noise radius."""
         if not 0.0 < alpha <= 1.0:
@@ -101,6 +112,19 @@ class NFoldGaussianMechanism(LPPM):
         return [
             Point(location.x + float(dx), location.y + float(dy)) for dx, dy in noise
         ]
+
+    def obfuscate_many(self, locations: np.ndarray) -> np.ndarray:
+        """Candidate sets for ``m`` locations as one ``(m, n, 2)`` array.
+
+        Draws all ``m * n`` noise offsets in a single batched call — the
+        fast path for pinning every top location of a population at once
+        (Table II's workload at full scale).
+        """
+        locations = np.asarray(locations, dtype=float)
+        m = len(locations)
+        n = self.budget.n
+        noise = sample_gaussian_noise(self.sigma, m * n, self.rng)
+        return locations[:, None, :] + noise.reshape(m, n, 2)
 
     def noise_tail_radius(self, alpha: float) -> float:
         """Tail radius of a *single* output's noise (Rayleigh(sigma))."""

@@ -30,6 +30,7 @@ from repro.geo.point import Point, centroid, points_to_array
 __all__ = [
     "posterior_density",
     "posterior_weights",
+    "posterior_weights_array",
     "OutputSelector",
     "PosteriorSelector",
     "UniformSelector",
@@ -71,6 +72,40 @@ def posterior_weights(candidates: Sequence[Point], sigma: float) -> np.ndarray:
     return weights / weights.sum()
 
 
+def posterior_weights_array(candidate_sets: np.ndarray, sigma: float) -> np.ndarray:
+    """Eq. 18 weights for ``m`` candidate sets at once.
+
+    ``candidate_sets`` is an ``(m, n, 2)`` array — one pinned n-candidate
+    set per row — and the result is the matching ``(m, n)`` row-stochastic
+    weight matrix.  Same stabilised log-density computation as
+    :func:`posterior_weights`, batched over the population so the edge can
+    prepare every user's selection distribution in one pass.
+    """
+    candidate_sets = np.asarray(candidate_sets, dtype=float)
+    if candidate_sets.ndim != 3 or candidate_sets.shape[2] != 2:
+        raise ValueError(f"expected (m, n, 2) array, got {candidate_sets.shape}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    means = candidate_sets.mean(axis=1, keepdims=True)
+    d2 = ((candidate_sets - means) ** 2).sum(axis=2)
+    log_density = -d2 / (2.0 * sigma * sigma)
+    log_density -= log_density.max(axis=1, keepdims=True)
+    weights = np.exp(log_density)
+    return weights / weights.sum(axis=1, keepdims=True)
+
+
+def _sample_rows(probs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One categorical draw per row of a row-stochastic ``(m, n)`` matrix.
+
+    Inverse-CDF over the row cumsums: a single uniform batch replaces
+    ``m`` python-level ``Generator.choice`` calls.
+    """
+    cdf = np.cumsum(probs, axis=1)
+    u = rng.random(len(probs))
+    idx = (u[:, None] > cdf).sum(axis=1)
+    return np.minimum(idx, probs.shape[1] - 1)
+
+
 class OutputSelector(abc.ABC):
     """Policy that picks one reported location from a pinned candidate set."""
 
@@ -99,6 +134,33 @@ class OutputSelector(abc.ABC):
         probs = self.probabilities(list(candidates))
         return int(self._rng.choice(len(probs), p=probs))
 
+    def probabilities_array(self, candidate_sets: np.ndarray) -> np.ndarray:
+        """Selection distributions for ``(m, n, 2)`` candidate sets at once.
+
+        Subclasses override with a vectorised computation; the base
+        implementation falls back to one :meth:`probabilities` call per set.
+        """
+        candidate_sets = np.asarray(candidate_sets, dtype=float)
+        return np.stack(
+            [
+                self.probabilities([Point(float(x), float(y)) for x, y in cs])
+                for cs in candidate_sets
+            ]
+        )
+
+    def select_index_batch(self, candidate_sets: np.ndarray) -> np.ndarray:
+        """One sampled candidate index per set — ``(m,)`` for ``(m, n, 2)``.
+
+        The batched counterpart of :meth:`select_index`: the whole
+        population's per-tick selections come from one uniform draw.
+        """
+        candidate_sets = np.asarray(candidate_sets, dtype=float)
+        if candidate_sets.ndim != 3 or candidate_sets.shape[2] != 2:
+            raise ValueError(f"expected (m, n, 2) array, got {candidate_sets.shape}")
+        if len(candidate_sets) == 0:
+            return np.empty(0, dtype=np.int64)
+        return _sample_rows(self.probabilities_array(candidate_sets), self._rng)
+
 
 class PosteriorSelector(OutputSelector):
     """The paper's Algorithm 4: sample with posterior-proportional weights."""
@@ -115,6 +177,10 @@ class PosteriorSelector(OutputSelector):
         """Eq. 18 posterior-proportional weights."""
         return posterior_weights(candidates, self.sigma)
 
+    def probabilities_array(self, candidate_sets: np.ndarray) -> np.ndarray:
+        """Vectorised Eq. 18 weights over all candidate sets."""
+        return posterior_weights_array(candidate_sets, self.sigma)
+
 
 class UniformSelector(OutputSelector):
     """Ablation baseline: pick any candidate uniformly at random."""
@@ -127,3 +193,9 @@ class UniformSelector(OutputSelector):
             raise ValueError("candidate set must be non-empty")
         n = len(candidates)
         return np.full(n, 1.0 / n)
+
+    def probabilities_array(self, candidate_sets: np.ndarray) -> np.ndarray:
+        """Uniform weights for every set."""
+        candidate_sets = np.asarray(candidate_sets, dtype=float)
+        m, n = candidate_sets.shape[0], candidate_sets.shape[1]
+        return np.full((m, n), 1.0 / n)

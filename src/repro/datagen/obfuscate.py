@@ -69,20 +69,54 @@ def permanent_obfuscate(
     if match_radius <= 0:
         raise ValueError("match radius must be positive")
     candidate_sets = [mechanism.obfuscate(p) for p in top_locations]
-    out: List[CheckIn] = []
-    for checkin in trace:
-        matched = None
-        best = match_radius
-        for tops_idx, top in enumerate(top_locations):
-            d = checkin.point.distance_to(top)
-            if d <= best:
-                matched = tops_idx
-                best = d
-        if matched is not None:
-            reported = selector.select(candidate_sets[matched])
-        elif nomadic_mechanism is not None:
-            reported = nomadic_mechanism.obfuscate(checkin.point)[0]
+    if not trace:
+        return []
+
+    coords = checkins_to_array(trace)
+    m = len(coords)
+    reported_xy = np.empty((m, 2), dtype=float)
+
+    # Match every check-in to its nearest top location (if within radius)
+    # in one distance pass; the top set is small (the eta-frequent set is
+    # 1-3 locations for most users), so the (m, k) matrix stays tiny.
+    if top_locations:
+        tops = np.asarray([(p.x, p.y) for p in top_locations], dtype=float)
+        d = np.hypot(
+            coords[:, 0, None] - tops[None, :, 0],
+            coords[:, 1, None] - tops[None, :, 1],
+        )
+        nearest = d.argmin(axis=1)
+        matched = d[np.arange(m), nearest] <= match_radius
+    else:
+        nearest = np.zeros(m, dtype=np.int64)
+        matched = np.zeros(m, dtype=bool)
+
+    if matched.any():
+        cand_arr = np.asarray(
+            [[(p.x, p.y) for p in cs] for cs in candidate_sets], dtype=float
+        )
+        row_sets = cand_arr[nearest[matched]]
+        chosen = selector.select_index_batch(row_sets)
+        reported_xy[matched] = row_sets[np.arange(len(row_sets)), chosen]
+
+    nomadic = ~matched
+    if nomadic.any():
+        if nomadic_mechanism is not None:
+            batch = getattr(nomadic_mechanism, "obfuscate_batch", None)
+            if batch is not None:
+                reported_xy[nomadic] = batch(coords[nomadic])
+            else:
+                for i in np.flatnonzero(nomadic):
+                    p = nomadic_mechanism.obfuscate(trace[i].point)[0]
+                    reported_xy[i] = (p.x, p.y)
         else:
-            reported = selector.select(mechanism.obfuscate(checkin.point))
-        out.append(CheckIn(checkin.timestamp, reported))
-    return out
+            # Fresh candidate set + selection per nomadic check-in; the
+            # fresh sets cannot be pinned, so this stays per check-in.
+            for i in np.flatnonzero(nomadic):
+                p = selector.select(mechanism.obfuscate(trace[i].point))
+                reported_xy[i] = (p.x, p.y)
+
+    return [
+        CheckIn(c.timestamp, Point(float(x), float(y)))
+        for c, (x, y) in zip(trace, reported_xy)
+    ]

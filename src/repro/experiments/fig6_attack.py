@@ -17,7 +17,7 @@ through either deployment and attacked:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.attack.deobfuscation import DeobfuscationAttack
 from repro.attack.success import UserAttackOutcome, evaluate_user, success_rate
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
 from repro.core.laplace import PlanarLaplaceMechanism
-from repro.core.mechanism import default_rng
 from repro.core.params import GeoIndBudget
 from repro.core.posterior import PosteriorSelector
 from repro.datagen.obfuscate import one_time_obfuscate, permanent_obfuscate
@@ -41,6 +40,7 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.tables import ExperimentReport
+from repro.parallel import parallel_map
 from repro.profiles.frequent import eta_frequent_set
 from repro.profiles.profile import LocationProfile
 
@@ -50,16 +50,23 @@ THRESHOLDS_M = (200.0, 500.0)
 DEFENSE_R_M = 500.0
 
 
-def attack_one_time(
-    users: Sequence[SyntheticUser], level: float, seed: int
+def _attack_one_time_chunk(
+    indices: List[int], rng: np.random.Generator, payload
 ) -> List[UserAttackOutcome]:
-    """Attack a population deployed behind one-time planar Laplace noise."""
+    """Chunk worker: obfuscate + attack one slice of the population.
+
+    The mechanism is rebuilt per chunk on the chunk's derived RNG, so the
+    noise a user receives depends only on the root seed and the chunk
+    schedule — never on the worker count.
+    """
+    users, level = payload
     mechanism = PlanarLaplaceMechanism.from_level(
-        level, PAPER_ONETIME_RADIUS_M, rng=default_rng(seed)
+        level, PAPER_ONETIME_RADIUS_M, rng=rng
     )
     attack = DeobfuscationAttack.against(mechanism)
     outcomes = []
-    for user in users:
+    for i in indices:
+        user = users[i]
         observed = one_time_obfuscate(user.trace, mechanism)
         inferred = [
             r.location for r in attack.infer_top_locations(observed, 2)
@@ -68,21 +75,36 @@ def attack_one_time(
     return outcomes
 
 
-def attack_defended(
+def attack_one_time(
     users: Sequence[SyntheticUser],
-    epsilon: float,
+    level: float,
     seed: int,
-    n: int = PAPER_NFOLD_N,
+    workers: Optional[int] = 1,
 ) -> List[UserAttackOutcome]:
-    """Attack a population deployed behind the permanent n-fold mechanism."""
+    """Attack a population deployed behind one-time planar Laplace noise."""
+    users = list(users)
+    return parallel_map(
+        _attack_one_time_chunk,
+        range(len(users)),
+        workers=workers,
+        seed=seed,
+        payload=(users, level),
+    )
+
+
+def _attack_defended_chunk(
+    indices: List[int], rng: np.random.Generator, payload
+) -> List[UserAttackOutcome]:
+    """Chunk worker: Edge-PrivLocAd deployment + attack for one user slice."""
+    users, epsilon, n = payload
     budget = GeoIndBudget(r=DEFENSE_R_M, epsilon=epsilon, delta=PAPER_DELTA, n=n)
-    rng = default_rng(seed)
     mechanism = NFoldGaussianMechanism(budget, rng=rng)
     nomadic = GaussianMechanism(budget.with_n(1), rng=rng)
     selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
     attack = DeobfuscationAttack.against(mechanism)
     outcomes = []
-    for user in users:
+    for i in indices:
+        user = users[i]
         profile = LocationProfile.from_checkins(user.trace)
         tops = eta_frequent_set(profile, DEFAULT_ETA)
         reported = permanent_obfuscate(
@@ -99,6 +121,24 @@ def attack_defended(
     return outcomes
 
 
+def attack_defended(
+    users: Sequence[SyntheticUser],
+    epsilon: float,
+    seed: int,
+    n: int = PAPER_NFOLD_N,
+    workers: Optional[int] = 1,
+) -> List[UserAttackOutcome]:
+    """Attack a population deployed behind the permanent n-fold mechanism."""
+    users = list(users)
+    return parallel_map(
+        _attack_defended_chunk,
+        range(len(users)),
+        workers=workers,
+        seed=seed,
+        payload=(users, epsilon, n),
+    )
+
+
 def _rates(outcomes: List[UserAttackOutcome]) -> Dict[str, float]:
     row = {}
     for rank in (1, 2):
@@ -107,13 +147,21 @@ def _rates(outcomes: List[UserAttackOutcome]) -> Dict[str, float]:
     return row
 
 
-def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
-    """Regenerate Figure 6's attack-success comparison."""
+def run(
+    scale: ExperimentScale = SMALL, workers: Optional[int] = 1
+) -> ExperimentReport:
+    """Regenerate Figure 6's attack-success comparison.
+
+    ``workers`` fans the per-user attack loops out over a process pool;
+    rows are bit-identical for any worker count at the same seed.
+    """
     config = PopulationConfig(n_users=scale.n_users, seed=scale.seed)
     users = list(iter_population(config))
     rows = []
     for level in PAPER_ONETIME_LEVELS:
-        outcomes = attack_one_time(users, level, seed=scale.seed + 1)
+        outcomes = attack_one_time(
+            users, level, seed=scale.seed + 1, workers=workers
+        )
         rows.append(
             {
                 "mechanism": "one-time geo-IND",
@@ -122,7 +170,9 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
             }
         )
     for epsilon in PAPER_EPSILONS:
-        outcomes = attack_defended(users, epsilon, seed=scale.seed + 2)
+        outcomes = attack_defended(
+            users, epsilon, seed=scale.seed + 2, workers=workers
+        )
         rows.append(
             {
                 "mechanism": "permanent 10-fold Gaussian",
@@ -141,4 +191,5 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
             "paper: defended top-1/top-2 within 200 m <1%; within 500 m "
             "6.8% / 5%",
         ],
+        meta={"workers": workers},
     )

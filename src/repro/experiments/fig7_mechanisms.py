@@ -14,7 +14,7 @@ utility as n grows.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.utilization import summarize_utilization, utilization_samples
+from repro.parallel import parallel_map
 
 __all__ = ["run", "MECHANISM_FACTORIES", "ur_for_mechanism"]
 
@@ -68,29 +69,48 @@ def ur_for_mechanism(
     )
 
 
+def _fig7_combo(combos: List[tuple], rng: np.random.Generator, payload) -> list:
+    """Chunk worker: one (mechanism, n) sweep point per combo.
+
+    Every combo carries its own explicit seed, so results are independent
+    of the chunk schedule and worker count by construction.
+    """
+    scale, epsilon, r = payload
+    rows = []
+    for name, n in combos:
+        budget = GeoIndBudget(r=r, epsilon=epsilon, delta=PAPER_DELTA, n=n)
+        samples = ur_for_mechanism(
+            name, budget, scale.trials, scale.mc_samples, seed=scale.seed + n
+        )
+        summary = summarize_utilization(samples, PAPER_ALPHA)
+        rows.append(
+            {
+                "mechanism": name,
+                "n": n,
+                "mean_UR": summary.mean,
+                f"min_UR@{PAPER_ALPHA}": summary.minimal_at_alpha,
+            }
+        )
+    return rows
+
+
 def run(
     scale: ExperimentScale = SMALL,
     epsilon: float = 1.0,
     r: float = 500.0,
     ns: Sequence[int] = tuple(range(1, 11)),
+    workers: Optional[int] = 1,
 ) -> ExperimentReport:
     """Regenerate Figure 7's mechanism utilization comparison."""
-    rows = []
-    for name in MECHANISM_FACTORIES:
-        for n in ns:
-            budget = GeoIndBudget(r=r, epsilon=epsilon, delta=PAPER_DELTA, n=n)
-            samples = ur_for_mechanism(
-                name, budget, scale.trials, scale.mc_samples, seed=scale.seed + n
-            )
-            summary = summarize_utilization(samples, PAPER_ALPHA)
-            rows.append(
-                {
-                    "mechanism": name,
-                    "n": n,
-                    "mean_UR": summary.mean,
-                    f"min_UR@{PAPER_ALPHA}": summary.minimal_at_alpha,
-                }
-            )
+    combos = [(name, n) for name in MECHANISM_FACTORIES for n in ns]
+    rows = parallel_map(
+        _fig7_combo,
+        combos,
+        workers=workers,
+        seed=scale.seed,
+        chunk_size=1,
+        payload=(scale, epsilon, r),
+    )
     return ExperimentReport(
         experiment_id="fig7",
         title=f"utilization rate by mechanism (eps={epsilon}, r={r:.0f} m)",
@@ -100,4 +120,5 @@ def run(
             "paper at n=10: n-fold ~100%, naive post-processing ~58%, "
             "plain composition ~20% (and composition degrades with n)",
         ],
+        meta={"workers": workers},
     )

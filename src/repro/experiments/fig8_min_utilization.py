@@ -10,7 +10,9 @@ Paper result: generating more outputs raises the minimal UR — from ~0.6
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.gaussian import NFoldGaussianMechanism
 from repro.core.mechanism import default_rng
@@ -26,6 +28,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.utilization import minimal_utilization, utilization_samples
+from repro.parallel import parallel_map
 
 __all__ = ["run", "minimal_ur_for"]
 
@@ -53,25 +56,44 @@ def minimal_ur_for(
     return minimal_utilization(samples, alpha)
 
 
+def _fig8_combo(combos: List[tuple], rng: np.random.Generator, payload) -> list:
+    """Chunk worker: one (epsilon, n) row per combo, sweeping all radii.
+
+    Each combo reuses its explicit ``scale.seed + n`` seed, so rows do not
+    depend on the chunk schedule or worker count.
+    """
+    scale = payload
+    rows = []
+    for epsilon, n in combos:
+        row = {"epsilon": epsilon, "n": n}
+        for r in PAPER_RADII_M:
+            row[f"min_UR(r={r:.0f})"] = minimal_ur_for(
+                epsilon,
+                r,
+                n,
+                trials=scale.trials,
+                mc_samples=scale.mc_samples,
+                seed=scale.seed + n,
+            )
+        rows.append(row)
+    return rows
+
+
 def run(
     scale: ExperimentScale = SMALL,
     ns: Sequence[int] = tuple(range(1, 11)),
+    workers: Optional[int] = 1,
 ) -> ExperimentReport:
     """Regenerate Figure 8's minimal-UR parameter sweep."""
-    rows = []
-    for epsilon in PAPER_EPSILONS:
-        for n in ns:
-            row = {"epsilon": epsilon, "n": n}
-            for r in PAPER_RADII_M:
-                row[f"min_UR(r={r:.0f})"] = minimal_ur_for(
-                    epsilon,
-                    r,
-                    n,
-                    trials=scale.trials,
-                    mc_samples=scale.mc_samples,
-                    seed=scale.seed + n,
-                )
-            rows.append(row)
+    combos = [(epsilon, n) for epsilon in PAPER_EPSILONS for n in ns]
+    rows = parallel_map(
+        _fig8_combo,
+        combos,
+        workers=workers,
+        seed=scale.seed,
+        chunk_size=1,
+        payload=scale,
+    )
     return ExperimentReport(
         experiment_id="fig8",
         title=f"minimal utilization rate at alpha={PAPER_ALPHA}",
@@ -81,4 +103,5 @@ def run(
             "paper: min UR rises with n; eps=1.5 goes ~0.6 (n=1) to ~0.9 "
             "(n=10); eps=1 improves ~60% from n=1 to n=10",
         ],
+        meta={"workers": workers},
     )

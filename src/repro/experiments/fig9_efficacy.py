@@ -11,7 +11,9 @@ with uniform selection, where efficacy *does* decay.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.gaussian import NFoldGaussianMechanism
 from repro.core.mechanism import default_rng
@@ -26,6 +28,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.efficacy import efficacy_samples
+from repro.parallel import parallel_map
 
 __all__ = ["run", "efficacy_for"]
 
@@ -59,15 +62,15 @@ def efficacy_for(
     return float(samples.mean())
 
 
-def run(
-    scale: ExperimentScale = SMALL,
-    epsilon: float = 1.0,
-    ns: Sequence[int] = tuple(range(1, 11)),
-    selector_kind: str = "posterior",
-) -> ExperimentReport:
-    """Regenerate Figure 9's efficacy-vs-n sweep."""
+def _fig9_combo(combos: List[int], rng: np.random.Generator, payload) -> list:
+    """Chunk worker: one efficacy row per n, sweeping all radii.
+
+    Each n reuses its explicit ``scale.seed + n`` seed, so rows do not
+    depend on the chunk schedule or worker count.
+    """
+    scale, epsilon, selector_kind = payload
     rows = []
-    for n in ns:
+    for n in combos:
         row = {"n": n}
         for r in PAPER_RADII_M:
             row[f"efficacy(r={r:.0f})"] = efficacy_for(
@@ -79,6 +82,25 @@ def run(
                 selector_kind=selector_kind,
             )
         rows.append(row)
+    return rows
+
+
+def run(
+    scale: ExperimentScale = SMALL,
+    epsilon: float = 1.0,
+    ns: Sequence[int] = tuple(range(1, 11)),
+    selector_kind: str = "posterior",
+    workers: Optional[int] = 1,
+) -> ExperimentReport:
+    """Regenerate Figure 9's efficacy-vs-n sweep."""
+    rows = parallel_map(
+        _fig9_combo,
+        list(ns),
+        workers=workers,
+        seed=scale.seed,
+        chunk_size=1,
+        payload=(scale, epsilon, selector_kind),
+    )
     return ExperimentReport(
         experiment_id="fig9",
         title=f"advertising efficacy vs n (eps={epsilon}, {selector_kind} selection)",
@@ -88,4 +110,5 @@ def run(
             "paper: with posterior output selection, efficacy does not "
             "significantly decrease as n grows",
         ],
+        meta={"workers": workers},
     )

@@ -4,10 +4,13 @@ Usage::
 
     python -m repro.experiments.runner all --scale small
     python -m repro.experiments.runner fig6 fig7 --scale medium
-    python -m repro.experiments.runner table2 --scale full
+    python -m repro.experiments.runner table2 --scale full --workers 4
 
 ``--scale`` picks the trial/population budget; ``full`` matches the
-paper's own 100,000-trial, 37,262-user settings.
+paper's own 100,000-trial, 37,262-user settings.  ``--workers`` sizes
+the process pool for the parallelizable experiments (default: all
+cores); any worker count produces bit-identical report rows at the
+same seed.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.experiments import (
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "WORKER_AWARE"]
 
 SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, MEDIUM, FULL)}
 
@@ -52,6 +55,10 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentReport]] = {
     # Extensions beyond the paper's own figures:
     "ext_adaptive": ext_adaptive.run,
 }
+
+#: Experiments whose ``run`` accepts a ``workers`` keyword (the per-user
+#: loops and sweeps wired through :mod:`repro.parallel`).
+WORKER_AWARE = frozenset({"fig6", "fig7", "fig8", "fig9", "table2", "table3"})
 
 
 def main(argv: List[str] = None) -> int:
@@ -76,8 +83,18 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="also draw ASCII charts for experiments with curve series",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for parallelizable experiments "
+        "(default: all cores; results are identical for any N)",
+    )
     args = parser.parse_args(argv)
 
+    if args.workers is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
     requested = (
         list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
@@ -87,7 +104,10 @@ def main(argv: List[str] = None) -> int:
 
     scale = SCALES[args.scale]
     for exp_id in requested:
-        report = EXPERIMENTS[exp_id](scale)
+        if exp_id in WORKER_AWARE:
+            report = EXPERIMENTS[exp_id](scale, workers=args.workers)
+        else:
+            report = EXPERIMENTS[exp_id](scale)
         print(report.render())
         if args.charts:
             chart = _chart_for(exp_id, report)

@@ -6,29 +6,39 @@ locations, for 2,000..32,000 users (340 s .. 4,014 s — near-linear).  We
 measure the same workload on this host: per user, cluster the trace into a
 profile, compute the eta-frequent set, and pin n-fold candidates.
 
+The workload fans out over :func:`repro.parallel.parallel_map` when
+``workers > 1`` — the per-user jobs are independent, exactly the property
+the paper relies on to scale edges horizontally.
+
 Absolute numbers differ from the Pi 3; the reproduced claim is the
 near-linear scaling shape (see the doubling ratios in the notes).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.gaussian import NFoldGaussianMechanism
-from repro.core.mechanism import default_rng
 from repro.core.params import GeoIndBudget
 from repro.datagen.population import PopulationConfig, iter_population
 from repro.edge.location_management import DEFAULT_ETA
 from repro.experiments.config import PAPER_DELTA, PAPER_NFOLD_N, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
-from repro.metrics.timing import TimingRow, measure_scaling
-from repro.profiles.checkin import CheckIn
+from repro.metrics.timing import measure_scaling
+from repro.parallel import parallel_map, resolve_workers
+from repro.profiles.checkin import checkins_to_array
 from repro.profiles.frequent import eta_frequent_set
 from repro.profiles.profile import LocationProfile
 
-__all__ = ["run", "obfuscation_workload", "PAPER_SIZES", "DEFAULT_SIZES"]
+__all__ = [
+    "run",
+    "obfuscation_workload",
+    "PAPER_SIZES",
+    "DEFAULT_SIZES",
+    "POOL_MIN_USERS",
+]
 
 #: The paper's workload sizes.
 PAPER_SIZES = (2_000, 4_000, 8_000, 16_000, 32_000)
@@ -38,28 +48,51 @@ DEFAULT_SIZES = (200, 400, 800, 1_600, 3_200)
 #: Paper-reported Pi 3 timings for the notes (seconds).
 PAPER_TIMES_S = {2_000: 340, 4_000: 627, 8_000: 1_166, 16_000: 2_090, 32_000: 4_014}
 
+#: Minimum batch size before the process pool is worth its fork cost;
+#: per-user work is ~1 ms, so small batches run in-process.
+POOL_MIN_USERS = 2_000
 
-def _trace_pool(pool_size: int, seed: int) -> List[List[CheckIn]]:
-    """A pool of realistic traces reused cyclically across the workload.
 
-    Trace generation itself is not part of the measured edge workload, so
-    the pool is built once up front.
+def _coords_pool(pool_size: int, seed: int) -> List[np.ndarray]:
+    """A pool of realistic check-in coordinate arrays reused cyclically.
+
+    Trace generation and stream ingest are not part of the measured edge
+    workload, so the pool is built (and packed into arrays) once up front.
     """
     config = PopulationConfig(n_users=pool_size, seed=seed)
-    return [u.trace for u in iter_population(config)]
+    return [checkins_to_array(u.trace) for u in iter_population(config)]
 
 
-def obfuscation_workload(traces: Sequence[List[CheckIn]], budget: GeoIndBudget):
+def _obfuscate_users(indices: List[int], rng: np.random.Generator, payload) -> list:
+    """Chunk worker: profile + eta-set + candidate pinning per user."""
+    coords_pool, budget = payload
+    mechanism = NFoldGaussianMechanism(budget, rng=rng)
+    for i in indices:
+        coords = coords_pool[i % len(coords_pool)]
+        profile = LocationProfile.from_coords(coords)
+        tops = eta_frequent_set(profile, DEFAULT_ETA)
+        if tops:
+            mechanism.obfuscate_many([(p.x, p.y) for p in tops])
+    return [None] * len(indices)
+
+
+def obfuscation_workload(
+    coords_pool: Sequence[np.ndarray],
+    budget: GeoIndBudget,
+    workers: Optional[int] = 1,
+    seed: int = 0,
+):
     """Returns the per-size workload callable for :func:`measure_scaling`."""
-    mechanism = NFoldGaussianMechanism(budget, rng=default_rng(0))
+    payload = (list(coords_pool), budget)
 
     def workload(n_users: int) -> None:
-        for i in range(n_users):
-            trace = traces[i % len(traces)]
-            profile = LocationProfile.from_checkins(trace)
-            tops = eta_frequent_set(profile, DEFAULT_ETA)
-            for top in tops:
-                mechanism.obfuscate(top)
+        parallel_map(
+            _obfuscate_users,
+            range(n_users),
+            workers=workers if n_users >= POOL_MIN_USERS else 1,
+            seed=seed,
+            payload=payload,
+        )
 
     return workload
 
@@ -68,12 +101,14 @@ def run(
     scale: ExperimentScale = SMALL,
     sizes: Sequence[int] = DEFAULT_SIZES,
     pool_size: int = 50,
+    workers: Optional[int] = None,
 ) -> ExperimentReport:
     """Regenerate Table II's obfuscation-time scaling rows."""
+    workers = resolve_workers(workers)
     budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
-    traces = _trace_pool(pool_size, scale.seed)
-    workload = obfuscation_workload(traces, budget)
-    timings = measure_scaling(workload, sizes)
+    coords_pool = _coords_pool(pool_size, scale.seed)
+    workload = obfuscation_workload(coords_pool, budget, workers=workers, seed=scale.seed)
+    timings = measure_scaling(workload, sizes, warmup=1)
     rows = [
         {"users": t.size, "seconds": t.seconds, "ms_per_user": t.per_item_ms}
         for t in timings
@@ -90,5 +125,10 @@ def run(
             + ", ".join(f"{k}: {v}s" for k, v in PAPER_TIMES_S.items()),
             "paper shape: ~2x time per 2x users; measured doubling ratios: "
             + ", ".join(f"{r:.2f}" for r in ratios),
+            f"workers: {workers}",
         ],
+        meta={
+            "workers": workers,
+            "stage_seconds": {str(t.size): t.seconds for t in timings},
+        },
     )

@@ -54,6 +54,9 @@ class ExperimentReport:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     columns: Optional[List[str]] = None
+    #: Machine-readable run metadata (worker count, per-stage timings,
+    #: parallel stats) — archived into the BENCH_<id>.json files.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         """The report as an aligned text block with notes."""

@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["GridIndex", "UnionFind"]
+__all__ = ["GridIndex", "UnionFind", "connected_components", "component_labels"]
 
 CellKey = Tuple[int, int]
 
@@ -155,22 +155,39 @@ def _bucket(points: np.ndarray, cell_size: float) -> Dict[CellKey, np.ndarray]:
     return cells
 
 
-def connected_components(points: np.ndarray, radius: float) -> List[List[int]]:
-    """Fixed-radius transitive clustering via cell-level union-find."""
-    if radius <= 0:
-        raise ValueError(f"radius must be positive, got {radius}")
-    points = np.asarray(points, dtype=float)
+def _cell_roots(points: np.ndarray, radius: float) -> np.ndarray:
+    """Union-find over *cells* (not points): each point's component root.
+
+    All points sharing a cell are within ``radius`` by construction, so
+    connectivity only has to be resolved at the cell level — the union-find
+    touches O(#cells) nodes instead of O(#points), which is what keeps
+    clustering a year of check-ins (thousands of near-coincident points per
+    top location) cheap.  Cell keys are encoded as sorted int64 codes and
+    neighbour cells located with ``searchsorted``, so the python-level work
+    is proportional to the number of *actually adjacent* cell pairs.
+    Returns ``point_root`` where ``point_root[i]`` is an
+    arbitrary-but-deterministic component id for point ``i``.
+    """
     n = len(points)
-    if n == 0:
-        return []
     # Side radius/sqrt(2): same-cell points are within radius by construction.
     cell = radius / math.sqrt(2.0)
-    cells = _bucket(points, cell)
-    uf = UnionFind(n)
-    for members in cells.values():
-        first = int(members[0])
-        for other in members[1:]:
-            uf.union(first, int(other))
+    keys = np.floor(points / cell).astype(np.int64)
+    kx = keys[:, 0] - keys[:, 0].min()
+    ky = keys[:, 1] - keys[:, 1].min()
+    # Row width leaves >= 2 cells of slack so +-2 neighbour offsets can
+    # never alias a cell in an adjacent row.
+    width = int(ky.max()) + 5
+    code = kx * width + ky
+    order = np.argsort(code, kind="stable")
+    sorted_code = code[order]
+    is_start = np.ones(n, dtype=bool)
+    is_start[1:] = sorted_code[1:] != sorted_code[:-1]
+    starts = np.flatnonzero(is_start)
+    bounds = np.append(starts, n)
+    unique_codes = sorted_code[starts]
+    n_cells = len(unique_codes)
+
+    uf = UnionFind(n_cells)
     # Cells whose minimum gap can be <= radius: Chebyshev offset <= 2,
     # excluding offsets whose corner gap exceeds radius ((3,*) etc. are
     # already out of range).
@@ -182,20 +199,75 @@ def connected_components(points: np.ndarray, radius: float) -> List[List[int]]:
         and math.hypot(max(0, abs(ox) - 1), max(0, abs(oy) - 1)) * cell <= radius
     ]
     r2 = radius * radius
-    for key, members in cells.items():
-        for ox, oy in offsets:
-            other = cells.get((key[0] + ox, key[1] + oy))
-            if other is None:
+    for ox, oy in offsets:
+        target = unique_codes + (ox * width + oy)
+        pos = np.searchsorted(unique_codes, target)
+        pos = np.minimum(pos, n_cells - 1)
+        hits = np.flatnonzero(unique_codes[pos] == target)
+        for i in hits:
+            j = int(pos[i])
+            if uf.find(i) == uf.find(j):
                 continue
-            a = int(members[0])
-            b = int(other[0])
-            if uf.find(a) == uf.find(b):
-                continue
-            if _cells_connect(points, members, other, r2):
-                uf.union(a, b)
-    components = [sorted(g) for g in uf.groups().values()]
+            a_idx = order[bounds[i] : bounds[i + 1]]
+            b_idx = order[bounds[j] : bounds[j + 1]]
+            if _cells_connect(points, a_idx, b_idx, r2):
+                uf.union(int(i), j)
+
+    cell_root = np.fromiter(
+        (uf.find(i) for i in range(n_cells)), dtype=np.int64, count=n_cells
+    )
+    point_cell = np.empty(n, dtype=np.int64)
+    point_cell[order] = np.repeat(
+        np.arange(n_cells, dtype=np.int64), np.diff(bounds)
+    )
+    return cell_root[point_cell]
+
+
+def connected_components(points: np.ndarray, radius: float) -> List[List[int]]:
+    """Fixed-radius transitive clustering via cell-level union-find."""
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    if n == 0:
+        return []
+    point_root = _cell_roots(points, radius)
+    # Group point indices by root, vectorised: stable sort by root keeps
+    # each group's indices ascending, then split at root boundaries.
+    order = np.argsort(point_root, kind="stable")
+    sorted_roots = point_root[order]
+    starts = np.flatnonzero(np.diff(sorted_roots)) + 1
+    components = [g.tolist() for g in np.split(order, starts)]
     components.sort(key=lambda c: (-len(c), c[0]))
     return components
+
+
+def component_labels(points: np.ndarray, radius: float) -> np.ndarray:
+    """Per-point component labels for fixed-radius transitive clustering.
+
+    Labels are assigned in the same order :func:`connected_components`
+    returns its groups (decreasing size, ties by smallest member index), so
+    ``labels == k`` selects the ``k``-th largest component.  This is the
+    allocation-light interface for callers that aggregate per component
+    (e.g. profile centroids) and do not need explicit index lists.
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    points = np.asarray(points, dtype=float)
+    if len(points) == 0:
+        return np.empty(0, dtype=np.int64)
+    point_root = _cell_roots(points, radius)
+    roots, inverse, counts = np.unique(
+        point_root, return_inverse=True, return_counts=True
+    )
+    # Rank roots by (size desc, smallest member asc) to match the
+    # connected_components ordering contract.
+    first_member = np.full(len(roots), len(points), dtype=np.int64)
+    np.minimum.at(first_member, inverse, np.arange(len(points), dtype=np.int64))
+    order = np.lexsort((first_member, -counts))
+    rank = np.empty(len(roots), dtype=np.int64)
+    rank[order] = np.arange(len(roots), dtype=np.int64)
+    return rank[inverse]
 
 
 def _cells_connect(

@@ -1,7 +1,13 @@
 """Utility metrics: utilization rate, efficacy, attack success, timing."""
 
 from repro.metrics.efficacy import efficacy_of_report, efficacy_samples
-from repro.metrics.timing import Stopwatch, TimingRow, measure_scaling
+from repro.metrics.timing import (
+    ChunkTiming,
+    Stopwatch,
+    TimingRow,
+    measure_scaling,
+    summarize_chunks,
+)
 from repro.metrics.utilization import (
     DEFAULT_TARGETING_RADIUS_M,
     UtilizationSummary,
@@ -23,6 +29,8 @@ __all__ = [
     "Stopwatch",
     "TimingRow",
     "measure_scaling",
+    "ChunkTiming",
+    "summarize_chunks",
 ]
 
 from repro.metrics.qos import expected_distance_loss, report_distances

@@ -1,0 +1,24 @@
+"""Deterministic parallel execution backbone for the experiment drivers.
+
+``parallel_map`` fans independent work units out over a process pool with
+chunk-order ``SeedSequence.spawn`` RNG derivation, so the same seed gives
+bit-identical results for any worker count.  See :mod:`repro.parallel.pool`.
+"""
+
+from repro.parallel.pool import (
+    DEFAULT_TARGET_CHUNKS,
+    ParallelStats,
+    chunk_bounds,
+    parallel_map,
+    parallel_map_with_stats,
+    resolve_workers,
+)
+
+__all__ = [
+    "parallel_map",
+    "parallel_map_with_stats",
+    "ParallelStats",
+    "resolve_workers",
+    "chunk_bounds",
+    "DEFAULT_TARGET_CHUNKS",
+]

@@ -1,0 +1,281 @@
+"""Deterministic process-pool fan-out for embarrassingly parallel sweeps.
+
+Every experiment driver in this reproduction evaluates independent work
+units — users under attack, Monte-Carlo parameter combinations, per-user
+edge workloads.  :func:`parallel_map` is the shared backbone that fans
+those units out over a process pool while keeping the results **bit
+identical** for any worker count:
+
+* items are split into chunks whose boundaries depend only on the item
+  count and ``chunk_size`` — never on the worker count;
+* each chunk gets its own :class:`numpy.random.SeedSequence` child,
+  spawned in chunk order from the root seed, so the randomness a chunk
+  consumes is a pure function of ``(seed, chunk index)``;
+* results are reassembled in chunk order.
+
+Consequently ``workers=1`` and ``workers=8`` walk exactly the same RNG
+streams and produce exactly the same output list, which is what makes
+parallel runs of the paper's figures reproducible and testable.
+
+Heavy shared inputs (a user population, a trace pool) should go through
+``payload=``: the payload is shipped to each worker **once** via the pool
+initializer instead of being re-pickled into every chunk task.
+
+When ``workers <= 1``, the pool cannot be created (sandboxes without
+fork/semaphores), or there is only one chunk, the same chunk schedule
+runs serially in-process — same chunks, same seeds, same results.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.timing import ChunkTiming, Stopwatch, summarize_chunks
+
+__all__ = [
+    "parallel_map",
+    "parallel_map_with_stats",
+    "ParallelStats",
+    "resolve_workers",
+    "chunk_bounds",
+]
+
+#: Default number of chunks to aim for.  Fixed (rather than derived from
+#: the worker count) so chunk boundaries — and therefore the per-chunk
+#: RNG streams — are identical no matter how many workers execute them.
+DEFAULT_TARGET_CHUNKS = 32
+
+#: Payload slot filled in each worker process by the pool initializer.
+_WORKER_PAYLOAD: Any = None
+
+
+@dataclass
+class ParallelStats:
+    """Execution statistics of one :func:`parallel_map` call."""
+
+    workers: int = 1
+    pool_used: bool = False
+    total_seconds: float = 0.0
+    chunk_timings: List[ChunkTiming] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        """Flat dict for report notes and the benchmark JSON archives."""
+        chunk_summary = summarize_chunks(self.chunk_timings)
+        # The wall clock is authoritative; the chunk-sum lands under its
+        # own key (they differ once chunks overlap in a pool).
+        chunk_summary["chunk_seconds_sum"] = chunk_summary.pop("total_seconds")
+        return {
+            "workers": self.workers,
+            "pool_used": self.pool_used,
+            "total_seconds": self.total_seconds,
+            **chunk_summary,
+        }
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``--workers`` value: ``None``/``0`` means all cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def chunk_bounds(n_items: int, chunk_size: Optional[int]) -> List[Tuple[int, int]]:
+    """Deterministic ``[start, end)`` chunk boundaries over ``n_items``.
+
+    ``chunk_size=None`` targets :data:`DEFAULT_TARGET_CHUNKS` chunks.  The
+    boundaries are a pure function of ``(n_items, chunk_size)`` — this is
+    the invariant the bit-identical-results guarantee rests on.
+    """
+    if n_items == 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(n_items / DEFAULT_TARGET_CHUNKS))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(s, min(s + chunk_size, n_items)) for s in range(0, n_items, chunk_size)]
+
+
+def _init_worker(payload: Any) -> None:
+    """Pool initializer: stash the shared payload once per worker."""
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _run_chunk(
+    fn: Callable[..., List[Any]],
+    chunk: List[Any],
+    index: int,
+    seed_seq: Optional[np.random.SeedSequence],
+    with_payload: bool,
+    payload: Any,
+) -> Tuple[int, List[Any], float]:
+    """Execute one chunk with its derived RNG; returns (index, results, secs)."""
+    rng = np.random.default_rng(seed_seq)
+    if with_payload and payload is None:
+        payload = _WORKER_PAYLOAD
+    start = time.perf_counter()
+    if with_payload:
+        out = fn(chunk, rng, payload)
+    else:
+        out = fn(chunk, rng)
+    elapsed = time.perf_counter() - start
+    if not isinstance(out, list):
+        out = list(out)
+    if len(out) != len(chunk):
+        raise ValueError(
+            f"chunk function returned {len(out)} results for {len(chunk)} items"
+        )
+    return index, out, elapsed
+
+
+def parallel_map_with_stats(
+    fn: Callable[..., List[Any]],
+    items: Sequence[Any],
+    *,
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    payload: Any = None,
+) -> Tuple[List[Any], ParallelStats]:
+    """:func:`parallel_map` plus the per-chunk :class:`ParallelStats`.
+
+    Args:
+        fn: chunk function ``fn(chunk, rng)`` — or ``fn(chunk, rng,
+            payload)`` when ``payload`` is given — returning one result per
+            chunk item.  Must be picklable (module-level) for ``workers > 1``.
+        items: the independent work units.
+        workers: process count; ``None``/``0`` uses every core, ``<= 1``
+            runs serially (same chunks, same seeds).
+        seed: root seed for the per-chunk ``SeedSequence.spawn`` chain;
+            ``None`` gives fresh OS entropy per chunk (non-reproducible).
+        chunk_size: items per chunk; default targets
+            :data:`DEFAULT_TARGET_CHUNKS` chunks independent of ``workers``.
+        payload: heavy shared state delivered to workers once via the pool
+            initializer rather than per chunk.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    stats = ParallelStats(workers=workers)
+    if not items:
+        return [], stats
+
+    bounds = chunk_bounds(len(items), chunk_size)
+    chunks = [items[s:e] for s, e in bounds]
+    if seed is None:
+        seqs: List[Optional[np.random.SeedSequence]] = [None] * len(chunks)
+    else:
+        seqs = list(np.random.SeedSequence(seed).spawn(len(chunks)))
+    with_payload = payload is not None
+
+    with Stopwatch() as sw:
+        results = _execute(fn, chunks, seqs, workers, with_payload, payload, stats)
+    stats.total_seconds = sw.elapsed
+
+    flat: List[Any] = []
+    for chunk_results in results:
+        flat.extend(chunk_results)
+    return flat, stats
+
+
+def parallel_map(
+    fn: Callable[..., List[Any]],
+    items: Sequence[Any],
+    *,
+    workers: Optional[int] = None,
+    seed: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    payload: Any = None,
+) -> List[Any]:
+    """Map ``fn`` over ``items`` in deterministic chunks, possibly in parallel.
+
+    See :func:`parallel_map_with_stats` for the argument contract; this
+    variant discards the timing stats.
+    """
+    results, _ = parallel_map_with_stats(
+        fn,
+        items,
+        workers=workers,
+        seed=seed,
+        chunk_size=chunk_size,
+        payload=payload,
+    )
+    return results
+
+
+def _execute(
+    fn: Callable[..., List[Any]],
+    chunks: List[List[Any]],
+    seqs: List[Optional[np.random.SeedSequence]],
+    workers: int,
+    with_payload: bool,
+    payload: Any,
+    stats: ParallelStats,
+) -> List[List[Any]]:
+    """Run every chunk, preferring the pool, falling back to serial."""
+    if workers > 1 and len(chunks) > 1:
+        try:
+            return _execute_pool(fn, chunks, seqs, workers, with_payload, payload, stats)
+        except (OSError, PermissionError, NotImplementedError, ImportError):
+            # No fork/semaphores in this environment: degrade gracefully.
+            pass
+    return _execute_serial(fn, chunks, seqs, with_payload, payload, stats)
+
+
+def _execute_serial(
+    fn: Callable[..., List[Any]],
+    chunks: List[List[Any]],
+    seqs: List[Optional[np.random.SeedSequence]],
+    with_payload: bool,
+    payload: Any,
+    stats: ParallelStats,
+) -> List[List[Any]]:
+    out: List[List[Any]] = []
+    for index, (chunk, seq) in enumerate(zip(chunks, seqs)):
+        _, results, elapsed = _run_chunk(fn, chunk, index, seq, with_payload, payload)
+        stats.chunk_timings.append(
+            ChunkTiming(index=index, size=len(chunk), seconds=elapsed)
+        )
+        out.append(results)
+    return out
+
+
+def _execute_pool(
+    fn: Callable[..., List[Any]],
+    chunks: List[List[Any]],
+    seqs: List[Optional[np.random.SeedSequence]],
+    workers: int,
+    with_payload: bool,
+    payload: Any,
+    stats: ParallelStats,
+) -> List[List[Any]]:
+    max_workers = min(workers, len(chunks))
+    initializer = _init_worker if with_payload else None
+    initargs = (payload,) if with_payload else ()
+    ordered: List[Optional[List[Any]]] = [None] * len(chunks)
+    with ProcessPoolExecutor(
+        max_workers=max_workers, initializer=initializer, initargs=initargs
+    ) as pool:
+        futures = [
+            # Chunk tasks carry payload=None: workers read the initializer
+            # copy instead of re-pickling the payload per chunk.
+            pool.submit(_run_chunk, fn, chunk, index, seq, with_payload, None)
+            for index, (chunk, seq) in enumerate(zip(chunks, seqs))
+        ]
+        for future in futures:
+            index, results, elapsed = future.result()
+            ordered[index] = results
+            stats.chunk_timings.append(
+                ChunkTiming(index=index, size=len(chunks[index]), seconds=elapsed)
+            )
+    stats.pool_used = True
+    stats.chunk_timings.sort(key=lambda c: c.index)
+    return [r for r in ordered if r is not None]

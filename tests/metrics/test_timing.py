@@ -4,7 +4,13 @@ import time
 
 import pytest
 
-from repro.metrics.timing import Stopwatch, TimingRow, measure_scaling
+from repro.metrics.timing import (
+    ChunkTiming,
+    Stopwatch,
+    TimingRow,
+    measure_scaling,
+    summarize_chunks,
+)
 
 
 class TestStopwatch:
@@ -48,3 +54,64 @@ class TestMeasureScaling:
             measure_scaling(lambda n: None, sizes=[0])
         with pytest.raises(ValueError):
             measure_scaling(lambda n: None, sizes=[1], repeats=0)
+        with pytest.raises(ValueError):
+            measure_scaling(lambda n: None, sizes=[1], warmup=-1)
+
+    def test_warmup_passes_run_but_are_not_measured(self):
+        calls = []
+        rows = measure_scaling(
+            lambda n: calls.append(n), sizes=[3, 5], repeats=2, warmup=1
+        )
+        # Each size runs warmup + repeats times, in size order.
+        assert calls == [3, 3, 3, 5, 5, 5]
+        assert [r.size for r in rows] == [3, 5]
+
+    def test_best_of_n_reports_minimum(self):
+        delays = iter([0.03, 0.001, 0.03])
+
+        def workload(n):
+            time.sleep(next(delays))
+
+        rows = measure_scaling(workload, sizes=[1], repeats=3)
+        assert rows[0].seconds == pytest.approx(0.001, abs=0.01)
+        assert rows[0].seconds <= rows[0].mean
+
+    def test_mean_and_std_over_repeats(self):
+        rows = measure_scaling(lambda n: None, sizes=[2], repeats=4)
+        row = rows[0]
+        assert row.mean >= row.seconds  # best-of-N <= mean
+        assert row.std >= 0.0
+
+    def test_single_repeat_degenerate_stats(self):
+        rows = measure_scaling(lambda n: None, sizes=[2], repeats=1)
+        assert rows[0].mean == pytest.approx(rows[0].seconds)
+        assert rows[0].std == 0.0
+
+
+class TestTimingRowStats:
+    def test_two_arg_construction_backfills_stats(self):
+        """Older call sites construct rows without mean/std."""
+        row = TimingRow(size=10, seconds=0.25)
+        assert row.mean == pytest.approx(0.25)
+        assert row.std == 0.0
+
+    def test_explicit_stats_preserved(self):
+        row = TimingRow(size=10, seconds=0.2, mean=0.3, std=0.05)
+        assert row.mean == pytest.approx(0.3)
+        assert row.std == pytest.approx(0.05)
+
+
+class TestSummarizeChunks:
+    def test_empty(self):
+        summary = summarize_chunks([])
+        assert summary["chunks"] == 0
+
+    def test_aggregates(self):
+        chunks = [
+            ChunkTiming(index=0, size=4, seconds=0.1),
+            ChunkTiming(index=1, size=4, seconds=0.3),
+        ]
+        summary = summarize_chunks(chunks)
+        assert summary["chunks"] == 2
+        assert summary["max_seconds"] == pytest.approx(0.3)
+        assert summary["mean_seconds"] == pytest.approx(0.2)

@@ -59,7 +59,10 @@ class TestLensProperties:
     @given(radii, radii, st.floats(min_value=0, max_value=2e5, allow_nan=False))
     def test_bounded_by_smaller_circle(self, r1, r2, d):
         area = lens_area(r1, r2, d)
-        assert 0.0 <= area <= circle_area(min(r1, r2)) + 1e-6
+        # Relative slack: at r ~ 1e5 the bound is ~3e10 m^2, where float64
+        # round-off alone exceeds any fixed absolute epsilon.
+        bound = circle_area(min(r1, r2))
+        assert 0.0 <= area <= bound * (1 + 1e-12) + 1e-6
 
     @given(radii, radii, st.floats(min_value=0, max_value=2e5, allow_nan=False))
     def test_symmetric_in_radii(self, r1, r2, d):
