@@ -49,6 +49,7 @@ class BidResponse:
 
     @property
     def filled(self) -> bool:
+        """Whether the auction produced any ads."""
         return bool(self.ads)
 
 

@@ -27,6 +27,7 @@ class DeliveryStats:
 
     @property
     def irrelevant(self) -> int:
+        """Ads received from the network but dropped as irrelevant."""
         return self.received - self.delivered
 
     @property

@@ -44,6 +44,7 @@ class GeoCampaign:
         targeting: GeoTargeting,
         bid_price: float = 1.0,
     ) -> "GeoCampaign":
+        """Build a campaign with a fresh sequential id."""
         return cls(
             campaign_id=f"geo-campaign-{next(_geo_campaign_counter):06d}",
             advertiser=advertiser,
@@ -78,7 +79,7 @@ def build_request_geo(
 class GeoAdNetwork:
     """Serve campaigns across all three geo-targeting categories."""
 
-    def __init__(self, max_ads_per_request: int = 3):
+    def __init__(self, max_ads_per_request: int = 3) -> None:
         if max_ads_per_request < 1:
             raise ValueError("max_ads_per_request must be positive")
         self.max_ads_per_request = max_ads_per_request
@@ -95,6 +96,7 @@ class GeoAdNetwork:
 
     @property
     def campaign_count(self) -> int:
+        """Number of registered campaigns."""
         return len(self._campaigns)
 
     def match(self, geo: RequestGeo) -> List[GeoCampaign]:

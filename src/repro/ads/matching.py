@@ -30,7 +30,7 @@ class CampaignIndex:
     lazily when a new campaign exceeds the current cell size.
     """
 
-    def __init__(self, campaigns: Sequence[Campaign] = ()):
+    def __init__(self, campaigns: Sequence[Campaign] = ()) -> None:
         self._campaigns: List[Campaign] = []
         self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         self._cell_size: float = 0.0
@@ -42,6 +42,7 @@ class CampaignIndex:
 
     @property
     def campaigns(self) -> List[Campaign]:
+        """Snapshot of the registered campaigns."""
         return list(self._campaigns)
 
     def add(self, campaign: Campaign) -> None:

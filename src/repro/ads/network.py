@@ -24,7 +24,7 @@ __all__ = ["AdNetwork"]
 class AdNetwork:
     """A minimal but complete RTB-style LBA network."""
 
-    def __init__(self, max_ads_per_request: int = 3):
+    def __init__(self, max_ads_per_request: int = 3) -> None:
         if max_ads_per_request < 1:
             raise ValueError("max_ads_per_request must be positive")
         self._index = CampaignIndex()
@@ -39,6 +39,7 @@ class AdNetwork:
 
     @property
     def campaign_count(self) -> int:
+        """Number of registered campaigns."""
         return len(self._index)
 
     def register_campaign(self, campaign: Campaign) -> None:

@@ -52,6 +52,7 @@ class RequestGeo:
         area_ids: Iterable[str] = (),
         location: Optional[Point] = None,
     ) -> "RequestGeo":
+        """Build a request-geo record from its optional components."""
         return cls(
             country=country, area_ids=frozenset(area_ids), location=location
         )
@@ -89,6 +90,7 @@ class CountryTargeting(GeoTargeting):
 
     @classmethod
     def of(cls, *countries: str) -> "CountryTargeting":
+        """Targeting that matches any of the given countries."""
         return cls(frozenset(countries))
 
     def matches(self, geo: RequestGeo) -> bool:
@@ -97,6 +99,7 @@ class CountryTargeting(GeoTargeting):
 
     @property
     def required_precision(self) -> str:
+        """Coarsest location precision this targeting needs."""
         return "country"
 
 
@@ -116,7 +119,7 @@ class AdministrativeArea:
 class AreaRegistry:
     """The shared catalogue of administrative areas (cities, districts)."""
 
-    def __init__(self, areas: Sequence[AdministrativeArea] = ()):
+    def __init__(self, areas: Sequence[AdministrativeArea] = ()) -> None:
         self._areas: Dict[str, AdministrativeArea] = {}
         for area in areas:
             self.add(area)
@@ -162,6 +165,7 @@ class AreaTargeting(GeoTargeting):
 
     @classmethod
     def of(cls, *area_ids: str) -> "AreaTargeting":
+        """Targeting that matches any of the given area ids."""
         return cls(frozenset(area_ids))
 
     def matches(self, geo: RequestGeo) -> bool:
@@ -170,6 +174,7 @@ class AreaTargeting(GeoTargeting):
 
     @property
     def required_precision(self) -> str:
+        """Coarsest location precision this targeting needs."""
         return "area"
 
 
@@ -193,4 +198,5 @@ class RadiusTargeting(GeoTargeting):
 
     @property
     def required_precision(self) -> str:
+        """Coarsest location precision this targeting needs."""
         return "location"

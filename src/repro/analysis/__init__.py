@@ -1,0 +1,53 @@
+"""reprolint: AST-based privacy/determinism static analysis for this repo.
+
+The reproduction's guarantees rest on invariants the type system cannot
+see: permanent noise must be drawn once per ``(r, eps, delta, n)`` budget
+(paper Section V-C), and every stochastic path must thread an explicit
+:class:`numpy.random.Generator` so the worker-count-invariant
+``parallel_map`` stays bit-identical.  This package checks those
+invariants at lint time instead of discovering them in a figure
+regression.
+
+Usage::
+
+    python -m repro.analysis src/repro            # text report, exit 1 on findings
+    python -m repro.analysis src/repro --format json
+    repro lint src/repro --baseline reprolint-baseline.json
+
+Findings can be suppressed per line with ``# reprolint: disable=RULE`` or
+per file with ``# reprolint: disable-file=RULE``; see
+``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from repro.analysis.baseline import (
+    filter_baselined,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    ImportMap,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from repro.analysis.rules import all_rules, rules_by_id
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "filter_baselined",
+    "fingerprint",
+    "iter_python_files",
+    "load_baseline",
+    "rules_by_id",
+    "write_baseline",
+]

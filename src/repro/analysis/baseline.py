@@ -1,0 +1,70 @@
+"""Baseline files: make CI fail only on *new* reprolint violations.
+
+A baseline records how many findings of each ``rule::path`` fingerprint
+the tree is allowed to carry.  Fingerprints deliberately omit line
+numbers so unrelated edits that shift code do not invalidate the
+baseline; adding a new violation of an already-baselined rule to the
+same file *does* fail, because the count is exceeded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.engine import Finding
+
+__all__ = ["fingerprint", "load_baseline", "write_baseline", "filter_baselined"]
+
+#: Schema version of the baseline JSON document.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-number-free identity of a finding: ``RULE::path``."""
+    return f"{finding.rule}::{finding.path}"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into its ``fingerprint -> allowed count`` map."""
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "counts" not in doc:
+        raise ValueError(f"{path}: not a reprolint baseline (missing 'counts')")
+    counts = doc["counts"]
+    if not isinstance(counts, dict):
+        raise ValueError(f"{path}: baseline 'counts' must be an object")
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist the current findings as the new accepted baseline."""
+    counts = Counter(fingerprint(f) for f in findings)
+    doc = {
+        "version": BASELINE_VERSION,
+        "counts": {k: counts[k] for k in sorted(counts)},
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_baselined(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Drop findings covered by the baseline.
+
+    Returns ``(new_findings, n_baselined)``.  For each fingerprint, up to
+    the baselined count of findings is forgiven (earliest lines first, so
+    the *new* occurrence in a file is the one reported).
+    """
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    n_baselined = 0
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            n_baselined += 1
+        else:
+            kept.append(finding)
+    return kept, n_baselined

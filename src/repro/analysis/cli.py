@@ -1,0 +1,185 @@
+"""Command-line front end for reprolint.
+
+Exit codes: ``0`` clean (after suppressions and baseline), ``1`` new
+findings, ``2`` usage errors.  The JSON format is stable and intended
+for tooling::
+
+    python -m repro.analysis src/repro --format json | jq .counts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import filter_baselined, load_baseline, write_baseline
+from repro.analysis.engine import Finding, Rule, analyze_paths
+from repro.analysis.rules import all_rules
+
+__all__ = ["build_parser", "main"]
+
+#: Version of the JSON report schema.
+REPORT_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro lint`` / ``python -m repro.analysis`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint: privacy/determinism static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline; findings it covers do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--role",
+        choices=["auto", "src", "test"],
+        default="auto",
+        help="treat analyzed files as src or test code (default: by path)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _select_rules(
+    select: Optional[str], ignore: Optional[str], parser: argparse.ArgumentParser
+) -> List[Rule]:
+    rules = all_rules()
+    known = {r.id for r in rules}
+    if select is not None:
+        wanted = {s.strip() for s in select.split(",") if s.strip()}
+        unknown = wanted - known
+        if unknown:
+            parser.error(f"unknown rule id(s) in --select: {sorted(unknown)}")
+        rules = [r for r in rules if r.id in wanted]
+    if ignore is not None:
+        dropped = {s.strip() for s in ignore.split(",") if s.strip()}
+        unknown = dropped - known
+        if unknown:
+            parser.error(f"unknown rule id(s) in --ignore: {sorted(unknown)}")
+        rules = [r for r in rules if r.id not in dropped]
+    return rules
+
+
+def _print_rules(rules: Sequence[Rule]) -> None:
+    for rule in rules:
+        print(f"{rule.id}  {rule.name}")
+        print(f"       {rule.rationale}")
+
+
+def _json_report(
+    findings: Sequence[Finding],
+    files_scanned: int,
+    n_suppressed: int,
+    n_baselined: int,
+    rules: Sequence[Rule],
+) -> Dict[str, object]:
+    counts: Dict[str, int] = dict(
+        sorted(Counter(f.rule for f in findings).items())
+    )
+    return {
+        "version": REPORT_VERSION,
+        "tool": "reprolint",
+        "files_scanned": files_scanned,
+        "rules": [r.id for r in rules],
+        "findings": [f.to_dict() for f in findings],
+        "counts": counts,
+        "suppressed": n_suppressed,
+        "baselined": n_baselined,
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    rules = _select_rules(args.select, args.ignore, parser)
+
+    if args.list_rules:
+        _print_rules(rules)
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path(s): {[str(p) for p in missing]}")
+    role = None if args.role == "auto" else args.role
+    findings, files_scanned, n_suppressed = analyze_paths(
+        paths, rules, root=Path.cwd(), role=role
+    )
+
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    n_baselined = 0
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        findings, n_baselined = filter_baselined(findings, baseline)
+
+    if args.format == "json":
+        report = _json_report(
+            findings, files_scanned, n_suppressed, n_baselined, rules
+        )
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        summary = (
+            f"reprolint: {len(findings)} finding(s) in {files_scanned} file(s)"
+            f" ({n_suppressed} suppressed, {n_baselined} baselined)"
+        )
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,381 @@
+"""The reprolint engine: file contexts, the rule protocol, suppressions.
+
+A :class:`Rule` walks one file's AST via a :class:`FileContext` (parsed
+tree, resolved imports, parent links, module role) and yields
+:class:`Finding` records.  The engine owns everything rule-independent:
+discovering files, parsing, building the context, and honouring
+``# reprolint: disable=...`` suppression comments.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ImportMap",
+    "FileContext",
+    "Rule",
+    "SuppressionIndex",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+#: Rule id reported for files the engine cannot parse.
+PARSE_ERROR_RULE = "E999"
+
+#: Path components that mark a file as test/bench/example code, where the
+#: stochastic-discipline rules are deliberately relaxed.
+TEST_PART_NAMES = frozenset({"tests", "test", "benchmarks", "examples", "conftest.py"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation used by the ``--format json`` report."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class ImportMap:
+    """Maps the names a module binds via imports to dotted origin paths.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from numpy.random
+    import default_rng as drg`` binds ``drg -> numpy.random.default_rng``.
+    Rules use this to recognise e.g. ``np.random.normal`` regardless of
+    the alias chosen by the file under analysis.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportMap":
+        """Collect every import binding in ``tree``."""
+        m = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        m.aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        m.aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    continue  # relative imports never target numpy/stdlib
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    m.aliases[bound] = f"{base}.{alias.name}" if base else alias.name
+        return m
+
+    def resolve(self, chain: Sequence[str]) -> Optional[str]:
+        """Dotted origin of an attribute chain, or None if not import-derived."""
+        if not chain:
+            return None
+        origin = self.aliases.get(chain[0])
+        if origin is None:
+            return None
+        return ".".join([origin, *chain[1:]])
+
+
+def dotted_chain(node: ast.AST) -> Optional[List[str]]:
+    """The raw name chain of a Name/Attribute expression (``a.b.c``)."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return list(reversed(parts))
+    return None
+
+
+class SuppressionIndex:
+    """Per-file record of ``# reprolint: disable`` directives.
+
+    Inline directives suppress matching findings on their own physical
+    line; a directive on a standalone comment line suppresses the next
+    line (useful before long statements); ``disable-file`` suppresses the
+    rule for the whole file.  ``disable=all`` matches every rule.
+    """
+
+    def __init__(self) -> None:
+        self.inline: Dict[int, Set[str]] = {}
+        self.standalone: Dict[int, Set[str]] = {}
+        self.file_level: Set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Tokenize ``source`` and index every suppression comment."""
+        idx = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return idx
+        lines = source.splitlines()
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            line = tok.start[0]
+            if match.group("kind") == "disable-file":
+                idx.file_level |= rules
+            elif line - 1 < len(lines) and lines[line - 1].lstrip().startswith("#"):
+                idx.standalone.setdefault(line, set()).update(rules)
+            else:
+                idx.inline.setdefault(line, set()).update(rules)
+        return idx
+
+    def _matches(self, rules: Set[str], rule: str) -> bool:
+        return "all" in rules or rule in rules
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether ``finding`` is silenced by a directive in this file."""
+        if self._matches(self.file_level, finding.rule):
+            return True
+        inline = self.inline.get(finding.line)
+        if inline is not None and self._matches(inline, finding.rule):
+            return True
+        above = self.standalone.get(finding.line - 1)
+        return above is not None and self._matches(above, finding.rule)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one parsed Python file."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    module: Optional[str] = None
+    role: str = "src"
+    imports: ImportMap = field(default_factory=ImportMap)
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        source: str,
+        path: Path,
+        root: Optional[Path] = None,
+        role: Optional[str] = None,
+    ) -> "FileContext":
+        """Parse ``source`` and assemble the full analysis context."""
+        tree = ast.parse(source, filename=str(path))
+        ctx = cls(
+            path=path,
+            relpath=relative_to_root(path, root),
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            module=module_name_of(path),
+            role=role if role is not None else detect_role(path),
+            imports=ImportMap.from_tree(tree),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                ctx.parents[id(child)] = parent
+        return ctx
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        """The direct AST parent of ``node`` (None at the module root)."""
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """All AST ancestors of ``node``, innermost first."""
+        cur = self.parent_of(node)
+        while cur is not None:
+            yield cur
+            cur = self.parent_of(cur)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Import-resolved dotted path of a Name/Attribute expression."""
+        chain = dotted_chain(node)
+        if chain is None:
+            return None
+        return self.imports.resolve(chain)
+
+
+class Rule(abc.ABC):
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one file context.  The engine applies
+    suppressions and role filtering afterwards, but rules that only make
+    sense outside test code should also consult ``ctx.role`` so their
+    behaviour is self-contained.
+    """
+
+    #: Stable short identifier, e.g. ``RNG001``; used in suppressions.
+    id: str = "X000"
+    #: Human-readable one-line name.
+    name: str = ""
+    #: Which paper/system invariant the rule protects.
+    rationale: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx``."""
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """Construct a finding anchored at ``node``."""
+        return Finding(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+def detect_role(path: Path) -> str:
+    """``"test"`` for test/bench/example files, ``"src"`` otherwise."""
+    parts = set(path.parts)
+    if parts & TEST_PART_NAMES:
+        return "test"
+    if path.name.startswith("test_") or path.name == "conftest.py":
+        return "test"
+    return "src"
+
+
+def module_name_of(path: Path) -> Optional[str]:
+    """Dotted module name, derived from an ``src`` layout or package dirs."""
+    parts = list(path.parts)
+    if "src" in parts:
+        sub = parts[parts.index("src") + 1 :]
+    else:
+        sub = [path.name]
+        parent = path.parent
+        while (parent / "__init__.py").exists():
+            sub.insert(0, parent.name)
+            parent = parent.parent
+        if len(sub) == 1:
+            return None
+    if not sub:
+        return None
+    if sub[-1].endswith(".py"):
+        sub[-1] = sub[-1][: -len(".py")]
+    if sub[-1] == "__init__":
+        sub = sub[:-1]
+    return ".".join(sub) if sub else None
+
+
+def relative_to_root(path: Path, root: Optional[Path]) -> str:
+    """POSIX-style path relative to ``root`` (falls back to the input)."""
+    try:
+        base = root if root is not None else Path.cwd()
+        return path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if q.is_file())
+        elif p.suffix == ".py":
+            yield p
+
+
+def analyze_source(
+    source: str,
+    path: Path,
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+    role: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Run ``rules`` over one file's source.
+
+    Returns ``(findings, n_suppressed)``; a syntax error yields a single
+    :data:`PARSE_ERROR_RULE` finding so broken files fail the lint run
+    rather than being skipped silently.
+    """
+    try:
+        ctx = FileContext.build(source, path, root=root, role=role)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=relative_to_root(path, root),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    suppressions = SuppressionIndex.from_source(source)
+    kept: List[Finding] = []
+    n_suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                kept.append(finding)
+    return sorted(kept), n_suppressed
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+    root: Optional[Path] = None,
+    role: Optional[str] = None,
+) -> Tuple[List[Finding], int, int]:
+    """Run ``rules`` over every python file under ``paths``.
+
+    Returns ``(findings, files_scanned, n_suppressed)``.
+    """
+    findings: List[Finding] = []
+    n_files = 0
+    n_suppressed = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        file_findings, suppressed = analyze_source(
+            path.read_text(encoding="utf-8"), path, rules, root=root, role=role
+        )
+        findings.extend(file_findings)
+        n_suppressed += suppressed
+    return sorted(findings), n_files, n_suppressed

@@ -1,0 +1,126 @@
+"""Budget-hygiene rules (``BUD001``–``BUD002``).
+
+The paper's longitudinal guarantee (Section V-C, Theorem 2) holds only
+because each eta-frequent location's ``n`` obfuscated outputs are drawn
+*once* per ``(r, eps, delta, n)`` budget and pinned; re-drawing noise per
+ad release degrades the effective budget with every exposure, exactly
+the longitudinal averaging attack the system defends against.  These
+rules fence noise generation into the sanctioned modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["NoisePrimitiveOutsideCore", "RedrawInLoop"]
+
+#: Modules allowed to draw planar noise directly.
+SANCTIONED_PREFIXES: Tuple[str, ...] = ("repro.core",)
+SANCTIONED_MODULES: Tuple[str, ...] = ("repro.datagen.obfuscate",)
+
+#: The low-level noise primitives of ``repro.core.sampling``.
+NOISE_PRIMITIVES = frozenset(
+    {"sample_gaussian_noise", "sample_planar_laplace_noise"}
+)
+
+#: Mechanism entry points that draw fresh noise on every call.
+FRESH_DRAW_METHODS = frozenset({"obfuscate", "obfuscate_one"})
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _is_sanctioned(module: str) -> bool:
+    if module in SANCTIONED_MODULES:
+        return True
+    return any(
+        module == p or module.startswith(p + ".") for p in SANCTIONED_PREFIXES
+    )
+
+
+class NoisePrimitiveOutsideCore(Rule):
+    """``BUD001``: raw noise primitives called outside the sanctioned APIs."""
+
+    id = "BUD001"
+    name = "noise primitive outside repro.core / repro.datagen.obfuscate"
+    rationale = (
+        "Only the calibrated mechanisms may turn budget parameters into "
+        "noise; ad-hoc sampler calls bypass Theorem 2's sigma calibration "
+        "and the budget ledger."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag direct noise-sampler calls from unsanctioned src modules."""
+        if ctx.role != "src":
+            return
+        if ctx.module is not None and _is_sanctioned(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            tail = None
+            if isinstance(func, ast.Name):
+                tail = func.id
+            elif isinstance(func, ast.Attribute):
+                tail = func.attr
+            if tail in NOISE_PRIMITIVES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'{tail}' drawn outside repro.core/repro.datagen.obfuscate; "
+                    "go through a calibrated mechanism so the budget ledger "
+                    "sees the draw",
+                )
+
+
+class RedrawInLoop(Rule):
+    """``BUD002``: fresh mechanism draws inside a loop outside the core.
+
+    ``mechanism.obfuscate(...)`` draws fresh noise; calling it per
+    iteration outside the sanctioned modules is the re-draw-per-release
+    pattern that voids permanent noise.  Legitimate per-trial measurement
+    loops should suppress with a justification comment.
+    """
+
+    id = "BUD002"
+    name = "fresh-noise draw inside a loop"
+    rationale = (
+        "Permanent noise means one draw per budget per location; a draw "
+        "per loop iteration re-exposes the true location longitudinally "
+        "(the Fig. 4 averaging attack)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ``.obfuscate()``/``.obfuscate_one()`` calls under a loop."""
+        if ctx.role != "src":
+            return
+        if ctx.module is not None and _is_sanctioned(ctx.module):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in FRESH_DRAW_METHODS:
+                continue
+            if any(isinstance(anc, _LOOP_NODES) for anc in ctx.ancestors(node)):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'.{func.attr}()' inside a loop re-draws noise per "
+                    "iteration; pin one draw per budget (permanent noise) or "
+                    "suppress with a justification if this is a measurement "
+                    "loop",
+                )

@@ -1,0 +1,109 @@
+"""Public-API coverage rules (``DOC001``–``DOC002``).
+
+The reproduction is consumed as a library (experiments, benchmarks, the
+CLI); its public surface must be documented and fully annotated so the
+mypy strict gate on ``repro.core``/``repro.parallel``/``repro.analysis``
+has signatures to check and downstream callers get completions instead
+of ``Any``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple, Union
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["MissingDocstring", "MissingAnnotations"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _iter_public_defs(
+    tree: ast.Module,
+) -> Iterator[Tuple[Union[FunctionNode, ast.ClassDef], bool]]:
+    """Yield ``(node, is_method)`` for public top-level defs and methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(
+            node.name
+        ):
+            yield node, False
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            yield node, False
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public(member.name) or member.name == "__init__":
+                        yield member, True
+
+
+class MissingDocstring(Rule):
+    """``DOC001``: public module/class/function without a docstring."""
+
+    id = "DOC001"
+    name = "missing docstring on public API"
+    rationale = (
+        "The docstring gate in tests/test_docstrings.py covers imported "
+        "modules; this rule catches the same debt statically, including "
+        "files the test run never imports."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag missing docstrings on the file's public surface."""
+        if ctx.role != "src":
+            return
+        if not (ast.get_docstring(ctx.tree) or "").strip():
+            yield Finding(
+                path=ctx.relpath,
+                line=1,
+                col=1,
+                rule=self.id,
+                message="module lacks a docstring",
+            )
+        for node, _ in _iter_public_defs(ctx.tree):
+            if node.name == "__init__":
+                continue
+            if not (ast.get_docstring(node) or "").strip():
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield self.finding(
+                    ctx, node, f"public {kind} '{node.name}' lacks a docstring"
+                )
+
+
+class MissingAnnotations(Rule):
+    """``DOC002``: public function with incomplete type annotations."""
+
+    id = "DOC002"
+    name = "incomplete annotations on public API"
+    rationale = (
+        "Unannotated public signatures degrade to Any and escape the mypy "
+        "strict gate; complete annotations are what make the typing gate "
+        "meaningful."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag missing parameter/return annotations on public functions."""
+        if ctx.role != "src":
+            return
+        for node, _ in _iter_public_defs(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                continue
+            missing: List[str] = []
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    missing.append(arg.arg)
+            if node.returns is None:
+                missing.append("return")
+            if missing:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public function '{node.name}' missing annotations: "
+                    + ", ".join(missing),
+                )

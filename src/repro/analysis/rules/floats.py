@@ -1,0 +1,60 @@
+"""Float-comparison rule (``FLT001``).
+
+Coordinates, radii, and probabilities flow through chains of planar
+arithmetic; exact ``==``/``!=`` against float literals is almost always
+a latent bug (use ``math.isclose`` or an epsilon).  Where an *exact*
+sentinel comparison is intended — e.g. an underflow guard — suppress
+with a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["FloatEquality"]
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_float_literal(node.operand)
+    return False
+
+
+class FloatEquality(Rule):
+    """``FLT001``: ``==``/``!=`` against a float literal."""
+
+    id = "FLT001"
+    name = "exact equality against a float literal"
+    rationale = (
+        "Coordinates and probabilities accumulate rounding error, so exact "
+        "float equality silently stops matching; compare with math.isclose "
+        "or an explicit tolerance."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag Eq/NotEq comparisons with a float-literal operand."""
+        if ctx.role != "src":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(operands[i]) or _is_float_literal(
+                    operands[i + 1]
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact ==/!= against a float literal; use math.isclose "
+                        "or an epsilon tolerance (suppress if an exact "
+                        "sentinel is intended)",
+                    )
+                    break

@@ -1,0 +1,55 @@
+"""Mutable-default rule (``MUT001``).
+
+A mutable default argument is evaluated once at definition time and
+shared across calls — state leaks between experiment invocations, which
+is exactly the cross-run contamination a reproduction cannot afford.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["MutableDefaultArgument"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultArgument(Rule):
+    """``MUT001``: function defaults that are mutable objects."""
+
+    id = "MUT001"
+    name = "mutable default argument"
+    rationale = (
+        "Defaults are evaluated once and shared by every call, so state "
+        "from one experiment run bleeds into the next; default to None and "
+        "construct inside the function."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag mutable default values on any function definition."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults: List[Optional[ast.expr]] = list(node.args.defaults)
+            defaults.extend(node.args.kw_defaults)
+            for default in defaults:
+                if default is not None and _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default in '{node.name}()' is shared across "
+                        "calls; use None and build the value inside the body",
+                    )

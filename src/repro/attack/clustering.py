@@ -28,6 +28,7 @@ class Cluster:
 
     @property
     def size(self) -> int:
+        """Number of observations in the cluster."""
         return len(self.indices)
 
 

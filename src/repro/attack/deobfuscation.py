@@ -76,7 +76,7 @@ def attack_params_for(
 class DeobfuscationAttack:
     """The longitudinal de-obfuscation attack (Algorithm 1)."""
 
-    def __init__(self, theta: float, r_alpha: float, use_trimming: bool = True):
+    def __init__(self, theta: float, r_alpha: float, use_trimming: bool = True) -> None:
         self.params = AttackParameters(theta=theta, r_alpha=r_alpha)
         #: Trimming can be disabled for the ablation study; the attack then
         #: reports raw largest-cluster centroids.

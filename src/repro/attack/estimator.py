@@ -107,15 +107,17 @@ def map_estimate(
 class MAPAttack:
     """Convenience wrapper binding a noise model to the MAP estimator."""
 
-    def __init__(self, log_likelihood: LogLikelihood):
+    def __init__(self, log_likelihood: LogLikelihood) -> None:
         self._loglik = log_likelihood
 
     @classmethod
     def gaussian(cls, sigma: float) -> "MAPAttack":
+        """MAP attack against isotropic Gaussian noise of scale sigma."""
         return cls(gaussian_log_likelihood(sigma))
 
     @classmethod
     def laplace(cls, epsilon: float) -> "MAPAttack":
+        """MAP attack against planar Laplace noise with budget epsilon."""
         return cls(laplace_log_likelihood(epsilon))
 
     def estimate(

@@ -145,7 +145,7 @@ class KMeansAttack:
     top-i location is the centroid of the i-th largest cluster.
     """
 
-    def __init__(self, k: int = 8, rng: Optional[np.random.Generator] = None):
+    def __init__(self, k: int = 8, rng: Optional[np.random.Generator] = None) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k

@@ -40,13 +40,14 @@ class DeviceLink:
 
     @property
     def size(self) -> int:
+        """Number of linked device ids."""
         return len(self.device_ids)
 
 
 class DeviceLinker:
     """Group devices by proximity of their inferred top locations."""
 
-    def __init__(self, attack: DeobfuscationAttack, link_radius: float = 300.0):
+    def __init__(self, attack: DeobfuscationAttack, link_radius: float = 300.0) -> None:
         if link_radius <= 0:
             raise ValueError("link radius must be positive")
         self.attack = attack

@@ -30,7 +30,7 @@ __all__ = [
 class ProfilingAttack:
     """Rebuild a victim's location profile from observed check-ins."""
 
-    def __init__(self, connect_radius: float = DEFAULT_CONNECT_RADIUS_M):
+    def __init__(self, connect_radius: float = DEFAULT_CONNECT_RADIUS_M) -> None:
         if connect_radius <= 0:
             raise ValueError(f"connect radius must be positive, got {connect_radius}")
         self.connect_radius = connect_radius

@@ -52,7 +52,7 @@ OFFICE_HOURS = HourWindow(9.0, 18.0)
 class TemporalAttack:
     """Infer semantically labelled locations from time-sliced observations."""
 
-    def __init__(self, base_attack: DeobfuscationAttack):
+    def __init__(self, base_attack: DeobfuscationAttack) -> None:
         self.base_attack = base_attack
 
     def infer_in_window(

@@ -42,6 +42,7 @@ class TrimResult:
 
     @property
     def size(self) -> int:
+        """Number of member observations."""
         return len(self.member_indices)
 
 

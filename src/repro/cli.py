@@ -8,6 +8,8 @@ Subcommands::
     repro attack --level ln2                    # case-study attack demo
     repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
                                                 # check a budget's calibration
+    repro lint src/repro --baseline reprolint-baseline.json
+                                                # privacy/determinism lint
 
 (Equivalent to ``python -m repro.cli ...``; also installed as the
 ``repro`` console script.)
@@ -58,6 +60,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_atk = sub.add_parser("attack", help="case-study de-obfuscation attack")
     p_atk.add_argument("--level", default="ln2", choices=sorted(_LEVELS))
     p_atk.add_argument("--seed", type=int, default=11)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the privacy/determinism static analysis",
+        add_help=False,
+    )
+    p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
 
     p_ver = sub.add_parser("verify", help="verify a (r, eps, delta, n) budget")
     p_ver.add_argument("--r", type=float, default=500.0)
@@ -159,17 +168,31 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if (analytic and report.satisfied) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args or None)
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "simulate": _cmd_simulate,
     "attack": _cmd_attack,
     "verify": _cmd_verify,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse arguments and dispatch to the subcommand."""
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw[:1] == ["lint"]:
+        # Delegate everything after "lint" verbatim: argparse's REMAINDER
+        # does not capture a leading flag (e.g. "lint --list-rules").
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     return _COMMANDS[args.command](args)
 
 

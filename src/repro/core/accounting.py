@@ -56,6 +56,7 @@ class LongitudinalExposureAccountant:
 
     @property
     def observations(self) -> int:
+        """Number of recorded observations."""
         return len(self.epsilons)
 
     def effective_level(self, radius_m: float) -> float:

@@ -45,7 +45,7 @@ class NaivePostProcessingMechanism(LPPM):
         budget: GeoIndBudget,
         scatter_radius: Optional[float] = None,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         super().__init__(rng)
         self.budget = budget
         # The privacy cost is a single 1-fold release; scattering is free.
@@ -56,6 +56,7 @@ class NaivePostProcessingMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (the budget's n)."""
         return self.budget.n
 
     def obfuscate(self, location: Point) -> List[Point]:
@@ -84,7 +85,7 @@ class PlainCompositionMechanism(LPPM):
 
     name = "plain-composition"
 
-    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None):
+    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rng)
         self.budget = budget
         self.sigma = gaussian_sigma_composition(
@@ -93,6 +94,7 @@ class PlainCompositionMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (the budget's n)."""
         return self.budget.n
 
     def obfuscate(self, location: Point) -> List[Point]:

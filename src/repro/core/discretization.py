@@ -80,7 +80,7 @@ class TruncatedDiscreteLaplaceMechanism(LPPM):
         grid_step: float,
         region: Optional[BoundingBox] = None,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         super().__init__(rng)
         if grid_step <= 0:
             raise ValueError(f"grid step must be positive, got {grid_step}")
@@ -99,6 +99,7 @@ class TruncatedDiscreteLaplaceMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (always one)."""
         return 1
 
     def obfuscate(self, location: Point) -> List[Point]:

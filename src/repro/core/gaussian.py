@@ -33,7 +33,7 @@ class GaussianMechanism(LPPM):
 
     name = "gaussian-1fold"
 
-    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None):
+    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rng)
         if budget.n != 1:
             raise ValueError(
@@ -45,6 +45,7 @@ class GaussianMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (always one)."""
         return 1
 
     def obfuscate(self, location: Point) -> List[Point]:
@@ -82,7 +83,7 @@ class NFoldGaussianMechanism(LPPM):
 
     name = "gaussian-nfold"
 
-    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None):
+    def __init__(self, budget: GeoIndBudget, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rng)
         self.budget = budget
         self.sigma = gaussian_sigma_nfold(
@@ -91,6 +92,7 @@ class NFoldGaussianMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (the budget's n)."""
         return self.budget.n
 
     @property

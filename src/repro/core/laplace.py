@@ -35,7 +35,7 @@ class PlanarLaplaceMechanism(LPPM):
 
     name = "planar-laplace"
 
-    def __init__(self, budget: OneTimeBudget, rng: Optional[np.random.Generator] = None):
+    def __init__(self, budget: OneTimeBudget, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rng)
         self.budget = budget
 
@@ -56,6 +56,7 @@ class PlanarLaplaceMechanism(LPPM):
 
     @property
     def n_outputs(self) -> int:
+        """Outputs per obfuscate() call (always one)."""
         return 1
 
     def obfuscate(self, location: Point) -> List[Point]:

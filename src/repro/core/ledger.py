@@ -55,14 +55,17 @@ class PrivacyLedger:
 
     @property
     def total_epsilon(self) -> float:
+        """Sum of epsilon over all recorded spends."""
         return sum(e.budget.epsilon for e in self.entries)
 
     @property
     def total_delta(self) -> float:
+        """Sum of delta over all recorded spends."""
         return sum(e.budget.delta for e in self.entries)
 
     @property
     def spends(self) -> int:
+        """Number of recorded budget spends."""
         return len(self.entries)
 
     def can_spend(self, budget: GeoIndBudget) -> bool:

@@ -39,11 +39,14 @@ class LPPM(abc.ABC):
     #: Human-readable mechanism name used in reports and benchmarks.
     name: str = "lppm"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng if rng is not None else default_rng()
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        # Seeded fallback: library code must stay reproducible run to run;
+        # callers wanting fresh entropy pass their own Generator.
+        self._rng = rng if rng is not None else default_rng(0)
 
     @property
     def rng(self) -> np.random.Generator:
+        """The Generator this mechanism draws from."""
         return self._rng
 
     def reseed(self, seed: int) -> None:

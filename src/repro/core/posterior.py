@@ -111,11 +111,14 @@ class OutputSelector(abc.ABC):
 
     name: str = "selector"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None):
-        self._rng = rng if rng is not None else np.random.default_rng()
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        # Seeded fallback, matching LPPM: reproducible unless the caller
+        # supplies their own Generator.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property
     def rng(self) -> np.random.Generator:
+        """The Generator this selector draws from."""
         return self._rng
 
     @abc.abstractmethod
@@ -167,7 +170,7 @@ class PosteriorSelector(OutputSelector):
 
     name = "posterior"
 
-    def __init__(self, sigma: float, rng: Optional[np.random.Generator] = None):
+    def __init__(self, sigma: float, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__(rng)
         if sigma <= 0:
             raise ValueError(f"sigma must be positive, got {sigma}")

@@ -122,7 +122,7 @@ class BayesianRemap:
         prior: LocationPrior,
         log_likelihood: NoiseLogLikelihood,
         loss: str = "squared",
-    ):
+    ) -> None:
         if loss not in ("squared", "euclidean"):
             raise ValueError(f"unknown loss: {loss!r} (use 'squared' or 'euclidean')")
         self.prior = prior

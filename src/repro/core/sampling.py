@@ -19,6 +19,10 @@ from typing import Tuple
 import numpy as np
 from scipy.special import lambertw
 
+#: Below this quantile level the planar-Laplace inversion switches from
+#: Lambert-W to its branch-point series (better conditioned near p = 0).
+_SMALL_P_SERIES_THRESHOLD = 1e-6
+
 __all__ = [
     "rayleigh_quantile",
     "rayleigh_cdf",
@@ -88,8 +92,16 @@ def planar_laplace_radial_quantile(p: float, epsilon: float) -> float:
         raise ValueError(f"quantile level must be in [0, 1), got {p}")
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
-    if p == 0.0:
-        return 0.0
+    if p < _SMALL_P_SERIES_THRESHOLD:
+        # Near p = 0 the Lambert-W argument sits at the -1/e branch point,
+        # where (p - 1)/e loses p's low bits and scipy's W_{-1} degrades
+        # (below p ~ 5e-9 it returns r with C(r) off by orders of
+        # magnitude).  The branch-point series of W_{-1} inverts
+        # C_eps(r) = p directly: r = (s + s^2/3 + 11 s^3/72)/eps with
+        # s = sqrt(2p); truncation error is O(s^4), so at the 1e-6
+        # threshold both branches agree to ~1e-10 relative.
+        s = math.sqrt(2.0 * p)
+        return (s + s * s / 3.0 + 11.0 * s * s * s / 72.0) / epsilon
     w = lambertw((p - 1.0) / math.e, k=-1)
     return float(-(w.real + 1.0) / epsilon)
 

@@ -80,6 +80,7 @@ class EmpiricalPrivacyReport:
 
     @property
     def satisfied(self) -> bool:
+        """Whether the empirical estimate meets the delta bound."""
         return self.estimated_delta <= self.delta_bound
 
     def __str__(self) -> str:  # pragma: no cover - formatting only
@@ -98,7 +99,7 @@ def empirical_privacy_check(
     n: int,
     sigma: float,
     samples: int = 200_000,
-    rng: "np.random.Generator | None" = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> EmpiricalPrivacyReport:
     """Monte-Carlo estimate of delta for the n-fold release's sufficient statistic.
 

@@ -93,6 +93,7 @@ class SyntheticUser:
 
     @property
     def n_checkins(self) -> int:
+        """Number of check-ins in the user's trace."""
         return len(self.trace)
 
 

@@ -39,7 +39,7 @@ class ClientStats:
 class MobileClient:
     """One user's device, bound to an edge device."""
 
-    def __init__(self, user_id: str, edge: EdgeDevice):
+    def __init__(self, user_id: str, edge: EdgeDevice) -> None:
         self.user_id = user_id
         self.edge = edge
         self.stats = ClientStats()

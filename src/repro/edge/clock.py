@@ -13,11 +13,12 @@ __all__ = ["SimulationClock"]
 class SimulationClock:
     """Monotonically advancing simulated unix time."""
 
-    def __init__(self, start_ts: float = 0.0):
+    def __init__(self, start_ts: float = 0.0) -> None:
         self._now = float(start_ts)
 
     @property
     def now(self) -> float:
+        """Current simulated time in seconds."""
         return self._now
 
     def advance_to(self, ts: float) -> None:

@@ -83,7 +83,7 @@ class _UserState:
 class EdgeDevice:
     """A trusted edge device multiplexing the three modules across users."""
 
-    def __init__(self, device_id: str, network: AdNetwork, config: EdgeConfig):
+    def __init__(self, device_id: str, network: AdNetwork, config: EdgeConfig) -> None:
         self.device_id = device_id
         self.network = network
         self.config = config
@@ -99,10 +99,12 @@ class EdgeDevice:
 
     @property
     def user_count(self) -> int:
+        """Number of users registered on this edge."""
         return len(self._users)
 
     @property
     def nfold_sigma(self) -> float:
+        """Noise scale of the edge's n-fold Gaussian mechanism."""
         return self._nfold.sigma
 
     def state_for(self, user_id: str) -> _UserState:

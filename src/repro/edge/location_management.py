@@ -36,7 +36,7 @@ class LocationManagementModule:
         eta: float = DEFAULT_ETA,
         window_days: float = DEFAULT_WINDOW_DAYS,
         connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
-    ):
+    ) -> None:
         if eta <= 0:
             raise ValueError(f"eta must be positive, got {eta}")
         self.eta = eta

@@ -29,7 +29,7 @@ class ObfuscationTable:
     metres does not trigger a fresh (budget-spending) obfuscation.
     """
 
-    def __init__(self, match_radius: float = 100.0):
+    def __init__(self, match_radius: float = 100.0) -> None:
         if match_radius <= 0:
             raise ValueError("match radius must be positive")
         self.match_radius = match_radius
@@ -62,6 +62,7 @@ class ObfuscationTable:
 
     @property
     def entries(self) -> List[Tuple[Point, List[Point]]]:
+        """Pinned (true location, candidate set) pairs."""
         return [(loc, list(cands)) for loc, cands in self._entries]
 
 
@@ -79,7 +80,7 @@ class ObfuscationModule:
         mechanism: LPPM,
         match_radius: float = 100.0,
         ledger: Optional[PrivacyLedger] = None,
-    ):
+    ) -> None:
         self.mechanism = mechanism
         self.table = ObfuscationTable(match_radius)
         self.ledger = ledger
@@ -105,6 +106,10 @@ class ObfuscationModule:
                     continue
                 if budget is not None:
                     self.ledger.spend(budget, label=f"pin@({top.x:.0f},{top.y:.0f})")
+            # One draw per *distinct* top location, guarded by the lookup
+            # above and charged to the ledger: this is the permanent-noise
+            # pin itself, not a per-release re-draw.
+            # reprolint: disable=BUD002
             candidates = self.mechanism.obfuscate(top)
             self.table.pin(top, candidates)
             self.obfuscation_count += 1

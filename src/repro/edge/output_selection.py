@@ -21,7 +21,7 @@ __all__ = ["OutputSelectionModule"]
 class OutputSelectionModule:
     """Wraps a selection policy and counts selections for the benches."""
 
-    def __init__(self, selector: OutputSelector):
+    def __init__(self, selector: OutputSelector) -> None:
         self.selector = selector
         self.selection_count = 0
 

@@ -31,7 +31,7 @@ class AttackFinding:
 class HonestButCuriousProvider:
     """An ad network operator that also runs the longitudinal attack."""
 
-    def __init__(self, network: Optional[AdNetwork] = None):
+    def __init__(self, network: Optional[AdNetwork] = None) -> None:
         self.network = network if network is not None else AdNetwork()
 
     def attack_device(

@@ -72,7 +72,7 @@ class RiskAssessor:
         observation_threshold: int = 200,
         top1_share_threshold: float = 0.5,
         min_evidence: int = 50,
-    ):
+    ) -> None:
         if entropy_threshold <= 0:
             raise ValueError("entropy threshold must be positive")
         if observation_threshold < 1:

@@ -23,7 +23,7 @@ uniformity of strict share subsets are covered by the test suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,7 @@ class GridSpec:
 
     @property
     def n_cells(self) -> int:
+        """Total number of grid cells."""
         return self.cells_x * self.cells_y
 
     def cell_of(self, p: Point) -> int:
@@ -141,13 +142,16 @@ class SecureProfileMerge:
         self,
         grid: GridSpec,
         n_aggregators: int = 3,
-        rng: "np.random.Generator | None" = None,
-    ):
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
         if n_aggregators < 2:
             raise ValueError("need at least two aggregators")
         self.grid = grid
         self.n_aggregators = n_aggregators
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Seeded fallback keeps simulations reproducible; real deployments
+        # must pass a Generator backed by OS entropy, since share blinding
+        # is only hiding if the masks are unpredictable.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._pools: List[np.ndarray] = [
             np.zeros(grid.n_cells, dtype=np.int64) for _ in range(n_aggregators)
         ]

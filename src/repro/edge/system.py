@@ -57,6 +57,7 @@ class SystemReport:
 
     @property
     def top_path_share(self) -> float:
+        """Share of requests served from the pinned top-location path."""
         return self.top_path_requests / self.requests if self.requests else 0.0
 
 
@@ -91,7 +92,7 @@ def seed_campaigns(
 class EdgePrivLocAdSystem:
     """The full simulated deployment."""
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    def __init__(self, config: Optional[SystemConfig] = None) -> None:
         self.config = config if config is not None else SystemConfig()
         self.provider = HonestButCuriousProvider(AdNetwork())
         self.clock = SimulationClock()
@@ -117,6 +118,7 @@ class EdgePrivLocAdSystem:
 
     @property
     def network(self) -> AdNetwork:
+        """The ad network shared by every edge device."""
         return self.provider.network
 
     def register_campaigns(self, campaigns: Sequence[Campaign]) -> None:

@@ -16,7 +16,7 @@ near-linear scaling shape (see the doubling ratios in the notes).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -81,7 +81,7 @@ def obfuscation_workload(
     budget: GeoIndBudget,
     workers: Optional[int] = 1,
     seed: int = 0,
-):
+) -> Callable[[int], None]:
     """Returns the per-size workload callable for :func:`measure_scaling`."""
     payload = (list(coords_pool), budget)
 

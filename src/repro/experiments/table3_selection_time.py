@@ -11,7 +11,7 @@ tick draws one posterior-weighted output per user, batched through
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ def selection_workload(
     max_users: int,
     seed: int,
     workers: Optional[int] = 1,
-):
+) -> Callable[[int], None]:
     """Per-size workload: one posterior selection per user per tick."""
     rng = default_rng(seed)
     mechanism = NFoldGaussianMechanism(budget, rng=rng)

@@ -27,14 +27,17 @@ class BoundingBox:
 
     @property
     def width(self) -> float:
+        """Extent along the x axis."""
         return self.max_x - self.min_x
 
     @property
     def height(self) -> float:
+        """Extent along the y axis."""
         return self.max_y - self.min_y
 
     @property
     def center(self) -> Point:
+        """Geometric centre of the box."""
         return Point((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
 
     def contains(self, p: Point) -> bool:
@@ -77,6 +80,7 @@ class GeoBoundingBox:
 
     @property
     def center(self) -> GeoPoint:
+        """Geometric centre of the box."""
         return GeoPoint(
             (self.min_lat + self.max_lat) / 2, (self.min_lon + self.max_lon) / 2
         )

@@ -13,7 +13,7 @@ integration over the AOI disc.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -46,7 +46,10 @@ def lens_area(r1: float, r2: float, d: float) -> float:
     if d >= r1 + r2:
         return 0.0
     # Containment, including distances so small that the lens-formula
-    # denominators (2*d*r) would underflow to zero for subnormal d.
+    # denominators (2*d*r) would underflow to zero for subnormal d.  The
+    # comparison must be an exact == 0.0: it guards the exact divisions
+    # below, and any tolerance would misclassify valid thin lenses.
+    # reprolint: disable=FLT001
     if d <= abs(r1 - r2) or 2.0 * d * r1 == 0.0 or 2.0 * d * r2 == 0.0:
         return circle_area(min(r1, r2))
     # Standard two-circle lens formula.
@@ -116,7 +119,7 @@ def union_coverage_fraction(
     aor_centers: Sequence[Point],
     aor_radius: float,
     samples: int = 4096,
-    rng: "np.random.Generator | None" = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> float:
     """Fraction of the AOI disc covered by the union of AOR discs.
 

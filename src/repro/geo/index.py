@@ -34,7 +34,7 @@ CellKey = Tuple[int, int]
 class UnionFind:
     """Array-based disjoint-set union with path compression and rank."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         if size < 0:
             raise ValueError("size must be non-negative")
         self._parent = np.arange(size, dtype=np.int64)
@@ -78,7 +78,7 @@ class GridIndex:
     array, so callers can map query results back to their own records.
     """
 
-    def __init__(self, points: np.ndarray, cell_size: float):
+    def __init__(self, points: np.ndarray, cell_size: float) -> None:
         if cell_size <= 0:
             raise ValueError(f"cell_size must be positive, got {cell_size}")
         points = np.asarray(points, dtype=float)
@@ -93,13 +93,20 @@ class GridIndex:
 
     @property
     def cell_size(self) -> float:
+        """Edge length of one grid cell."""
         return self._cell_size
 
     def query(self, x: float, y: float, radius: float) -> List[int]:
         """Indices of all points within ``radius`` of the coordinate ``(x, y)``."""
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        reach = max(1, math.ceil(radius / self._cell_size))
+        # One ring beyond the exact-arithmetic reach: a point mathematically
+        # just outside ``radius`` can still satisfy the rounded float
+        # predicate ``d2 <= radius**2`` (e.g. query at -0.0 epsilon against
+        # a point exactly ``radius`` away), and it may live one cell past
+        # the exact range.  The extra ring makes the candidate set a strict
+        # superset of everything the final comparison can accept.
+        reach = max(1, math.ceil(radius / self._cell_size)) + 1
         cx = math.floor(x / self._cell_size)
         cy = math.floor(y / self._cell_size)
         buckets = []

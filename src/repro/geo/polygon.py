@@ -36,10 +36,12 @@ class Polygon:
 
     @classmethod
     def from_coords(cls, coords: Sequence[Tuple[float, float]]) -> "Polygon":
+        """Build a polygon from (x, y) coordinate pairs."""
         return cls(tuple(Point(float(x), float(y)) for x, y in coords))
 
     @classmethod
     def rectangle(cls, box: BoundingBox) -> "Polygon":
+        """The axis-aligned rectangle of a bounding box."""
         return cls(
             (
                 Point(box.min_x, box.min_y),
@@ -131,7 +133,9 @@ class Polygon:
 def _on_segment(a: Point, b: Point, p: Point, tol: float) -> bool:
     """Is ``p`` within ``tol`` of the segment ``ab``?"""
     ab2 = (b.x - a.x) ** 2 + (b.y - a.y) ** 2
-    if ab2 == 0.0:
+    # Exact == 0.0 is intended: it only guards the division below, and the
+    # near-degenerate case is already handled by clamping t to [0, 1].
+    if ab2 == 0.0:  # reprolint: disable=FLT001
         return p.distance_to(a) <= tol
     t = ((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / ab2
     t = max(0.0, min(1.0, t))

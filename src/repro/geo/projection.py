@@ -56,7 +56,7 @@ class LocalProjection:
     regions like the paper's Shanghai box.
     """
 
-    def __init__(self, origin: GeoPoint):
+    def __init__(self, origin: GeoPoint) -> None:
         if abs(origin.lat) > 89.0:
             raise ValueError(
                 "equirectangular projection is unusable near the poles; "

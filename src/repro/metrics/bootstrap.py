@@ -30,6 +30,7 @@ class ConfidenceInterval:
 
     @property
     def width(self) -> float:
+        """Width of the interval (high - low)."""
         return self.high - self.low
 
     def __str__(self) -> str:  # pragma: no cover - formatting only

@@ -69,6 +69,9 @@ def efficacy_samples(
         rng = np.random.default_rng(0)
     out = np.empty(trials)
     for t in range(trials):
+        # Measurement loop: each trial intentionally draws a fresh
+        # candidate set to sample the AE distribution, not to serve ads.
+        # reprolint: disable=BUD002
         candidates = mechanism.obfuscate(true_location)
         reported = selector.select(candidates)
         out[t] = efficacy_of_report(

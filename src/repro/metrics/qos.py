@@ -40,6 +40,9 @@ def report_distances(
         raise ValueError("trials must be positive")
     out = np.empty(trials)
     for t in range(trials):
+        # Measurement loop: fresh draws per trial sample the QoS-loss
+        # distribution; no release leaves this function.
+        # reprolint: disable=BUD002
         candidates = mechanism.obfuscate(true_location)
         if len(candidates) == 1:
             reported = candidates[0]

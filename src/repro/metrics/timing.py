@@ -66,6 +66,7 @@ class TimingRow:
 
     @property
     def per_item_ms(self) -> float:
+        """Average milliseconds per processed item."""
         return 1_000.0 * self.seconds / self.size if self.size else 0.0
 
 

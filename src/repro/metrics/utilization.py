@@ -77,6 +77,9 @@ def utilization_samples(
         rng = np.random.default_rng(0)
     out = np.empty(trials)
     for t in range(trials):
+        # Measurement loop: the per-trial fresh draw IS the distribution
+        # being quantified (Eq. 24's randomness), not a served release.
+        # reprolint: disable=BUD002
         candidates = mechanism.obfuscate(true_location)
         out[t] = utilization_rate(
             true_location,

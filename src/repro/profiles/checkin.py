@@ -35,10 +35,12 @@ class CheckIn:
 
     @property
     def x(self) -> float:
+        """Planar x coordinate of the check-in."""
         return self.point.x
 
     @property
     def y(self) -> float:
+        """Planar y coordinate of the check-in."""
         return self.point.y
 
     def displaced(self, dx: float, dy: float) -> "CheckIn":

@@ -49,7 +49,7 @@ class LocationProfile:
     the eta-frequent-location-set algorithm (Algorithm 2) consumes.
     """
 
-    def __init__(self, entries: Sequence[ProfileEntry] = ()):
+    def __init__(self, entries: Sequence[ProfileEntry] = ()) -> None:
         entries = list(entries)
         xs = np.asarray([e.location.x for e in entries], dtype=float)
         ys = np.asarray([e.location.y for e in entries], dtype=float)
@@ -140,14 +140,17 @@ class LocationProfile:
 
     @property
     def entries(self) -> Tuple[ProfileEntry, ...]:
+        """The profile's entries as a tuple."""
         return tuple(self)
 
     @property
     def locations(self) -> List[Point]:
+        """The entries' locations, in profile order."""
         return [e.location for e in self]
 
     @property
     def frequencies(self) -> np.ndarray:
+        """Visit counts as a float array."""
         return self._freqs.astype(float)
 
     @property

@@ -28,7 +28,7 @@ class Simulator:
     runs are fully reproducible.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self.now = float(start_time)
         self._queue: List[Tuple[float, int, Callback, tuple]] = []
         self._sequence = itertools.count()

@@ -82,6 +82,7 @@ class LatencyPoint:
 
     @property
     def meets_rtb_deadline(self) -> bool:
+        """Whether p99 response time meets the RTB deadline."""
         return self.stats.meets_deadline(RTB_DEADLINE_S, "p99")
 
 

@@ -55,7 +55,7 @@ class EdgeQueueModel:
         n_workers: int,
         service_time: ServiceTime,
         rng: Optional[np.random.Generator] = None,
-    ):
+    ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.n_workers = n_workers

@@ -1,0 +1,11 @@
+"""DOC002 fixture: public functions with incomplete annotations."""
+
+
+def no_types(x, y):
+    """Parameters and return degrade to Any under mypy."""
+    return x + y
+
+
+def no_return(x: float):
+    """Annotated parameter but unannotated return."""
+    return x

@@ -1,0 +1,11 @@
+"""BUD001 fixture: raw noise primitive outside the sanctioned modules."""
+
+import numpy as np
+
+from repro.core.sampling import sample_gaussian_noise
+
+
+def leak_location(x: float, y: float, rng: np.random.Generator) -> tuple:
+    """Ad-hoc noise draw that bypasses the calibrated mechanisms."""
+    dx, dy = sample_gaussian_noise(250.0, rng)
+    return x + dx, y + dy

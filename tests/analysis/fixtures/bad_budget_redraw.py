@@ -1,0 +1,11 @@
+"""BUD002 fixture: fresh mechanism draws per loop iteration."""
+
+from typing import List
+
+
+def serve_ads(mechanism: object, location: object, releases: int) -> List[object]:
+    """Re-draw noise on every ad release — the longitudinal leak."""
+    outputs = []
+    for _ in range(releases):
+        outputs.append(mechanism.obfuscate(location))
+    return outputs

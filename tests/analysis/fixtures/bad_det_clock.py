@@ -1,0 +1,9 @@
+"""DET001 fixture: wall-clock reads feeding results."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(value: float) -> dict:
+    """Output depends on when the run started."""
+    return {"value": value, "at": time.time(), "day": datetime.now()}

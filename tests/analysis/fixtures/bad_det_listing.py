@@ -1,0 +1,11 @@
+"""DET003 fixture: directory listings consumed in filesystem order."""
+
+import glob
+import os
+from typing import List
+
+
+def load_batches(root: str) -> List[str]:
+    """Entry order differs across machines; no sorted(...) wrapper."""
+    names = [n for n in os.listdir(root)]
+    return names + glob.glob(root + "/*.json")

@@ -1,0 +1,11 @@
+"""DET002 fixture: order-sensitive consumption of a set."""
+
+from typing import List
+
+
+def user_order(user_ids: set) -> List[str]:
+    """Hash-randomised iteration order reaches the output list."""
+    out = []
+    for uid in set(user_ids):
+        out.append(str(uid))
+    return out + list({"a", "b"})

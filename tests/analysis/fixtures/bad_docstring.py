@@ -1,0 +1,5 @@
+"""DOC001 fixture: a public function with no docstring."""
+
+
+def undocumented(x: float) -> float:
+    return x * 2.0

@@ -1,0 +1,6 @@
+"""FLT001 fixture: exact equality against float literals."""
+
+
+def reached_boundary(p: float, q: float) -> bool:
+    """Rounded probabilities will never exactly equal these literals."""
+    return p == 1.0 or q != -0.5

@@ -1,0 +1,10 @@
+"""MUT001 fixture: mutable default arguments shared across calls."""
+
+from typing import List
+
+
+def record(value: float, log: List[float] = [], *, tags: dict = {}) -> List[float]:
+    """Both defaults persist between experiment invocations."""
+    log.append(value)
+    tags["last"] = value
+    return log

@@ -1,0 +1,11 @@
+"""RNG001 fixture: sampling via numpy's legacy global RandomState."""
+
+import numpy as np
+from numpy import random as npr
+
+
+def jitter(x: float) -> float:
+    """Perturb ``x`` with hidden global state (two alias spellings)."""
+    a = np.random.normal(0.0, 1.0)
+    b = npr.uniform(-1.0, 1.0)
+    return x + a + b

@@ -1,0 +1,15 @@
+"""RNG004 fixture: sampling from a module-global Generator."""
+
+import numpy as np
+
+_RNG = np.random.default_rng(0)
+
+
+def sample_offset() -> float:
+    """Draw from an RNG no caller can see or replace."""
+    return float(_RNG.uniform(-1.0, 1.0))
+
+
+def sample_ok(rng: np.random.Generator) -> float:
+    """Fine: the Generator is an explicit parameter."""
+    return float(rng.uniform(-1.0, 1.0))

@@ -1,0 +1,9 @@
+"""RNG002 fixture: the stdlib ``random`` module's process-global state."""
+
+import random
+
+
+def pick(items: list) -> object:
+    """Choose an element using unseedable global state."""
+    random.shuffle(items)
+    return random.choice(items)

@@ -1,0 +1,9 @@
+"""RNG003 fixture: ``default_rng()`` with no seed in library code."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def make_generators() -> tuple:
+    """Two unseeded Generators: OS entropy, never reproducible."""
+    return default_rng(), np.random.default_rng()

@@ -1,0 +1,34 @@
+"""A file that violates no reprolint rule, even under ``role="src"``."""
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+
+def scaled_norm(x: float, y: float, scale: float = 1.0) -> float:
+    """Euclidean norm of ``(x, y)`` divided by ``scale``."""
+    if math.isclose(scale, 0.0):
+        raise ValueError("scale must be nonzero")
+    return math.hypot(x, y) / scale
+
+
+def draw_offsets(n: int, rng: np.random.Generator) -> List[float]:
+    """``n`` uniform offsets from an explicitly threaded Generator."""
+    return [float(v) for v in rng.uniform(-1.0, 1.0, size=n)]
+
+
+class Accumulator:
+    """Sums values, constructing its own storage per instance."""
+
+    def __init__(self, seed_values: Optional[List[float]] = None) -> None:
+        """Start from ``seed_values`` (copied) or empty."""
+        self._values: List[float] = list(seed_values or [])
+
+    def add(self, value: float) -> None:
+        """Append one value."""
+        self._values.append(value)
+
+    def total(self) -> float:
+        """Sum of everything added so far."""
+        return math.fsum(self._values)

@@ -1,0 +1,27 @@
+"""Suppression fixture: three violations, all justified away.
+
+Exercises the inline form, the standalone-comment form (suppresses the
+next line), and ``disable-file``.
+"""
+
+# reprolint: disable-file=MUT001
+
+import time
+from typing import List
+
+
+def exact_sentinel(x: float) -> bool:
+    """Inline suppression on the offending line."""
+    return x == 0.0  # reprolint: disable=FLT001
+
+
+def timed(value: float) -> dict:
+    """Standalone suppression comment covering the next line."""
+    # This fixture "measures" wall-clock time on purpose.
+    # reprolint: disable=DET001
+    return {"value": value, "at": time.time()}
+
+
+def shared(log: List[float] = []) -> List[float]:
+    """Silenced by the file-level MUT001 directive above."""
+    return log

@@ -1,0 +1,124 @@
+"""CLI tests: exit codes, JSON report schema, baseline flow, repro wiring."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.rules import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CLEAN = str(FIXTURES / "clean.py")
+BAD = str(FIXTURES / "bad_float_eq.py")
+
+
+def test_clean_file_exits_zero(capsys):
+    assert lint_main([CLEAN, "--role", "src"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_bad_file_exits_one(capsys):
+    assert lint_main([BAD, "--role", "src"]) == 1
+    out = capsys.readouterr().out
+    assert "FLT001" in out
+
+
+def test_auto_role_relaxes_fixture_under_tests_dir():
+    """Path-based role detection treats tests/** as test code."""
+    assert lint_main([BAD]) == 0
+
+
+def test_unknown_path_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["does/not/exist.py"])
+    assert exc.value.code == 2
+
+
+@pytest.mark.parametrize("flag", ["--select", "--ignore"])
+def test_unknown_rule_id_is_usage_error(flag):
+    with pytest.raises(SystemExit) as exc:
+        lint_main([CLEAN, flag, "NOPE999"])
+    assert exc.value.code == 2
+
+
+def test_select_and_ignore_narrow_the_run(capsys):
+    assert lint_main([BAD, "--role", "src", "--select", "MUT001"]) == 0
+    assert lint_main([BAD, "--role", "src", "--ignore", "FLT001"]) == 0
+    assert lint_main([BAD, "--role", "src", "--select", "FLT001"]) == 1
+    capsys.readouterr()
+
+
+def test_json_report_schema(capsys):
+    code = lint_main([BAD, "--role", "src", "--format", "json"])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["version"] == 1
+    assert report["tool"] == "reprolint"
+    assert report["files_scanned"] == 1
+    assert report["rules"] == [r.id for r in all_rules()]
+    assert report["counts"] == {"FLT001": 2}
+    assert report["suppressed"] == 0
+    assert report["baselined"] == 0
+    for item in report["findings"]:
+        assert set(item) == {"path", "line", "col", "rule", "message"}
+        assert item["rule"] == "FLT001"
+
+
+def test_write_baseline_then_rerun_is_clean(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([BAD, "--role", "src", "--write-baseline", str(baseline)]) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["version"] == 1 and sum(doc["counts"].values()) == 2
+    capsys.readouterr()  # drain the "wrote baseline" notice
+
+    code = lint_main(
+        [BAD, "--role", "src", "--baseline", str(baseline), "--format", "json"]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["findings"] == []
+    assert report["baselined"] == 2
+
+
+def test_corrupt_baseline_is_usage_error(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 1}')
+    with pytest.raises(SystemExit) as exc:
+        lint_main([CLEAN, "--baseline", str(bad)])
+    assert exc.value.code == 2
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", CLEAN, "--role", "src"]) == 0
+    assert repro_main(["lint", BAD, "--role", "src"]) == 1
+    capsys.readouterr()
+
+
+def test_python_dash_m_entrypoint():
+    import os
+    import subprocess
+    import sys
+
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONPATH=str(repo_root / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", BAD, "--role", "src"],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env=env,
+    )
+    assert proc.returncode == 1
+    assert "FLT001" in proc.stdout

@@ -1,0 +1,177 @@
+"""Engine-level tests: contexts, suppressions, baselines, error paths."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    FileContext,
+    Finding,
+    ImportMap,
+    analyze_source,
+    filter_baselined,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import PARSE_ERROR_RULE, detect_role, module_name_of
+from repro.analysis.rules import all_rules, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _analyze(name, rules, role="src"):
+    path = FIXTURES / name
+    return analyze_source(path.read_text(), path, rules, role=role)
+
+
+class TestImportMap:
+    def test_plain_and_aliased_imports(self):
+        import ast
+
+        tree = ast.parse(
+            "import numpy as np\n"
+            "import os.path\n"
+            "from numpy.random import default_rng as drg\n"
+        )
+        m = ImportMap.from_tree(tree)
+        assert m.resolve(["np", "random", "normal"]) == "numpy.random.normal"
+        assert m.resolve(["os", "path", "join"]) == "os.path.join"
+        assert m.resolve(["drg"]) == "numpy.random.default_rng"
+
+    def test_unknown_root_resolves_to_none(self):
+        import ast
+
+        m = ImportMap.from_tree(ast.parse("import numpy as np\n"))
+        assert m.resolve(["rng", "uniform"]) is None
+        assert m.resolve([]) is None
+
+    def test_relative_imports_are_ignored(self):
+        import ast
+
+        m = ImportMap.from_tree(ast.parse("from . import sampling\n"))
+        assert m.resolve(["sampling"]) is None
+
+
+class TestRoleDetection:
+    @pytest.mark.parametrize(
+        ("path", "role"),
+        [
+            ("src/repro/core/sampling.py", "src"),
+            ("tests/core/test_sampling.py", "test"),
+            ("benchmarks/bench_obfuscate.py", "test"),
+            ("examples/quickstart.py", "test"),
+            ("src/repro/conftest.py", "test"),
+            ("src/repro/test_helpers.py", "test"),
+        ],
+    )
+    def test_detect_role(self, path, role):
+        assert detect_role(Path(path)) == role
+
+    def test_module_name_src_layout(self):
+        assert module_name_of(Path("src/repro/core/sampling.py")) == "repro.core.sampling"
+        assert module_name_of(Path("src/repro/core/__init__.py")) == "repro.core"
+
+    def test_module_name_unknown_layout(self):
+        assert module_name_of(FIXTURES / "clean.py") is None
+
+
+class TestSuppressions:
+    def test_suppressed_fixture_is_clean_but_counted(self):
+        findings, n_suppressed = _analyze("suppressed.py", all_rules())
+        assert findings == []
+        assert n_suppressed == 3
+
+    def test_inline_suppression_only_matches_its_rule(self):
+        src = "def f(x: float) -> bool:\n" "    return x == 0.0  # reprolint: disable=DET001\n"
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert [f.rule for f in findings] == ["FLT001"]
+        assert n_suppressed == 0
+
+    def test_disable_all_keyword(self):
+        src = "def f(x: float) -> bool:\n" "    return x == 0.0  # reprolint: disable=all\n"
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_standalone_comment_covers_next_line_only(self):
+        src = (
+            "def f(x: float, y: float) -> bool:\n"
+            "    # reprolint: disable=FLT001\n"
+            "    a = x == 0.0\n"
+            "    b = y == 0.0\n"
+            "    return a or b\n"
+        )
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert len(findings) == 1 and findings[0].line == 4
+        assert n_suppressed == 1
+
+
+class TestErrorPaths:
+    def test_syntax_error_becomes_e999_finding(self):
+        findings, n_suppressed = analyze_source(
+            "def broken(:\n", Path("broken.py"), all_rules(), role="src"
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR_RULE
+        assert "syntax error" in findings[0].message
+        assert n_suppressed == 0
+
+    def test_finding_format_is_conventional(self):
+        f = Finding(path="a/b.py", line=3, col=7, rule="FLT001", message="boom")
+        assert f.format() == "a/b.py:3:7: FLT001 boom"
+        assert f.to_dict()["line"] == 3
+
+
+class TestBaseline:
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Finding(path="m.py", line=3, col=1, rule="FLT001", message="x")
+        b = Finding(path="m.py", line=99, col=5, rule="FLT001", message="y")
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_roundtrip_filters_known_findings(self, tmp_path):
+        findings = [
+            Finding(path="m.py", line=3, col=1, rule="FLT001", message="x"),
+            Finding(path="m.py", line=8, col=1, rule="FLT001", message="y"),
+            Finding(path="n.py", line=1, col=1, rule="MUT001", message="z"),
+        ]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings)
+        baseline = load_baseline(baseline_path)
+        new, n_baselined = filter_baselined(findings, baseline)
+        assert new == [] and n_baselined == 3
+
+    def test_growth_beyond_budget_resurfaces(self, tmp_path):
+        old = [Finding(path="m.py", line=3, col=1, rule="FLT001", message="x")]
+        grown = old + [Finding(path="m.py", line=9, col=1, rule="FLT001", message="y")]
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, old)
+        new, n_baselined = filter_baselined(grown, load_baseline(baseline_path))
+        assert n_baselined == 1
+        assert len(new) == 1 and new[0].rule == "FLT001"
+
+    def test_empty_baseline_passes_everything_through(self, tmp_path):
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, [])
+        findings = [Finding(path="m.py", line=1, col=1, rule="FLT001", message="x")]
+        new, n_baselined = filter_baselined(findings, load_baseline(baseline_path))
+        assert new == findings and n_baselined == 0
+
+    def test_load_rejects_wrong_shape(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 1, "counts": []}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+class TestFileContext:
+    def test_parents_and_ancestors(self):
+        import ast
+
+        ctx = FileContext.build("def f():\n    return 1\n", Path("x.py"))
+        ret = next(n for n in ast.walk(ctx.tree) if isinstance(n, ast.Return))
+        kinds = [type(a).__name__ for a in ctx.ancestors(ret)]
+        assert kinds == ["FunctionDef", "Module"]

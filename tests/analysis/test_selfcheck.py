@@ -1,0 +1,48 @@
+"""Self-check: the shipped tree must be clean against the committed baseline.
+
+This is the same invocation CI runs; if it fails, either fix the new
+finding, suppress it with a justification comment, or (for accepted
+debt) regenerate the baseline with ``--write-baseline``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import analyze_paths, filter_baselined, load_baseline
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "reprolint-baseline.json"
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_committed_baseline_exists_and_is_valid():
+    doc = json.loads(BASELINE.read_text())
+    assert doc["version"] == 1
+    assert isinstance(doc["counts"], dict)
+
+
+def test_src_tree_is_clean_against_committed_baseline():
+    findings, files_scanned, _ = analyze_paths(
+        [SRC], all_rules(), root=REPO_ROOT
+    )
+    new, _ = filter_baselined(findings, load_baseline(BASELINE))
+    assert files_scanned > 50, "expected to scan the whole src/repro tree"
+    details = "\n".join(f.format() for f in new)
+    assert new == [], f"new reprolint findings (fix, suppress, or baseline):\n{details}"
+
+
+def test_analysis_package_lints_itself():
+    findings, files_scanned, _ = analyze_paths(
+        [REPO_ROOT / "src" / "repro" / "analysis"], all_rules(), root=REPO_ROOT
+    )
+    assert files_scanned >= 10
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_bad_fixture_would_fail_the_gate():
+    """End-to-end: introducing a violation makes the same gate non-zero."""
+    bad = Path(__file__).parent / "fixtures" / "bad_budget_redraw.py"
+    findings, _, _ = analyze_paths([bad], all_rules(), root=REPO_ROOT, role="src")
+    new, _ = filter_baselined(findings, load_baseline(BASELINE))
+    assert any(f.rule == "BUD002" for f in new)

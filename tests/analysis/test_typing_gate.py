@@ -1,0 +1,37 @@
+"""Typing/style gates — run only where the tools exist (CI installs them).
+
+The container running tier-1 tests may not ship mypy/ruff; these tests
+skip rather than fail there, and CI's lint job runs the same commands
+unconditionally.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+STRICT_PACKAGES = ["repro.core", "repro.parallel", "repro.analysis"]
+
+
+def _run(argv):
+    return subprocess.run(
+        argv, capture_output=True, text=True, cwd=REPO_ROOT
+    )
+
+
+def test_mypy_strict_modules():
+    pytest.importorskip("mypy", reason="mypy not installed (CI-only gate)")
+    args = [sys.executable, "-m", "mypy"]
+    for package in STRICT_PACKAGES:
+        args += ["-p", package]
+    proc = _run(args)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_ruff_check():
+    pytest.importorskip("ruff", reason="ruff not installed (CI-only gate)")
+    proc = _run([sys.executable, "-m", "ruff", "check", "src", "tests"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
