@@ -8,7 +8,8 @@ Rules are grouped by the invariant they protect:
 * ``DET*`` — wall-clock and iteration-order determinism;
 * ``FLT*`` — float-equality comparisons on coordinates/probabilities;
 * ``MUT*`` — mutable default arguments;
-* ``DOC*`` — docstring/annotation coverage of the public API.
+* ``DOC*`` — docstring/annotation coverage of the public API;
+* ``PERF*`` — per-element hot-path calls where a batch API exists.
 """
 
 from __future__ import annotations
@@ -25,6 +26,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.docs import MissingAnnotations, MissingDocstring
 from repro.analysis.rules.floats import FloatEquality
 from repro.analysis.rules.mutables import MutableDefaultArgument
+from repro.analysis.rules.perf import ScalarCallInLoop
 from repro.analysis.rules.rng import (
     LegacyNumpyRandomCall,
     NonLocalRngSampling,
@@ -51,6 +53,7 @@ def all_rules() -> List[Rule]:
         MutableDefaultArgument(),
         MissingDocstring(),
         MissingAnnotations(),
+        ScalarCallInLoop(),
     ]
     return sorted(rules, key=lambda r: r.id)
 

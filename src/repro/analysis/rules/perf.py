@@ -1,0 +1,90 @@
+"""Performance rules (``PERF001``).
+
+The columnar data plane gives every hot primitive a vectorised batch
+entry point (``obfuscate_batch``/``obfuscate_many``,
+``select_index_batch``, ``posterior_weights_array``).  Driving those
+primitives one element at a time from a Python loop forfeits the batch
+speedup and is almost always an accident — the loop body pays Point
+boxing and numpy dispatch per element.  Justified scalar loops (RNG
+call-order contracts, batch-API fallback paths) belong in the baseline
+or under a suppression comment with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+
+__all__ = ["ScalarCallInLoop"]
+
+#: Per-element entry point -> the batch API that replaces it in a loop.
+BATCH_ALTERNATIVES: Dict[str, str] = {
+    "obfuscate": "obfuscate_batch/obfuscate_many",
+    "select_index": "select_index_batch",
+    "posterior_weights": "posterior_weights_array",
+}
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+class ScalarCallInLoop(Rule):
+    """``PERF001``: per-element hot-path call in a loop with a batch API.
+
+    Flags ``.obfuscate()``, ``.select_index()`` and ``posterior_weights``
+    calls under a loop: each has a vectorised batch twin that amortises
+    dispatch over the whole array.  Loops that *must* stay scalar (to
+    preserve an RNG call order, or as the fallback when the duck-typed
+    batch API is absent) are justified sites — baseline them or suppress
+    with a reason.
+    """
+
+    id = "PERF001"
+    name = "per-element hot-path call inside a loop"
+    rationale = (
+        "obfuscate/select_index/posterior_weights all have vectorised "
+        "batch APIs; calling them per element from a Python loop pays "
+        "boxing and numpy dispatch per item and dominates the experiment "
+        "pipelines' wall clock."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag batched-API candidates called per element under a loop."""
+        if ctx.role != "src":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                tail = func.attr
+            elif isinstance(func, ast.Name):
+                tail = func.id
+            else:
+                continue
+            if tail not in BATCH_ALTERNATIVES:
+                continue
+            # Only Name calls to the module-level posterior_weights count;
+            # .obfuscate/.select_index are method calls on a mechanism or
+            # selector, so a bare Name of those is some unrelated local.
+            if isinstance(func, ast.Name) and tail != "posterior_weights":
+                continue
+            if not any(isinstance(anc, _LOOP_NODES) for anc in ctx.ancestors(node)):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"'{tail}' called per element inside a loop; use "
+                f"{BATCH_ALTERNATIVES[tail]} over the whole array (or "
+                "baseline/suppress with the reason the loop must stay "
+                "scalar)",
+            )

@@ -13,10 +13,16 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.geo.index import component_labels
 from repro.geo.index import connected_components as _connected_components
 from repro.geo.point import Point
 
-__all__ = ["Cluster", "connectivity_clusters", "largest_cluster"]
+__all__ = [
+    "Cluster",
+    "connectivity_clusters",
+    "largest_cluster",
+    "largest_component_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +60,25 @@ def connectivity_clusters(coords: np.ndarray, theta: float) -> List[Cluster]:
             Cluster(indices=tuple(component), centroid=_centroid_of(coords[component]))
         )
     return clusters
+
+
+def largest_component_indices(coords: np.ndarray, theta: float) -> np.ndarray:
+    """Member indices of the largest connectivity cluster, ascending.
+
+    The columnar fast path of Algorithm 1's line 5: the attack only needs
+    the winning cluster's members, so this skips materialising a
+    :class:`Cluster` object (indices tuple + centroid) per component.
+    Ties follow the :func:`connectivity_clusters` ordering — label 0 is
+    the largest component, ties broken by smallest member index — so the
+    returned indices equal ``connectivity_clusters(...)[0].indices``.
+    Empty input yields an empty array.
+    """
+    coords = np.asarray(coords, dtype=float)
+    if theta <= 0:
+        raise ValueError(f"theta must be positive, got {theta}")
+    if coords.size == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.flatnonzero(component_labels(coords, theta) == 0)
 
 
 def largest_cluster(coords: np.ndarray, theta: float) -> Cluster:

@@ -22,8 +22,8 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.attack.clustering import connectivity_clusters
-from repro.attack.trimming import TrimResult, trim_cluster
+from repro.attack.clustering import largest_component_indices
+from repro.attack.trimming import trim_cluster_xy
 from repro.core.mechanism import LPPM
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn, checkins_to_array
@@ -118,32 +118,35 @@ class DeobfuscationAttack:
         return checkins_to_array(observations)
 
     def _infer(self, coords: np.ndarray, n: int) -> Iterator[InferredLocation]:
+        # Columnar inner loop: the winning cluster travels as an index
+        # array and the trim fixed point as a boolean mask — no Cluster or
+        # TrimResult objects for work that is discarded every iteration.
         available = np.ones(len(coords), dtype=bool)
         for rank in range(1, n + 1):
             active_idx = np.flatnonzero(available)
             if len(active_idx) == 0:
                 return
             active_coords = coords[active_idx]
-            clusters = connectivity_clusters(active_coords, self.params.theta)
-            if not clusters:
+            seed_local = largest_component_indices(active_coords, self.params.theta)
+            if len(seed_local) == 0:
                 return
-            seed_local = clusters[0].indices
-            seed_global = [int(active_idx[i]) for i in seed_local]
+            seed_global = active_idx[seed_local]
             if self.use_trimming:
-                trimmed: TrimResult = trim_cluster(
+                member_mask, (cx, cy), iterations, _ = trim_cluster_xy(
                     coords, seed_global, self.params.r_alpha, available=available
                 )
-                members = trimmed.member_indices
-                location = trimmed.centroid
-                iterations = trimmed.iterations
+                support = int(member_mask.sum())
             else:
-                members = tuple(seed_global)
-                location = clusters[0].centroid
+                member_mask = np.zeros(len(coords), dtype=bool)
+                member_mask[seed_global] = True
+                cx, cy = coords[seed_global].mean(axis=0)
+                cx, cy = float(cx), float(cy)
+                support = len(seed_global)
                 iterations = 0
             yield InferredLocation(
                 rank=rank,
-                location=location,
-                support=len(members),
+                location=Point(cx, cy),
+                support=support,
                 trim_iterations=iterations,
             )
-            available[list(members)] = False
+            available &= ~member_mask

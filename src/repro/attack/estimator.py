@@ -29,6 +29,7 @@ __all__ = [
     "gaussian_log_likelihood",
     "laplace_log_likelihood",
     "map_estimate",
+    "map_estimate_xy",
     "MAPAttack",
 ]
 
@@ -71,6 +72,38 @@ def laplace_log_likelihood(epsilon: float) -> LogLikelihood:
     return loglik
 
 
+def map_estimate_xy(
+    observations: np.ndarray,
+    candidates: np.ndarray,
+    log_likelihood: LogLikelihood,
+    prior: Optional[np.ndarray] = None,
+) -> "tuple[int, np.ndarray]":
+    """Eq. 5 on raw coordinate arrays: ``(argmax index, posterior)``.
+
+    The columnar fast path: takes ``(m, 2)`` observations and ``(k, 2)``
+    candidates directly, skipping Point materialisation.  The posterior is
+    normalised in a numerically stable way.
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    if len(candidates) == 0:
+        raise ValueError("candidate set must be non-empty")
+    observations = np.asarray(observations, dtype=float)
+    if len(observations) == 0:
+        raise ValueError("observation set must be non-empty")
+    log_post = log_likelihood(observations, candidates)
+    if prior is not None:
+        prior = np.asarray(prior, dtype=float)
+        if prior.shape != (len(candidates),):
+            raise ValueError("prior must have one weight per candidate")
+        if (prior <= 0).any():
+            raise ValueError("prior weights must be positive")
+        log_post = log_post + np.log(prior)
+    log_post = log_post - log_post.max()
+    posterior = np.exp(log_post)
+    posterior /= posterior.sum()
+    return int(np.argmax(posterior)), posterior
+
+
 def map_estimate(
     observations: Sequence[Point],
     candidates: Sequence[Point],
@@ -86,21 +119,8 @@ def map_estimate(
     if not cand_list:
         raise ValueError("candidate set must be non-empty")
     obs = points_to_array(observations)
-    if len(obs) == 0:
-        raise ValueError("observation set must be non-empty")
     cand = points_to_array(cand_list)
-    log_post = log_likelihood(obs, cand)
-    if prior is not None:
-        prior = np.asarray(prior, dtype=float)
-        if prior.shape != (len(cand_list),):
-            raise ValueError("prior must have one weight per candidate")
-        if (prior <= 0).any():
-            raise ValueError("prior weights must be positive")
-        log_post = log_post + np.log(prior)
-    log_post = log_post - log_post.max()
-    posterior = np.exp(log_post)
-    posterior /= posterior.sum()
-    idx = int(np.argmax(posterior))
+    idx, posterior = map_estimate_xy(obs, cand, log_likelihood, prior)
     return MAPEstimate(candidate=cand_list[idx], index=idx, posterior=posterior)
 
 

@@ -17,13 +17,13 @@ quantile, e.g. the Rayleigh/planar-Laplace quantile at ``alpha = 0.05``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.geo.point import Point
 
-__all__ = ["TrimResult", "trim_cluster"]
+__all__ = ["TrimResult", "trim_cluster", "trim_cluster_xy"]
 
 #: Safety cap on refinement rounds; the fixed point is normally reached in
 #: a handful of iterations, but pathological symmetric configurations could
@@ -46,24 +46,17 @@ class TrimResult:
         return len(self.member_indices)
 
 
-def trim_cluster(
+def trim_cluster_xy(
     coords: np.ndarray,
-    seed_indices: "Set[int] | tuple | list",
+    seed_indices: "Sequence[int] | np.ndarray",
     r_alpha: float,
     available: Optional[np.ndarray] = None,
-) -> TrimResult:
-    """Refine a seed cluster against the full check-in pool.
+) -> Tuple[np.ndarray, Tuple[float, float], int, bool]:
+    """The trimming fixed point as raw arrays (the columnar fast path).
 
-    Args:
-        coords: ``(n, 2)`` array of all check-ins still under consideration.
-        seed_indices: indices of the initial (largest) cluster.
-        r_alpha: the trimming radius from Eq. 4.
-        available: optional boolean mask over ``coords``; only available
-            points may be (re-)admitted.  Defaults to all points, which is
-            Algorithm 1's behaviour where ``x`` is the remaining pool.
-
-    Returns:
-        The fixed-point membership and centroid.
+    Same refinement as :func:`trim_cluster` but returns
+    ``(member_mask, (cx, cy), iterations, converged)`` without building a
+    :class:`TrimResult` — the attack loop consumes the mask directly.
     """
     coords = np.asarray(coords, dtype=float)
     if r_alpha <= 0:
@@ -76,10 +69,10 @@ def trim_cluster(
         if available.shape != (n,):
             raise ValueError("available mask must match coords length")
 
-    members = np.zeros(n, dtype=bool)
-    seed = list(seed_indices)
-    if not seed:
+    seed = np.asarray(seed_indices, dtype=np.int64).ravel()
+    if len(seed) == 0:
         raise ValueError("seed cluster must be non-empty")
+    members = np.zeros(n, dtype=bool)
     members[seed] = True
     members &= available
 
@@ -102,11 +95,35 @@ def trim_cluster(
         members = np.zeros(n, dtype=bool)
         members[seed] = True
         members &= available
-    final_coords = coords[members]
-    cx, cy = final_coords.mean(axis=0)
+    cx, cy = coords[members].mean(axis=0)
+    return members, (float(cx), float(cy)), iterations, converged
+
+
+def trim_cluster(
+    coords: np.ndarray,
+    seed_indices: "Set[int] | tuple | list",
+    r_alpha: float,
+    available: Optional[np.ndarray] = None,
+) -> TrimResult:
+    """Refine a seed cluster against the full check-in pool.
+
+    Args:
+        coords: ``(n, 2)`` array of all check-ins still under consideration.
+        seed_indices: indices of the initial (largest) cluster.
+        r_alpha: the trimming radius from Eq. 4.
+        available: optional boolean mask over ``coords``; only available
+            points may be (re-)admitted.  Defaults to all points, which is
+            Algorithm 1's behaviour where ``x`` is the remaining pool.
+
+    Returns:
+        The fixed-point membership and centroid.
+    """
+    members, (cx, cy), iterations, converged = trim_cluster_xy(
+        coords, list(seed_indices), r_alpha, available
+    )
     return TrimResult(
         member_indices=tuple(int(i) for i in np.flatnonzero(members)),
-        centroid=Point(float(cx), float(cy)),
+        centroid=Point(cx, cy),
         iterations=iterations,
         converged=converged,
     )

@@ -2,8 +2,10 @@
 
 Subcommands::
 
-    repro experiments fig6 fig7 --scale small --workers 4
+    repro experiments fig6 fig7 --scale small --workers 4 --cache
                                                 # regenerate paper results
+    repro bench fig6 --scale small              # cold/warm cache benchmark
+    repro bench --compare OLD.json NEW.json     # wall-clock regression gate
     repro simulate --users 40 --campaigns 300   # end-to-end system run
     repro attack --level ln2                    # case-study attack demo
     repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
@@ -47,6 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for parallelizable experiments "
         "(default: all cores)",
     )
+    p_exp.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse content-addressed stage artifacts (bit-identical rows)",
+    )
+    p_exp.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship worker payloads by pickle instead of shared memory",
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="cache/shared-memory benchmarks and the regression gate",
+        add_help=False,
+    )
+    p_bench.add_argument("bench_args", nargs=argparse.REMAINDER)
 
     p_sim = sub.add_parser("simulate", help="run the end-to-end system")
     p_sim.add_argument("--users", type=int, default=20)
@@ -83,7 +103,17 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv = list(args.ids) + ["--scale", args.scale]
     if args.workers is not None:
         argv += ["--workers", str(args.workers)]
+    if args.cache:
+        argv += ["--cache"]
+    if args.no_shm:
+        argv += ["--no-shm"]
     return runner_main(argv)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import main as bench_main
+
+    return bench_main(args.bench_args or None)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -176,6 +206,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "experiments": _cmd_experiments,
+    "bench": _cmd_bench,
     "simulate": _cmd_simulate,
     "attack": _cmd_attack,
     "verify": _cmd_verify,
@@ -192,6 +223,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(raw[1:])
+    if raw[:1] == ["bench"]:
+        # Same REMAINDER caveat for "bench --compare OLD NEW".
+        from repro.experiments.bench import main as bench_main
+
+        return bench_main(raw[1:])
     args = build_parser().parse_args(raw)
     return _COMMANDS[args.command](args)
 

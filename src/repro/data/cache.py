@@ -1,0 +1,187 @@
+"""Content-addressed cache for expensive, deterministic pipeline stages.
+
+Every cacheable stage in the experiment pipelines (population generation,
+coordinate pools, obfuscation tables, per-row attack sweeps) is a pure
+function of its configuration: the generators consume a seeded
+``numpy.random.Generator`` in a fixed call order, so the same config
+always produces bit-identical arrays.  That makes content-addressed
+caching sound — the cache key is a canonical hash of the stage name, its
+parameters and a per-stage code version, and a hit returns exactly the
+arrays a fresh run would have produced.
+
+Artifacts are ``.npz`` files under ``benchmarks/results/cache/`` (override
+with the ``REPRO_CACHE_DIR`` environment variable).  Bump the stage's
+version constant whenever its code changes results; old entries simply
+stop being addressed and can be dropped with :meth:`StageCache.clear` or
+``repro experiments <id> --no-cache``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["DEFAULT_CACHE_DIR", "StageCache", "stage_key"]
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # src/repro/data/cache.py -> repo root is three levels above the package.
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results" / "cache"
+
+
+#: Where artifacts land unless a directory is passed explicitly.
+DEFAULT_CACHE_DIR = _default_cache_dir()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to canonical JSON-compatible primitives.
+
+    Dataclasses become sorted dicts, tuples become lists, numpy scalars
+    become Python scalars; floats round-trip through ``repr`` inside JSON
+    so equal values always hash equally.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.generic):
+        return _canonical(value.item())
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"stage_key params must be JSON-canonicalisable, got {type(value).__name__}"
+    )
+
+
+def stage_key(stage: str, params: Any, version: str) -> str:
+    """Content address for one stage run: ``<stage>-<sha256 prefix>``.
+
+    ``params`` may be a dataclass, mapping, or nested tuples/lists of
+    scalars; ``version`` is the stage's code-version constant, bumped when
+    the stage's output for the same params changes.
+    """
+    blob = json.dumps(
+        {"stage": stage, "version": version, "params": _canonical(params)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return f"{stage}-{digest[:32]}"
+
+
+class StageCache:
+    """Load/store named numpy array bundles keyed by content address.
+
+    A disabled cache (``StageCache(enabled=False)``) never hits and never
+    writes, which lets callers thread one object through unconditionally.
+    Corrupt or truncated artifacts are treated as misses and removed.
+    """
+
+    def __init__(
+        self, directory: Optional[Path] = None, *, enabled: bool = True
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else DEFAULT_CACHE_DIR
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def disabled(cls) -> "StageCache":
+        """A cache that always misses and never writes."""
+        return cls(enabled=False)
+
+    def path_for(self, key: str) -> Path:
+        """The artifact path a key addresses (may not exist)."""
+        return self.directory / f"{key}.npz"
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The stored arrays for ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except (OSError, ValueError, EOFError, KeyError):
+            # Truncated/corrupt artifact: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return arrays
+
+    def store(self, key: str, arrays: Mapping[str, np.ndarray]) -> Optional[Path]:
+        """Persist an array bundle atomically; returns the path (None if disabled)."""
+        if not self.enabled:
+            return None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key}.", suffix=".npz.tmp", dir=str(self.directory)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **dict(arrays))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], Mapping[str, np.ndarray]],
+    ) -> Dict[str, np.ndarray]:
+        """Cached arrays for ``key``, computing and storing on a miss."""
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        arrays = dict(compute())
+        self.store(key, arrays)
+        return arrays
+
+    def clear(self) -> int:
+        """Remove every artifact in the cache directory; returns the count."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.npz"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters for reports and tests."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"StageCache({self.directory}, {state}, {self.stats()})"

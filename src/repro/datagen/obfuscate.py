@@ -10,6 +10,12 @@ sees.
   locations get pinned n-fold candidate sets (reported via an output
   selector), and the per-check-in mechanism is only used for nomadic
   check-ins.
+
+Each helper has an ``_xy`` twin operating on raw ``(m, 2)`` coordinate
+arrays — the columnar pipelines feed those CSR slices directly and skip
+``CheckIn`` materialisation.  The object versions are thin wrappers, so
+both paths consume the mechanisms' RNG in exactly the same call order and
+produce bit-identical noise.
 """
 
 from __future__ import annotations
@@ -23,67 +29,83 @@ from repro.core.posterior import OutputSelector
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn, checkins_to_array
 
-__all__ = ["one_time_obfuscate", "permanent_obfuscate"]
+__all__ = [
+    "one_time_obfuscate",
+    "one_time_obfuscate_xy",
+    "permanent_obfuscate",
+    "permanent_obfuscate_xy",
+]
+
+
+def one_time_obfuscate_xy(coords: np.ndarray, mechanism: LPPM) -> np.ndarray:
+    """Perturb an ``(m, 2)`` coordinate array independently per row."""
+    if mechanism.n_outputs != 1:
+        raise ValueError(
+            "one-time deployment requires a single-output mechanism, "
+            f"got {mechanism.name} with n={mechanism.n_outputs}"
+        )
+    coords = np.asarray(coords, dtype=float)
+    if len(coords) == 0:
+        return np.empty((0, 2), dtype=float)
+    # Fast path for mechanisms exposing a vectorised batch API.
+    batch = getattr(mechanism, "obfuscate_batch", None)
+    if batch is not None:
+        return np.asarray(batch(coords), dtype=float)
+    out = np.empty((len(coords), 2), dtype=float)
+    for i, (x, y) in enumerate(coords):
+        p = mechanism.obfuscate(Point(float(x), float(y)))[0]
+        out[i] = (p.x, p.y)
+    return out
 
 
 def one_time_obfuscate(
     trace: Sequence[CheckIn], mechanism: LPPM
 ) -> List[CheckIn]:
     """Perturb every check-in independently (one-time geo-IND deployment)."""
-    if mechanism.n_outputs != 1:
-        raise ValueError(
-            "one-time deployment requires a single-output mechanism, "
-            f"got {mechanism.name} with n={mechanism.n_outputs}"
-        )
-    # Fast path for mechanisms exposing a vectorised batch API.
-    batch = getattr(mechanism, "obfuscate_batch", None)
-    if batch is not None and trace:
-        coords = checkins_to_array(trace)
-        noisy = batch(coords)
-        return [
-            CheckIn(c.timestamp, Point(float(x), float(y)))
-            for c, (x, y) in zip(trace, noisy)
-        ]
+    noisy = one_time_obfuscate_xy(checkins_to_array(trace), mechanism)
     return [
-        CheckIn(c.timestamp, mechanism.obfuscate(c.point)[0]) for c in trace
+        CheckIn(c.timestamp, Point(float(x), float(y)))
+        for c, (x, y) in zip(trace, noisy)
     ]
 
 
-def permanent_obfuscate(
-    trace: Sequence[CheckIn],
-    top_locations: Sequence[Point],
+def permanent_obfuscate_xy(
+    coords: np.ndarray,
+    tops_xy: np.ndarray,
     mechanism: LPPM,
     selector: OutputSelector,
     match_radius: float = 100.0,
     nomadic_mechanism: Optional[LPPM] = None,
-) -> List[CheckIn]:
-    """The Edge-PrivLocAd reporting stream.
+) -> np.ndarray:
+    """The Edge-PrivLocAd reporting stream over raw coordinate arrays.
 
-    Each top location in ``top_locations`` is obfuscated *once* into a
-    pinned candidate set by ``mechanism`` (the n-fold Gaussian); every
-    check-in within ``match_radius`` of a top location is then reported as
-    a candidate drawn by ``selector``.  Check-ins matching no top location
-    are nomadic and go through ``nomadic_mechanism`` (defaults to
-    ``mechanism`` itself, taking the selector over a fresh candidate set).
+    ``coords`` is the ``(m, 2)`` trace, ``tops_xy`` the ``(k, 2)``
+    eta-frequent locations.  Candidate pinning stays a per-top
+    ``mechanism.obfuscate`` loop on purpose: the noise sampler draws all
+    angles before all radii within one call, so one batched draw over all
+    tops would walk the RNG in a different order than the object path and
+    break bit-identity.
     """
     if match_radius <= 0:
         raise ValueError("match radius must be positive")
-    candidate_sets = [mechanism.obfuscate(p) for p in top_locations]
-    if not trace:
-        return []
-
-    coords = checkins_to_array(trace)
+    coords = np.asarray(coords, dtype=float)
+    tops_xy = np.asarray(tops_xy, dtype=float).reshape(-1, 2)
+    candidate_sets = [
+        mechanism.obfuscate(Point(float(x), float(y))) for x, y in tops_xy
+    ]
     m = len(coords)
+    if m == 0:
+        return np.empty((0, 2), dtype=float)
+
     reported_xy = np.empty((m, 2), dtype=float)
 
     # Match every check-in to its nearest top location (if within radius)
     # in one distance pass; the top set is small (the eta-frequent set is
     # 1-3 locations for most users), so the (m, k) matrix stays tiny.
-    if top_locations:
-        tops = np.asarray([(p.x, p.y) for p in top_locations], dtype=float)
+    if len(tops_xy):
         d = np.hypot(
-            coords[:, 0, None] - tops[None, :, 0],
-            coords[:, 1, None] - tops[None, :, 1],
+            coords[:, 0, None] - tops_xy[None, :, 0],
+            coords[:, 1, None] - tops_xy[None, :, 1],
         )
         nearest = d.argmin(axis=1)
         matched = d[np.arange(m), nearest] <= match_radius
@@ -107,15 +129,50 @@ def permanent_obfuscate(
                 reported_xy[nomadic] = batch(coords[nomadic])
             else:
                 for i in np.flatnonzero(nomadic):
-                    p = nomadic_mechanism.obfuscate(trace[i].point)[0]
+                    p = nomadic_mechanism.obfuscate(
+                        Point(float(coords[i, 0]), float(coords[i, 1]))
+                    )[0]
                     reported_xy[i] = (p.x, p.y)
         else:
             # Fresh candidate set + selection per nomadic check-in; the
             # fresh sets cannot be pinned, so this stays per check-in.
             for i in np.flatnonzero(nomadic):
-                p = selector.select(mechanism.obfuscate(trace[i].point))
+                p = selector.select(
+                    mechanism.obfuscate(
+                        Point(float(coords[i, 0]), float(coords[i, 1]))
+                    )
+                )
                 reported_xy[i] = (p.x, p.y)
 
+    return reported_xy
+
+
+def permanent_obfuscate(
+    trace: Sequence[CheckIn],
+    top_locations: Sequence[Point],
+    mechanism: LPPM,
+    selector: OutputSelector,
+    match_radius: float = 100.0,
+    nomadic_mechanism: Optional[LPPM] = None,
+) -> List[CheckIn]:
+    """The Edge-PrivLocAd reporting stream.
+
+    Each top location in ``top_locations`` is obfuscated *once* into a
+    pinned candidate set by ``mechanism`` (the n-fold Gaussian); every
+    check-in within ``match_radius`` of a top location is then reported as
+    a candidate drawn by ``selector``.  Check-ins matching no top location
+    are nomadic and go through ``nomadic_mechanism`` (defaults to
+    ``mechanism`` itself, taking the selector over a fresh candidate set).
+    """
+    tops_xy = np.asarray([(p.x, p.y) for p in top_locations], dtype=float)
+    reported_xy = permanent_obfuscate_xy(
+        checkins_to_array(trace),
+        tops_xy.reshape(-1, 2),
+        mechanism,
+        selector,
+        match_radius=match_radius,
+        nomadic_mechanism=nomadic_mechanism,
+    )
     return [
         CheckIn(c.timestamp, Point(float(x), float(y)))
         for c, (x, y) in zip(trace, reported_xy)

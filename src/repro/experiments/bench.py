@@ -1,0 +1,397 @@
+"""Benchmark harness for the experiment pipelines.
+
+Three jobs, all reachable through ``repro bench``:
+
+* ``repro bench <experiment>`` — run a cache-aware experiment cold (cache
+  cleared) and then warm (second run over the same cache), archive both
+  as ``BENCH_<id>_cache_cold.json`` / ``BENCH_<id>_cache_warm.json`` in
+  the same shape as the pytest-benchmark archives, and print the warm
+  speedup.  For the deterministic experiments the harness also asserts
+  the cold and warm rows are bit-identical.
+* ``repro bench shm`` — measure the shared-memory fan-out transport:
+  ship the same large payload to a process pool with shared memory on
+  and off and archive bytes-over-pickle vs bytes-over-shm.
+* ``repro bench --compare OLD.json NEW.json`` — regression gate: exits
+  non-zero when NEW's wall clock (overall or any shared stage) regresses
+  more than ``--threshold`` (default 10 %) over OLD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pickle
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.cache import DEFAULT_CACHE_DIR, StageCache
+from repro.experiments import (
+    fig6_attack,
+    fig7_mechanisms,
+    fig9_efficacy,
+    table2_obfuscation_time,
+    table3_selection_time,
+)
+from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
+from repro.experiments.tables import ExperimentReport
+from repro.parallel import (
+    parallel_map_with_stats,
+    set_shared_memory_enabled,
+    shared_memory_enabled,
+)
+
+__all__ = [
+    "main",
+    "compare_benches",
+    "run_cold_warm",
+    "run_shm_bench",
+    "BENCH_RUNNERS",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "MIN_REGRESSION_SECONDS",
+]
+
+SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, MEDIUM, FULL)}
+
+#: Wall-clock regressions beyond this fraction fail ``--compare``.
+DEFAULT_REGRESSION_THRESHOLD = 0.10
+
+#: Stages faster than this are pure noise at CI runner granularity;
+#: regressions must also exceed it in absolute terms to fail the gate.
+MIN_REGRESSION_SECONDS = 0.05
+
+#: Cache-aware experiment drivers: id -> run(scale, workers, cache).
+BENCH_RUNNERS: Dict[
+    str, Callable[[ExperimentScale, Optional[int], StageCache], ExperimentReport]
+] = {
+    "fig6": lambda scale, workers, cache: fig6_attack.run(
+        scale, workers=workers, cache=cache
+    ),
+    "fig7": lambda scale, workers, cache: fig7_mechanisms.run(
+        scale, workers=workers, cache=cache
+    ),
+    "fig9": lambda scale, workers, cache: fig9_efficacy.run(
+        scale, workers=workers, cache=cache
+    ),
+    "table2": lambda scale, workers, cache: table2_obfuscation_time.run(
+        scale, workers=workers, cache=cache
+    ),
+    "table3": lambda scale, workers, cache: table3_selection_time.run(
+        scale, workers=workers, cache=cache
+    ),
+}
+
+#: Experiments whose rows are pure functions of the seed (the timing
+#: tables measure wall clock, which never replays identically).
+DETERMINISTIC_ROWS = frozenset({"fig6", "fig7", "fig9"})
+
+
+def _payload(
+    report: ExperimentReport,
+    bench_id: str,
+    wall_seconds: float,
+    scale: ExperimentScale,
+) -> dict:
+    """One archive entry, same shape as ``benchmarks/conftest.py`` writes."""
+    return {
+        "experiment_id": bench_id,
+        "title": report.title,
+        "wall_seconds": wall_seconds,
+        "workers": report.meta.get("workers"),
+        "scale": dataclasses.asdict(scale),
+        "stage_seconds": report.meta.get("stage_seconds", {}),
+        "cache": report.meta.get("cache"),
+        "rows": report.rows,
+        "notes": report.notes,
+    }
+
+
+def _archive(payload: dict, results_dir: Path) -> Path:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"BENCH_{payload['experiment_id']}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+    return path
+
+
+def run_cold_warm(
+    exp_id: str,
+    scale: ExperimentScale,
+    workers: Optional[int] = 1,
+    cache_dir: Optional[Path] = None,
+    results_dir: Optional[Path] = None,
+) -> Tuple[dict, dict]:
+    """Run ``exp_id`` cold (cleared cache) then warm; archive both runs.
+
+    Returns the (cold, warm) archive payloads.  Raises ``RuntimeError``
+    if a deterministic experiment's warm rows differ from its cold rows —
+    a cache hit must be indistinguishable from a recompute.
+    """
+    if exp_id not in BENCH_RUNNERS:
+        raise ValueError(
+            f"unknown cache-aware experiment {exp_id!r}; "
+            f"choose from {sorted(BENCH_RUNNERS)}"
+        )
+    runner = BENCH_RUNNERS[exp_id]
+    cache = StageCache(cache_dir)
+    cache.clear()
+
+    start = time.perf_counter()
+    cold_report = runner(scale, workers, cache)
+    cold_seconds = time.perf_counter() - start
+
+    warm_cache = StageCache(cache_dir)
+    start = time.perf_counter()
+    warm_report = runner(scale, workers, warm_cache)
+    warm_seconds = time.perf_counter() - start
+
+    if exp_id in DETERMINISTIC_ROWS and warm_report.rows != cold_report.rows:
+        raise RuntimeError(
+            f"{exp_id}: warm-cache rows differ from cold-cache rows — "
+            "a stage cache entry is not bit-identical to its recompute"
+        )
+    cold = _payload(cold_report, f"{exp_id}_cache_cold", cold_seconds, scale)
+    warm = _payload(warm_report, f"{exp_id}_cache_warm", warm_seconds, scale)
+    if results_dir is not None:
+        _archive(cold, results_dir)
+        _archive(warm, results_dir)
+    return cold, warm
+
+
+def _shm_probe_chunk(indices: List[int], rng: np.random.Generator, payload) -> list:
+    """Touch every shipped array so transport cost is actually paid."""
+    coords = payload["coords"]
+    return [float(coords[i % len(coords)].sum()) for i in indices]
+
+
+def run_shm_bench(
+    n_points: int = 500_000,
+    n_tasks: int = 64,
+    workers: int = 2,
+    results_dir: Optional[Path] = None,
+) -> dict:
+    """Compare shipping one large read-only array via shm vs pickle.
+
+    The payload is deterministic (an ``arange`` grid), so both transports
+    must return identical results; the archived metrics are the bytes
+    that crossed each transport and the wall clock of each fan-out.
+    """
+    coords = np.arange(n_points * 2, dtype=np.float64).reshape(n_points, 2)
+    payload = {"coords": coords}
+    was_enabled = shared_memory_enabled()
+    try:
+        set_shared_memory_enabled(True)
+        start = time.perf_counter()
+        shm_results, shm_stats = parallel_map_with_stats(
+            _shm_probe_chunk, range(n_tasks), workers=workers, seed=0, payload=payload
+        )
+        shm_seconds = time.perf_counter() - start
+
+        set_shared_memory_enabled(False)
+        start = time.perf_counter()
+        pickle_results, pickle_stats = parallel_map_with_stats(
+            _shm_probe_chunk, range(n_tasks), workers=workers, seed=0, payload=payload
+        )
+        pickle_seconds = time.perf_counter() - start
+    finally:
+        set_shared_memory_enabled(was_enabled)
+
+    if shm_results != pickle_results:
+        raise RuntimeError(
+            "shared-memory fan-out returned different results than pickling"
+        )
+    result = {
+        "experiment_id": "shm_fanout",
+        "title": "worker payload transport: shared memory vs pickle",
+        "workers": workers,
+        "n_points": n_points,
+        "payload_nbytes": int(coords.nbytes),
+        "shm": {
+            "wall_seconds": shm_seconds,
+            "shared_arrays": shm_stats.shared_arrays,
+            "shared_bytes": shm_stats.shared_bytes,
+            "pickled_payload_bytes": _exported_pickle_bytes(payload),
+        },
+        "pickle": {
+            "wall_seconds": pickle_seconds,
+            "shared_arrays": pickle_stats.shared_arrays,
+            "shared_bytes": pickle_stats.shared_bytes,
+            "pickled_payload_bytes": len(pickle.dumps(payload)),
+        },
+        "notes": [
+            "identical results on both transports (asserted)",
+            "shm ships array bodies out-of-band: workers attach by name "
+            "instead of deserialising a copy each",
+        ],
+    }
+    if results_dir is not None:
+        _archive(result, results_dir)
+    return result
+
+
+def _exported_pickle_bytes(payload: dict) -> int:
+    """Bytes the pool pickles once the large arrays ride out-of-band."""
+    from repro.parallel import export_payload
+
+    exported, lease = export_payload(payload)
+    try:
+        return len(pickle.dumps(exported))
+    finally:
+        lease.release()
+
+
+def _stage_regressions(
+    old: dict, new: dict, threshold: float, min_abs: float
+) -> List[str]:
+    problems = []
+    old_wall = old.get("wall_seconds")
+    new_wall = new.get("wall_seconds")
+    if (
+        isinstance(old_wall, (int, float))
+        and isinstance(new_wall, (int, float))
+        and np.isfinite(old_wall)
+        and np.isfinite(new_wall)
+        and new_wall > old_wall * (1.0 + threshold)
+        and new_wall - old_wall > min_abs
+    ):
+        problems.append(
+            f"wall_seconds: {old_wall:.3f}s -> {new_wall:.3f}s "
+            f"(+{(new_wall / old_wall - 1.0) * 100.0:.1f}%)"
+        )
+    old_stages = old.get("stage_seconds") or {}
+    new_stages = new.get("stage_seconds") or {}
+    for stage in sorted(set(old_stages) & set(new_stages)):
+        try:
+            o, n = float(old_stages[stage]), float(new_stages[stage])
+        except (TypeError, ValueError):
+            continue
+        if n > o * (1.0 + threshold) and n - o > min_abs:
+            problems.append(
+                f"stage {stage!r}: {o:.3f}s -> {n:.3f}s "
+                f"(+{(n / o - 1.0) * 100.0:.1f}%)"
+            )
+    return problems
+
+
+def compare_benches(
+    old: dict,
+    new: dict,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+    min_abs_seconds: float = MIN_REGRESSION_SECONDS,
+) -> List[str]:
+    """Wall-clock regressions of ``new`` over ``old``; empty when clean.
+
+    A regression is flagged when a stage (or the overall wall clock) is
+    both ``threshold`` fractionally slower *and* ``min_abs_seconds``
+    absolutely slower — the absolute floor keeps millisecond-scale stages
+    from tripping the gate on scheduler noise.
+    """
+    return _stage_regressions(old, new, threshold, min_abs_seconds)
+
+
+def _cmd_compare(old_path: str, new_path: str, threshold: float) -> int:
+    old = json.loads(Path(old_path).read_text())
+    new = json.loads(Path(new_path).read_text())
+    problems = compare_benches(old, new, threshold)
+    label = f"{old.get('experiment_id', old_path)} -> {new.get('experiment_id', new_path)}"
+    if problems:
+        print(f"REGRESSION ({label}):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    old_wall, new_wall = old.get("wall_seconds"), new.get("wall_seconds")
+    if isinstance(old_wall, (int, float)) and isinstance(new_wall, (int, float)):
+        print(f"ok ({label}): {old_wall:.3f}s -> {new_wall:.3f}s")
+    else:
+        print(f"ok ({label})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro bench`` / ``python -m repro.experiments.bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="cache/shared-memory benchmarks and the regression gate",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        choices=sorted(BENCH_RUNNERS) + ["shm"],
+        help="experiment to bench cold-then-warm, or 'shm' for the "
+        "payload-transport bench",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD.json", "NEW.json"),
+        help="compare two bench archives; non-zero exit on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="fractional wall-clock regression tolerated by --compare "
+        f"(default: {DEFAULT_REGRESSION_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small", help="experiment scale"
+    )
+    parser.add_argument("--workers", type=int, default=1, metavar="N")
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=f"stage-cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path("benchmarks") / "results",
+        help="where BENCH_*.json archives land (default: benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.compare is not None:
+        return _cmd_compare(args.compare[0], args.compare[1], args.threshold)
+    if args.target is None:
+        parser.error("give an experiment/shm target or --compare OLD NEW")
+
+    if args.target == "shm":
+        result = run_shm_bench(
+            workers=max(args.workers, 2), results_dir=args.results_dir
+        )
+        shm, pkl = result["shm"], result["pickle"]
+        print(
+            f"shm fan-out: {shm['shared_bytes']} bytes shared, "
+            f"{shm['pickled_payload_bytes']} pickled, {shm['wall_seconds']:.3f}s"
+        )
+        print(
+            f"pickle fan-out: {pkl['pickled_payload_bytes']} bytes pickled, "
+            f"{pkl['wall_seconds']:.3f}s"
+        )
+        return 0
+
+    cold, warm = run_cold_warm(
+        args.target,
+        SCALES[args.scale],
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        results_dir=args.results_dir,
+    )
+    speedup = (
+        cold["wall_seconds"] / warm["wall_seconds"]
+        if warm["wall_seconds"] > 0
+        else float("inf")
+    )
+    print(
+        f"{args.target}: cold {cold['wall_seconds']:.3f}s, "
+        f"warm {warm['wall_seconds']:.3f}s ({speedup:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

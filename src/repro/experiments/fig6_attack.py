@@ -12,23 +12,36 @@ through either deployment and attacked:
   through posterior output selection; nomadic check-ins get fresh 1-fold
   Gaussian noise.  Paper result: <1 % recovered within 200 m, <=6.8 %
   within 500 m.
+
+The pipeline is columnar end to end: the population travels to pool
+workers as a :class:`~repro.data.columns.PopulationColumns` payload
+(shared-memory arrays, not pickled object lists), each worker reads CSR
+slices, and the per-user inference errors come back as one ``(U, 2)``
+float array per stage.  Those error arrays are the unit of caching — a
+warm :class:`~repro.data.cache.StageCache` skips population generation
+and the attacks entirely while producing bit-identical rows, because the
+rows are a pure function of the cached errors.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.attack.deobfuscation import DeobfuscationAttack
-from repro.attack.success import UserAttackOutcome, evaluate_user, success_rate
+from repro.attack.success import UserAttackOutcome, evaluate_user
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
 from repro.core.laplace import PlanarLaplaceMechanism
 from repro.core.params import GeoIndBudget
 from repro.core.posterior import PosteriorSelector
-from repro.datagen.obfuscate import one_time_obfuscate, permanent_obfuscate
-from repro.datagen.population import PopulationConfig, SyntheticUser, iter_population
+from repro.data.cache import StageCache, stage_key
+from repro.data.columns import PopulationColumns
+from repro.data.stages import population_columns
+from repro.datagen.obfuscate import one_time_obfuscate_xy, permanent_obfuscate_xy
+from repro.datagen.population import PopulationConfig, SyntheticUser
 from repro.edge.location_management import DEFAULT_ETA
 from repro.experiments.config import (
     PAPER_DELTA,
@@ -40,39 +53,128 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.tables import ExperimentReport
+from repro.geo.point import Point
 from repro.parallel import parallel_map
-from repro.profiles.frequent import eta_frequent_set
+from repro.profiles.frequent import eta_frequent_xy
 from repro.profiles.profile import LocationProfile
 
-__all__ = ["run", "attack_one_time", "attack_defended"]
+__all__ = ["run", "attack_one_time", "attack_defended", "ATTACK_STAGE_VERSION"]
 
 THRESHOLDS_M = (200.0, 500.0)
 DEFENSE_R_M = 500.0
 
+#: Bump when the attack stages change output for unchanged parameters.
+ATTACK_STAGE_VERSION = "1"
+
+#: A user's inferred top locations, best first, as plain coordinates.
+InferredXY = List[Tuple[float, float]]
+
 
 def _attack_one_time_chunk(
     indices: List[int], rng: np.random.Generator, payload
-) -> List[UserAttackOutcome]:
+) -> List[InferredXY]:
     """Chunk worker: obfuscate + attack one slice of the population.
 
     The mechanism is rebuilt per chunk on the chunk's derived RNG, so the
     noise a user receives depends only on the root seed and the chunk
     schedule — never on the worker count.
     """
-    users, level = payload
+    pop, level = payload
     mechanism = PlanarLaplaceMechanism.from_level(
         level, PAPER_ONETIME_RADIUS_M, rng=rng
     )
     attack = DeobfuscationAttack.against(mechanism)
-    outcomes = []
+    out = []
     for i in indices:
-        user = users[i]
-        observed = one_time_obfuscate(user.trace, mechanism)
-        inferred = [
-            r.location for r in attack.infer_top_locations(observed, 2)
-        ]
-        outcomes.append(evaluate_user(inferred, user.true_tops[:2]))
-    return outcomes
+        observed = one_time_obfuscate_xy(pop.checkins.user_coords(i), mechanism)
+        inferred = attack.infer_top_locations(observed, 2)
+        out.append([(r.location.x, r.location.y) for r in inferred])
+    return out
+
+
+def _attack_defended_chunk(
+    indices: List[int], rng: np.random.Generator, payload
+) -> List[InferredXY]:
+    """Chunk worker: Edge-PrivLocAd deployment + attack for one user slice."""
+    pop, epsilon, n = payload
+    budget = GeoIndBudget(r=DEFENSE_R_M, epsilon=epsilon, delta=PAPER_DELTA, n=n)
+    mechanism = NFoldGaussianMechanism(budget, rng=rng)
+    nomadic = GaussianMechanism(budget.with_n(1), rng=rng)
+    selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
+    attack = DeobfuscationAttack.against(mechanism)
+    out = []
+    for i in indices:
+        coords = pop.checkins.user_coords(i)
+        profile = LocationProfile.from_coords(coords)
+        top_xs, top_ys = eta_frequent_xy(profile, DEFAULT_ETA)
+        reported = permanent_obfuscate_xy(
+            coords,
+            np.column_stack((top_xs, top_ys)),
+            mechanism,
+            selector,
+            nomadic_mechanism=nomadic,
+        )
+        inferred = attack.infer_top_locations(reported, 2)
+        out.append([(r.location.x, r.location.y) for r in inferred])
+    return out
+
+
+def _infer_one_time(
+    pop: PopulationColumns, level: float, seed: int, workers: Optional[int]
+) -> List[InferredXY]:
+    return parallel_map(
+        _attack_one_time_chunk,
+        range(pop.n_users),
+        workers=workers,
+        seed=seed,
+        payload=(pop, level),
+    )
+
+
+def _infer_defended(
+    pop: PopulationColumns,
+    epsilon: float,
+    seed: int,
+    n: int,
+    workers: Optional[int],
+) -> List[InferredXY]:
+    return parallel_map(
+        _attack_defended_chunk,
+        range(pop.n_users),
+        workers=workers,
+        seed=seed,
+        payload=(pop, epsilon, n),
+    )
+
+
+def _error_rows(inferred: List[InferredXY], pop: PopulationColumns) -> np.ndarray:
+    """Per-user inference errors as a ``(U, 2)`` float array.
+
+    ``errors[i, k]`` is the distance between the rank-``k+1`` inference
+    and user ``i``'s true rank-``k+1`` location; ``inf`` when the attack
+    produced no inference at that rank, ``NaN`` when the user has no true
+    location there (ineligible — excluded from the rate denominator).
+    """
+    errors = np.full((len(inferred), 2), np.nan)
+    for i, guesses in enumerate(inferred):
+        truths = pop.user_true_tops(i)[:2]
+        for k, truth in enumerate(truths):
+            if k < len(guesses):
+                errors[i, k] = Point(*guesses[k]).distance_to(truth)
+            else:
+                errors[i, k] = np.inf
+    return errors
+
+
+def _outcomes(
+    inferred: List[InferredXY], pop: PopulationColumns
+) -> List[UserAttackOutcome]:
+    return [
+        evaluate_user(
+            [Point(x, y) for x, y in guesses], pop.user_true_tops(i)[:2]
+        )
+        for i, guesses in enumerate(inferred)
+    ]
 
 
 def attack_one_time(
@@ -82,43 +184,8 @@ def attack_one_time(
     workers: Optional[int] = 1,
 ) -> List[UserAttackOutcome]:
     """Attack a population deployed behind one-time planar Laplace noise."""
-    users = list(users)
-    return parallel_map(
-        _attack_one_time_chunk,
-        range(len(users)),
-        workers=workers,
-        seed=seed,
-        payload=(users, level),
-    )
-
-
-def _attack_defended_chunk(
-    indices: List[int], rng: np.random.Generator, payload
-) -> List[UserAttackOutcome]:
-    """Chunk worker: Edge-PrivLocAd deployment + attack for one user slice."""
-    users, epsilon, n = payload
-    budget = GeoIndBudget(r=DEFENSE_R_M, epsilon=epsilon, delta=PAPER_DELTA, n=n)
-    mechanism = NFoldGaussianMechanism(budget, rng=rng)
-    nomadic = GaussianMechanism(budget.with_n(1), rng=rng)
-    selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
-    attack = DeobfuscationAttack.against(mechanism)
-    outcomes = []
-    for i in indices:
-        user = users[i]
-        profile = LocationProfile.from_checkins(user.trace)
-        tops = eta_frequent_set(profile, DEFAULT_ETA)
-        reported = permanent_obfuscate(
-            user.trace,
-            tops,
-            mechanism,
-            selector,
-            nomadic_mechanism=nomadic,
-        )
-        inferred = [
-            r.location for r in attack.infer_top_locations(reported, 2)
-        ]
-        outcomes.append(evaluate_user(inferred, user.true_tops[:2]))
-    return outcomes
+    pop = PopulationColumns.from_users(users)
+    return _outcomes(_infer_one_time(pop, level, seed, workers), pop)
 
 
 def attack_defended(
@@ -129,55 +196,99 @@ def attack_defended(
     workers: Optional[int] = 1,
 ) -> List[UserAttackOutcome]:
     """Attack a population deployed behind the permanent n-fold mechanism."""
-    users = list(users)
-    return parallel_map(
-        _attack_defended_chunk,
-        range(len(users)),
-        workers=workers,
-        seed=seed,
-        payload=(users, epsilon, n),
-    )
+    pop = PopulationColumns.from_users(users)
+    return _outcomes(_infer_defended(pop, epsilon, seed, n, workers), pop)
 
 
-def _rates(outcomes: List[UserAttackOutcome]) -> Dict[str, float]:
+def _rates_from_errors(errors: np.ndarray) -> Dict[str, float]:
+    """Success rates per (rank, threshold) from an error array.
+
+    Same floats as ``success_rate`` over the object outcomes: integer hit
+    counts over integer eligible counts.
+    """
     row = {}
     for rank in (1, 2):
+        col = errors[:, rank - 1]
+        eligible = ~np.isnan(col)
+        n_eligible = int(eligible.sum())
         for thr in THRESHOLDS_M:
-            row[f"top{rank}_within_{int(thr)}m"] = success_rate(outcomes, rank, thr)
+            key = f"top{rank}_within_{int(thr)}m"
+            if n_eligible == 0:
+                row[key] = 0.0
+            else:
+                row[key] = int((col[eligible] <= thr).sum()) / n_eligible
     return row
 
 
 def run(
-    scale: ExperimentScale = SMALL, workers: Optional[int] = 1
+    scale: ExperimentScale = SMALL,
+    workers: Optional[int] = 1,
+    cache: Optional[StageCache] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 6's attack-success comparison.
 
     ``workers`` fans the per-user attack loops out over a process pool;
-    rows are bit-identical for any worker count at the same seed.
+    rows are bit-identical for any worker count at the same seed.  With a
+    warm ``cache``, the per-stage error arrays load straight from disk
+    and population generation is skipped — rows stay bit-identical
+    because they are computed from the same arrays either way.
     """
+    if cache is None:
+        cache = StageCache.disabled()
     config = PopulationConfig(n_users=scale.n_users, seed=scale.seed)
-    users = list(iter_population(config))
+    stage_seconds: Dict[str, float] = {}
+    pop: Optional[PopulationColumns] = None
+
+    def get_pop() -> PopulationColumns:
+        nonlocal pop
+        if pop is None:
+            start = time.perf_counter()
+            pop = population_columns(config, cache)
+            stage_seconds["population"] = time.perf_counter() - start
+        return pop
+
+    def stage_errors(stage: str, params: Dict[str, object], compute) -> np.ndarray:
+        key = stage_key(stage, {"population": config, **params}, ATTACK_STAGE_VERSION)
+        start = time.perf_counter()
+        cached = cache.load(key)
+        if cached is None:
+            inferred = compute()
+            errors = _error_rows(inferred, get_pop())
+            cache.store(key, {"errors": errors})
+        else:
+            errors = cached["errors"]
+        stage_seconds[stage.replace("fig6-", "") + f" {params}"] = (
+            time.perf_counter() - start
+        )
+        return errors
+
     rows = []
     for level in PAPER_ONETIME_LEVELS:
-        outcomes = attack_one_time(
-            users, level, seed=scale.seed + 1, workers=workers
+        errors = stage_errors(
+            "fig6-onetime",
+            {"level": level, "seed": scale.seed + 1},
+            lambda: _infer_one_time(get_pop(), level, scale.seed + 1, workers),
         )
         rows.append(
             {
                 "mechanism": "one-time geo-IND",
                 "parameter": f"l=ln({round(math.exp(level))})",
-                **_rates(outcomes),
+                **_rates_from_errors(errors),
             }
         )
     for epsilon in PAPER_EPSILONS:
-        outcomes = attack_defended(
-            users, epsilon, seed=scale.seed + 2, workers=workers
+        errors = stage_errors(
+            "fig6-defended",
+            {"epsilon": epsilon, "n": PAPER_NFOLD_N, "seed": scale.seed + 2},
+            lambda: _infer_defended(
+                get_pop(), epsilon, scale.seed + 2, PAPER_NFOLD_N, workers
+            ),
         )
         rows.append(
             {
                 "mechanism": "permanent 10-fold Gaussian",
                 "parameter": f"eps={epsilon}",
-                **_rates(outcomes),
+                **_rates_from_errors(errors),
             }
         )
     return ExperimentReport(
@@ -185,11 +296,15 @@ def run(
         title="longitudinal attack success rate",
         rows=rows,
         notes=[
-            f"users: {len(users)} (paper: 37,262)",
+            f"users: {config.n_users} (paper: 37,262)",
             "paper: one-time top-1 within 200 m: 75% (ln2), >90% (ln4, ln6); "
             "top-2 >50% (ln4, ln6)",
             "paper: defended top-1/top-2 within 200 m <1%; within 500 m "
             "6.8% / 5%",
         ],
-        meta={"workers": workers},
+        meta={
+            "workers": workers,
+            "stage_seconds": stage_seconds,
+            "cache": cache.stats() if cache.enabled else None,
+        },
     )

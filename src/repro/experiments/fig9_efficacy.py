@@ -19,6 +19,7 @@ from repro.core.gaussian import NFoldGaussianMechanism
 from repro.core.mechanism import default_rng
 from repro.core.params import GeoIndBudget
 from repro.core.posterior import OutputSelector, PosteriorSelector, UniformSelector
+from repro.data.cache import StageCache, stage_key
 from repro.experiments.config import (
     PAPER_DELTA,
     PAPER_RADII_M,
@@ -30,7 +31,10 @@ from repro.experiments.tables import ExperimentReport
 from repro.metrics.efficacy import efficacy_samples
 from repro.parallel import parallel_map
 
-__all__ = ["run", "efficacy_for"]
+__all__ = ["run", "efficacy_for", "EFFICACY_STAGE_VERSION"]
+
+#: Bump when the efficacy sweep changes output for unchanged parameters.
+EFFICACY_STAGE_VERSION = "1"
 
 
 def efficacy_for(
@@ -85,22 +89,70 @@ def _fig9_combo(combos: List[int], rng: np.random.Generator, payload) -> list:
     return rows
 
 
+def _row_key(
+    n: int, epsilon: float, selector_kind: str, scale: ExperimentScale
+) -> str:
+    return stage_key(
+        "fig9-efficacy",
+        {
+            "n": n,
+            "epsilon": epsilon,
+            "delta": PAPER_DELTA,
+            "selector": selector_kind,
+            "radii": PAPER_RADII_M,
+            "trials": scale.trials,
+            "seed": scale.seed + n,
+        },
+        EFFICACY_STAGE_VERSION,
+    )
+
+
 def run(
     scale: ExperimentScale = SMALL,
     epsilon: float = 1.0,
     ns: Sequence[int] = tuple(range(1, 11)),
     selector_kind: str = "posterior",
     workers: Optional[int] = 1,
+    cache: Optional[StageCache] = None,
 ) -> ExperimentReport:
-    """Regenerate Figure 9's efficacy-vs-n sweep."""
-    rows = parallel_map(
-        _fig9_combo,
-        list(ns),
-        workers=workers,
-        seed=scale.seed,
-        chunk_size=1,
-        payload=(scale, epsilon, selector_kind),
-    )
+    """Regenerate Figure 9's efficacy-vs-n sweep.
+
+    Sweep points are individually cached; partial recomputes stay
+    bit-identical because each n consumes its own ``scale.seed + n`` seed.
+    """
+    if cache is None:
+        cache = StageCache.disabled()
+    ns = list(ns)
+    by_n = {}
+    missing = []
+    for n in ns:
+        arrays = cache.load(_row_key(n, epsilon, selector_kind, scale))
+        if arrays is None:
+            missing.append(n)
+        else:
+            values = arrays["efficacy"]
+            row = {"n": n}
+            for r, v in zip(PAPER_RADII_M, values):
+                row[f"efficacy(r={r:.0f})"] = float(v)
+            by_n[n] = row
+    if missing:
+        computed = parallel_map(
+            _fig9_combo,
+            missing,
+            workers=workers,
+            seed=scale.seed,
+            chunk_size=1,
+            payload=(scale, epsilon, selector_kind),
+        )
+        for n, row in zip(missing, computed):
+            values = np.asarray(
+                [row[f"efficacy(r={r:.0f})"] for r in PAPER_RADII_M], dtype=float
+            )
+            cache.store(
+                _row_key(n, epsilon, selector_kind, scale), {"efficacy": values}
+            )
+            by_n[n] = row
+    rows = [by_n[n] for n in ns]
     return ExperimentReport(
         experiment_id="fig9",
         title=f"advertising efficacy vs n (eps={epsilon}, {selector_kind} selection)",
@@ -110,5 +162,8 @@ def run(
             "paper: with posterior output selection, efficacy does not "
             "significantly decrease as n grows",
         ],
-        meta={"workers": workers},
+        meta={
+            "workers": workers,
+            "cache": cache.stats() if cache.enabled else None,
+        },
     )

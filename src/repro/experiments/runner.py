@@ -10,7 +10,10 @@ Usage::
 paper's own 100,000-trial, 37,262-user settings.  ``--workers`` sizes
 the process pool for the parallelizable experiments (default: all
 cores); any worker count produces bit-identical report rows at the
-same seed.
+same seed.  ``--cache`` reuses content-addressed stage artifacts under
+``benchmarks/results/cache/`` (also bit-identical — a hit returns the
+exact arrays a recompute would); ``--no-shm`` turns off the
+shared-memory payload transport and ships worker payloads by pickle.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
+from repro.data.cache import StageCache
 from repro.experiments import (
     ext_adaptive,
     fig2_mobility,
@@ -34,8 +38,9 @@ from repro.experiments import (
 )
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
+from repro.parallel import set_shared_memory_enabled
 
-__all__ = ["main", "EXPERIMENTS", "WORKER_AWARE"]
+__all__ = ["main", "EXPERIMENTS", "WORKER_AWARE", "CACHE_AWARE"]
 
 SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, MEDIUM, FULL)}
 
@@ -59,6 +64,10 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentReport]] = {
 #: Experiments whose ``run`` accepts a ``workers`` keyword (the per-user
 #: loops and sweeps wired through :mod:`repro.parallel`).
 WORKER_AWARE = frozenset({"fig6", "fig7", "fig8", "fig9", "table2", "table3"})
+
+#: Experiments whose ``run`` accepts a ``cache`` keyword (the stage-cached
+#: pipelines; cached and uncached runs produce bit-identical rows).
+CACHE_AWARE = frozenset({"fig6", "fig7", "fig9", "table2", "table3"})
 
 
 def main(argv: List[str] = None) -> int:
@@ -91,6 +100,20 @@ def main(argv: List[str] = None) -> int:
         help="process-pool size for parallelizable experiments "
         "(default: all cores; results are identical for any N)",
     )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse content-addressed stage artifacts under "
+        "benchmarks/results/cache (rows are bit-identical either way; "
+        "default: --no-cache)",
+    )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="ship worker payloads by pickle instead of shared memory "
+        "(results are identical; debugging aid)",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.workers < 0:
@@ -102,12 +125,17 @@ def main(argv: List[str] = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    if args.no_shm:
+        set_shared_memory_enabled(False)
+    cache = StageCache() if args.cache else None
     scale = SCALES[args.scale]
     for exp_id in requested:
+        kwargs = {}
         if exp_id in WORKER_AWARE:
-            report = EXPERIMENTS[exp_id](scale, workers=args.workers)
-        else:
-            report = EXPERIMENTS[exp_id](scale)
+            kwargs["workers"] = args.workers
+        if exp_id in CACHE_AWARE and cache is not None:
+            kwargs["cache"] = cache
+        report = EXPERIMENTS[exp_id](scale, **kwargs)
         print(report.render())
         if args.charts:
             chart = _chart_for(exp_id, report)

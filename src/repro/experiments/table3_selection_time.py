@@ -19,6 +19,8 @@ from repro.core.gaussian import NFoldGaussianMechanism
 from repro.core.mechanism import default_rng
 from repro.core.params import GeoIndBudget
 from repro.core.posterior import PosteriorSelector
+from repro.data.cache import StageCache
+from repro.data.stages import candidate_table
 from repro.experiments.config import PAPER_DELTA, PAPER_NFOLD_N, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.timing import measure_scaling
@@ -55,13 +57,13 @@ def selection_workload(
     max_users: int,
     seed: int,
     workers: Optional[int] = 1,
+    cache: Optional[StageCache] = None,
 ) -> Callable[[int], None]:
     """Per-size workload: one posterior selection per user per tick."""
-    rng = default_rng(seed)
-    mechanism = NFoldGaussianMechanism(budget, rng=rng)
-    # Pre-pin one candidate set per user (table state, not measured).
-    candidate_sets = mechanism.obfuscate_many(np.zeros((max_users, 2)))
-    sigma = mechanism.posterior_sigma
+    # Pre-pin one candidate set per user (table state, not measured) —
+    # cache-served when a StageCache is given, same draws either way.
+    candidate_sets = candidate_table(budget, max_users, seed, cache)
+    sigma = NFoldGaussianMechanism(budget, rng=default_rng(seed)).posterior_sigma
 
     def workload(n_users: int) -> None:
         sets = candidate_sets[:n_users]
@@ -86,12 +88,13 @@ def run(
     scale: ExperimentScale = SMALL,
     sizes: Sequence[int] = PAPER_SIZES,
     workers: Optional[int] = None,
+    cache: Optional[StageCache] = None,
 ) -> ExperimentReport:
     """Regenerate Table III's selection-time scaling rows."""
     workers = resolve_workers(workers)
     budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
     workload = selection_workload(
-        budget, max_users=max(sizes), seed=scale.seed, workers=workers
+        budget, max_users=max(sizes), seed=scale.seed, workers=workers, cache=cache
     )
     timings = measure_scaling(workload, sizes, repeats=2, warmup=1)
     rows = [
@@ -119,5 +122,6 @@ def run(
         meta={
             "workers": workers,
             "stage_seconds": {str(t.size): t.seconds for t in timings},
+            "cache": cache.stats() if cache is not None and cache.enabled else None,
         },
     )

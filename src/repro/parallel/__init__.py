@@ -2,7 +2,9 @@
 
 ``parallel_map`` fans independent work units out over a process pool with
 chunk-order ``SeedSequence.spawn`` RNG derivation, so the same seed gives
-bit-identical results for any worker count.  See :mod:`repro.parallel.pool`.
+bit-identical results for any worker count.  Large read-only payload
+arrays travel zero-copy via ``multiprocessing.shared_memory`` (see
+:mod:`repro.parallel.shared`).  See :mod:`repro.parallel.pool`.
 """
 
 from repro.parallel.pool import (
@@ -12,6 +14,15 @@ from repro.parallel.pool import (
     parallel_map,
     parallel_map_with_stats,
     resolve_workers,
+    set_shared_memory_enabled,
+    shared_memory_enabled,
+)
+from repro.parallel.shared import (
+    SHARED_MIN_BYTES,
+    SharedArrayRef,
+    ShmLease,
+    export_payload,
+    import_payload,
 )
 
 __all__ = [
@@ -21,4 +32,11 @@ __all__ = [
     "resolve_workers",
     "chunk_bounds",
     "DEFAULT_TARGET_CHUNKS",
+    "set_shared_memory_enabled",
+    "shared_memory_enabled",
+    "SHARED_MIN_BYTES",
+    "SharedArrayRef",
+    "ShmLease",
+    "export_payload",
+    "import_payload",
 ]

@@ -19,7 +19,12 @@ parallel runs of the paper's figures reproducible and testable.
 
 Heavy shared inputs (a user population, a trace pool) should go through
 ``payload=``: the payload is shipped to each worker **once** via the pool
-initializer instead of being re-pickled into every chunk task.
+initializer instead of being re-pickled into every chunk task.  Large
+read-only arrays inside the payload additionally travel zero-copy through
+``multiprocessing.shared_memory`` (see :mod:`repro.parallel.shared`) —
+workers attach the parent's segments by name instead of receiving pickled
+copies.  Disable per call with ``use_shared_memory=False`` or process-wide
+with :func:`set_shared_memory_enabled`.
 
 When ``workers <= 1``, the pool cannot be created (sandboxes without
 fork/semaphores), or there is only one chunk, the same chunk schedule
@@ -38,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.metrics.timing import ChunkTiming, Stopwatch, summarize_chunks
+from repro.parallel.shared import SHARED_MIN_BYTES, export_payload, import_payload
 
 __all__ = [
     "parallel_map",
@@ -45,6 +51,8 @@ __all__ = [
     "ParallelStats",
     "resolve_workers",
     "chunk_bounds",
+    "set_shared_memory_enabled",
+    "shared_memory_enabled",
 ]
 
 #: Default number of chunks to aim for.  Fixed (rather than derived from
@@ -55,6 +63,20 @@ DEFAULT_TARGET_CHUNKS = 32
 #: Payload slot filled in each worker process by the pool initializer.
 _WORKER_PAYLOAD: Any = None
 
+#: Process-wide shared-memory toggle (``--no-shm`` flips it off).
+_SHM_ENABLED: bool = True
+
+
+def set_shared_memory_enabled(enabled: bool) -> None:
+    """Process-wide default for shipping payload arrays via shared memory."""
+    global _SHM_ENABLED
+    _SHM_ENABLED = enabled
+
+
+def shared_memory_enabled() -> bool:
+    """The current process-wide shared-memory default."""
+    return _SHM_ENABLED
+
 
 @dataclass
 class ParallelStats:
@@ -63,6 +85,8 @@ class ParallelStats:
     workers: int = 1
     pool_used: bool = False
     total_seconds: float = 0.0
+    shared_arrays: int = 0
+    shared_bytes: int = 0
     chunk_timings: List[ChunkTiming] = field(default_factory=list)
 
     def summary(self) -> Dict[str, Any]:
@@ -75,14 +99,23 @@ class ParallelStats:
             "workers": self.workers,
             "pool_used": self.pool_used,
             "total_seconds": self.total_seconds,
+            "shared_arrays": self.shared_arrays,
+            "shared_bytes": self.shared_bytes,
             **chunk_summary,
         }
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a ``--workers`` value: ``None``/``0`` means all cores."""
+    """Normalise a ``--workers`` value: ``None``/``0`` means all *usable* cores.
+
+    Usable means the scheduling affinity mask (what a CPU-quota'd CI
+    container actually grants), not the host's physical core count.
+    """
     if workers is None or workers == 0:
-        return os.cpu_count() or 1
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):  # non-Linux platforms
+            return os.cpu_count() or 1
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     return workers
@@ -105,9 +138,14 @@ def chunk_bounds(n_items: int, chunk_size: Optional[int]) -> List[Tuple[int, int
 
 
 def _init_worker(payload: Any) -> None:
-    """Pool initializer: stash the shared payload once per worker."""
+    """Pool initializer: stash the shared payload once per worker.
+
+    ``import_payload`` resolves any shared-memory refs the parent's export
+    produced into attached array views; payloads without refs pass through
+    unchanged.
+    """
     global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = payload
+    _WORKER_PAYLOAD = import_payload(payload)
 
 
 def _run_chunk(
@@ -145,6 +183,8 @@ def parallel_map_with_stats(
     seed: Optional[int] = None,
     chunk_size: Optional[int] = None,
     payload: Any = None,
+    use_shared_memory: Optional[bool] = None,
+    shm_min_bytes: int = SHARED_MIN_BYTES,
 ) -> Tuple[List[Any], ParallelStats]:
     """:func:`parallel_map` plus the per-chunk :class:`ParallelStats`.
 
@@ -161,6 +201,12 @@ def parallel_map_with_stats(
             :data:`DEFAULT_TARGET_CHUNKS` chunks independent of ``workers``.
         payload: heavy shared state delivered to workers once via the pool
             initializer rather than per chunk.
+        use_shared_memory: ship large payload arrays via shared-memory
+            segments instead of pickling them into each worker; ``None``
+            follows the process-wide default (on).  Workers see read-only
+            views with the same values either way.
+        shm_min_bytes: per-array size threshold below which arrays stay on
+            the pickle path.
     """
     items = list(items)
     workers = resolve_workers(workers)
@@ -175,9 +221,13 @@ def parallel_map_with_stats(
     else:
         seqs = list(np.random.SeedSequence(seed).spawn(len(chunks)))
     with_payload = payload is not None
+    use_shm = _SHM_ENABLED if use_shared_memory is None else use_shared_memory
 
     with Stopwatch() as sw:
-        results = _execute(fn, chunks, seqs, workers, with_payload, payload, stats)
+        results = _execute(
+            fn, chunks, seqs, workers, with_payload, payload, stats,
+            use_shm, shm_min_bytes,
+        )
     stats.total_seconds = sw.elapsed
 
     flat: List[Any] = []
@@ -194,6 +244,8 @@ def parallel_map(
     seed: Optional[int] = None,
     chunk_size: Optional[int] = None,
     payload: Any = None,
+    use_shared_memory: Optional[bool] = None,
+    shm_min_bytes: int = SHARED_MIN_BYTES,
 ) -> List[Any]:
     """Map ``fn`` over ``items`` in deterministic chunks, possibly in parallel.
 
@@ -207,6 +259,8 @@ def parallel_map(
         seed=seed,
         chunk_size=chunk_size,
         payload=payload,
+        use_shared_memory=use_shared_memory,
+        shm_min_bytes=shm_min_bytes,
     )
     return results
 
@@ -219,14 +273,20 @@ def _execute(
     with_payload: bool,
     payload: Any,
     stats: ParallelStats,
+    use_shm: bool,
+    shm_min_bytes: int,
 ) -> List[List[Any]]:
     """Run every chunk, preferring the pool, falling back to serial."""
     if workers > 1 and len(chunks) > 1:
         try:
-            return _execute_pool(fn, chunks, seqs, workers, with_payload, payload, stats)
+            return _execute_pool(
+                fn, chunks, seqs, workers, with_payload, payload, stats,
+                use_shm, shm_min_bytes,
+            )
         except (OSError, PermissionError, NotImplementedError, ImportError):
             # No fork/semaphores in this environment: degrade gracefully.
-            pass
+            stats.shared_arrays = 0
+            stats.shared_bytes = 0
     return _execute_serial(fn, chunks, seqs, with_payload, payload, stats)
 
 
@@ -256,26 +316,40 @@ def _execute_pool(
     with_payload: bool,
     payload: Any,
     stats: ParallelStats,
+    use_shm: bool,
+    shm_min_bytes: int,
 ) -> List[List[Any]]:
     max_workers = min(workers, len(chunks))
+    lease = None
+    if with_payload and use_shm:
+        # Large payload arrays move into shared segments; only the tiny
+        # ref tree is pickled into the pool initializer.
+        payload, lease = export_payload(payload, shm_min_bytes)
+        stats.shared_arrays = lease.n_segments
+        stats.shared_bytes = lease.total_bytes
     initializer = _init_worker if with_payload else None
     initargs = (payload,) if with_payload else ()
     ordered: List[Optional[List[Any]]] = [None] * len(chunks)
-    with ProcessPoolExecutor(
-        max_workers=max_workers, initializer=initializer, initargs=initargs
-    ) as pool:
-        futures = [
-            # Chunk tasks carry payload=None: workers read the initializer
-            # copy instead of re-pickling the payload per chunk.
-            pool.submit(_run_chunk, fn, chunk, index, seq, with_payload, None)
-            for index, (chunk, seq) in enumerate(zip(chunks, seqs))
-        ]
-        for future in futures:
-            index, results, elapsed = future.result()
-            ordered[index] = results
-            stats.chunk_timings.append(
-                ChunkTiming(index=index, size=len(chunks[index]), seconds=elapsed)
-            )
+    try:
+        with ProcessPoolExecutor(
+            max_workers=max_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            futures = [
+                # Chunk tasks carry payload=None: workers read the
+                # initializer copy instead of re-pickling the payload per
+                # chunk.
+                pool.submit(_run_chunk, fn, chunk, index, seq, with_payload, None)
+                for index, (chunk, seq) in enumerate(zip(chunks, seqs))
+            ]
+            for future in futures:
+                index, results, elapsed = future.result()
+                ordered[index] = results
+                stats.chunk_timings.append(
+                    ChunkTiming(index=index, size=len(chunks[index]), seconds=elapsed)
+                )
+    finally:
+        if lease is not None:
+            lease.release()
     stats.pool_used = True
     stats.chunk_timings.sort(key=lambda c: c.index)
     return [r for r in ordered if r is not None]

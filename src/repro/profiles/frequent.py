@@ -6,39 +6,65 @@ cumulative frequency reaches the threshold ``eta``.  The edge's location
 management module recomputes this set once per time window and hands it to
 the obfuscation module; these are the "top locations" that receive
 permanent n-fold Gaussian obfuscation.
+
+The prefix length is found with one ``searchsorted`` over the cumulative
+counts; visit counts are integers, so the float comparison against the
+threshold is exact and the result matches the element-by-element
+accumulation loop bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.geo.point import Point
 from repro.profiles.profile import LocationProfile, ProfileEntry
 
-__all__ = ["eta_frequent_set", "eta_frequent_entries", "coverage_of_top"]
+__all__ = [
+    "eta_frequent_set",
+    "eta_frequent_entries",
+    "eta_frequent_count",
+    "eta_frequent_xy",
+    "coverage_of_top",
+]
 
 
-def eta_frequent_entries(profile: LocationProfile, eta: float) -> List[ProfileEntry]:
-    """Algorithm 2 over profile entries.
+def eta_frequent_count(profile: LocationProfile, eta: float) -> int:
+    """The size of the eta-frequent prefix (Algorithm 2's stopping index).
 
     ``eta`` may be given either as an absolute check-in count (``eta > 1``)
     or as a fraction of the user's total check-ins (``0 < eta <= 1``); the
     fractional form is what the experiments use ("top locations covering
-    80% of activity").  Returns all entries if the profile's total mass is
+    80% of activity").  The whole profile counts if its total mass is
     below the threshold.
     """
     if eta <= 0:
         raise ValueError(f"eta must be positive, got {eta}")
-    total = profile.total_checkins
+    counts = profile.counts
+    if len(counts) == 0:
+        return 0
+    total = int(counts.sum())
     threshold = eta * total if eta <= 1.0 else eta
-    out: List[ProfileEntry] = []
-    cumulative = 0.0
-    for entry in profile:  # profile iterates in decreasing-frequency order
-        out.append(entry)
-        cumulative += entry.frequency
-        if cumulative >= threshold:
-            break
-    return out
+    cumulative = np.cumsum(counts)
+    # First prefix whose cumulative count reaches the threshold; counts
+    # are integers, so >= against the float threshold is exact.
+    idx = int(np.searchsorted(cumulative, threshold, side="left"))
+    return min(idx + 1, len(counts))
+
+
+def eta_frequent_xy(
+    profile: LocationProfile, eta: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The eta-frequent locations as coordinate column views (zero copy)."""
+    k = eta_frequent_count(profile, eta)
+    return profile.xs[:k], profile.ys[:k]
+
+
+def eta_frequent_entries(profile: LocationProfile, eta: float) -> List[ProfileEntry]:
+    """Algorithm 2 over profile entries (see :func:`eta_frequent_count`)."""
+    return profile.top(eta_frequent_count(profile, eta))
 
 
 def eta_frequent_set(profile: LocationProfile, eta: float) -> List[Point]:

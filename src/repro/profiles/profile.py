@@ -23,7 +23,12 @@ from repro.geo.index import component_labels
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn, checkins_to_array
 
-__all__ = ["ProfileEntry", "LocationProfile", "DEFAULT_CONNECT_RADIUS_M"]
+__all__ = [
+    "ProfileEntry",
+    "LocationProfile",
+    "DEFAULT_CONNECT_RADIUS_M",
+    "profiles_from_offsets",
+]
 
 #: The paper's connectivity threshold for raw check-ins (Section III-B-1).
 DEFAULT_CONNECT_RADIUS_M = 50.0
@@ -113,6 +118,19 @@ class LocationProfile:
         cy = np.bincount(labels, weights=coords[:, 1], minlength=k) / counts
         return cls._from_columns(cx, cy, counts.astype(np.int64))
 
+    @classmethod
+    def from_xy(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+    ) -> "LocationProfile":
+        """Profile separate coordinate columns (the CSR-slice ingest path)."""
+        xs = np.asarray(xs, dtype=float)
+        if len(xs) == 0:
+            return cls()
+        return cls.from_coords(np.column_stack((xs, ys)), connect_radius)
+
     def _entry(self, i: int) -> ProfileEntry:
         cached = self._entry_cache[i]
         if cached is None:
@@ -142,6 +160,21 @@ class LocationProfile:
     def entries(self) -> Tuple[ProfileEntry, ...]:
         """The profile's entries as a tuple."""
         return tuple(self)
+
+    @property
+    def xs(self) -> np.ndarray:
+        """Location x coordinates in profile (decreasing-frequency) order."""
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Location y coordinates in profile order."""
+        return self._ys
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Visit counts (int64) in profile order — no float conversion."""
+        return self._freqs
 
     @property
     def locations(self) -> List[Point]:
@@ -211,3 +244,26 @@ class LocationProfile:
         )
         suffix = ", ..." if len(self._freqs) > 3 else ""
         return f"LocationProfile[{len(self._freqs)} locations: {head}{suffix}]"
+
+
+def profiles_from_offsets(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    offsets: np.ndarray,
+    connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+) -> List[LocationProfile]:
+    """One profile per CSR row of ``(xs, ys, offsets)``.
+
+    The bulk-ingest path for :class:`repro.data.columns.CheckInColumns`:
+    each user's profile is built from a zero-copy slice of the flat
+    columns, bit-identical to profiling that user's object trace.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    return [
+        LocationProfile.from_xy(
+            xs[offsets[i]:offsets[i + 1]],
+            ys[offsets[i]:offsets[i + 1]],
+            connect_radius,
+        )
+        for i in range(len(offsets) - 1)
+    ]

@@ -7,5 +7,5 @@ def serve_ads(mechanism: object, location: object, releases: int) -> List[object
     """Re-draw noise on every ad release — the longitudinal leak."""
     outputs = []
     for _ in range(releases):
-        outputs.append(mechanism.obfuscate(location))
+        outputs.append(mechanism.obfuscate_one(location))
     return outputs

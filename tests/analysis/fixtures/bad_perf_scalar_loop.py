@@ -1,0 +1,18 @@
+"""PERF001 fixture: per-element hot-path calls where a batch API exists."""
+
+from typing import List
+
+from repro.core.posterior import posterior_weights
+
+
+def pick_all(selector: object, candidate_sets: List[object]) -> List[int]:
+    """One selection per set through the scalar entry point."""
+    picks = []
+    for candidates in candidate_sets:
+        picks.append(selector.select_index(candidates))
+    return picks
+
+
+def weigh_all(candidate_sets: List[object], sigma: float) -> list:
+    """Per-set posterior weights instead of one array pass."""
+    return [posterior_weights(candidates, sigma) for candidates in candidate_sets]

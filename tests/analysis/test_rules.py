@@ -24,6 +24,7 @@ EXPECTATIONS = {
     "bad_mutable_default.py": ("MUT001", 2),
     "bad_docstring.py": ("DOC001", 1),
     "bad_annotations.py": ("DOC002", 2),
+    "bad_perf_scalar_loop.py": ("PERF001", 2),
 }
 
 

@@ -1,0 +1,107 @@
+"""StageCache: content addressing, hits/misses, invalidation, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import GeoIndBudget
+from repro.data.cache import StageCache, stage_key
+
+
+class TestStageKey:
+    def test_deterministic(self):
+        assert stage_key("s", {"a": 1}, "1") == stage_key("s", {"a": 1}, "1")
+
+    def test_mapping_order_irrelevant(self):
+        assert stage_key("s", {"a": 1, "b": 2}, "1") == stage_key(
+            "s", {"b": 2, "a": 1}, "1"
+        )
+
+    def test_params_change_key(self):
+        assert stage_key("s", {"a": 1}, "1") != stage_key("s", {"a": 2}, "1")
+
+    def test_version_changes_key(self):
+        assert stage_key("s", {"a": 1}, "1") != stage_key("s", {"a": 1}, "2")
+
+    def test_stage_changes_key(self):
+        assert stage_key("s", {"a": 1}, "1") != stage_key("t", {"a": 1}, "1")
+
+    def test_dataclass_equals_field_dict(self):
+        budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+        as_dict = {"r": 500.0, "epsilon": 1.0, "delta": 0.01, "n": 10}
+        assert stage_key("s", budget, "1") == stage_key("s", as_dict, "1")
+
+    def test_tuple_equals_list(self):
+        assert stage_key("s", {"v": (1, 2)}, "1") == stage_key("s", {"v": [1, 2]}, "1")
+
+    def test_numpy_scalars_canonicalise(self):
+        assert stage_key("s", {"v": np.int64(3)}, "1") == stage_key(
+            "s", {"v": 3}, "1"
+        )
+
+    def test_unhashable_params_rejected(self):
+        with pytest.raises(TypeError):
+            stage_key("s", {"v": object()}, "1")
+
+    def test_key_prefix_is_stage_name(self):
+        assert stage_key("population", {}, "1").startswith("population-")
+
+
+class TestStageCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stage_key("s", {"a": 1}, "1")
+        assert cache.load(key) is None
+        arrays = {
+            "xs": np.arange(5, dtype=np.float64),
+            "offsets": np.asarray([0, 5], dtype=np.int64),
+        }
+        cache.store(key, arrays)
+        loaded = cache.load(key)
+        assert set(loaded) == set(arrays)
+        for name in arrays:
+            np.testing.assert_array_equal(loaded[name], arrays[name])
+            assert loaded[name].dtype == arrays[name].dtype
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_different_key_misses(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.store(stage_key("s", {"a": 1}, "1"), {"v": np.zeros(1)})
+        assert cache.load(stage_key("s", {"a": 2}, "1")) is None
+        assert cache.load(stage_key("s", {"a": 1}, "2")) is None
+
+    def test_disabled_never_hits_or_writes(self, tmp_path):
+        cache = StageCache(tmp_path, enabled=False)
+        key = stage_key("s", {}, "1")
+        assert cache.store(key, {"v": np.zeros(1)}) is None
+        assert cache.load(key) is None
+        assert list(tmp_path.iterdir()) == []
+        assert StageCache.disabled().enabled is False
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stage_key("s", {}, "1")
+        cache.store(key, {"v": np.zeros(4)})
+        cache.path_for(key).write_bytes(b"not an npz")
+        assert cache.load(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_get_or_compute(self, tmp_path):
+        cache = StageCache(tmp_path)
+        key = stage_key("s", {}, "1")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"v": np.arange(3, dtype=np.float64)}
+
+        first = cache.get_or_compute(key, compute)
+        second = cache.get_or_compute(key, compute)
+        assert len(calls) == 1
+        np.testing.assert_array_equal(first["v"], second["v"])
+
+    def test_clear(self, tmp_path):
+        cache = StageCache(tmp_path)
+        cache.store(stage_key("s", {"a": 1}, "1"), {"v": np.zeros(1)})
+        cache.store(stage_key("s", {"a": 2}, "1"), {"v": np.zeros(1)})
+        assert cache.clear() == 2
+        assert cache.load(stage_key("s", {"a": 1}, "1")) is None

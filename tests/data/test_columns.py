@@ -1,0 +1,119 @@
+"""CheckInColumns / PopulationColumns: exact round trips and validation."""
+
+import numpy as np
+import pytest
+
+from repro.data.columns import CheckInColumns, PopulationColumns
+from repro.datagen.population import PopulationConfig, generate_population
+from repro.profiles.checkin import checkins_to_array
+
+
+@pytest.fixture(scope="module")
+def users():
+    return generate_population(PopulationConfig(n_users=6, seed=77))
+
+
+@pytest.fixture(scope="module")
+def pop(users):
+    return PopulationColumns.from_users(users)
+
+
+class TestCheckInColumns:
+    def test_round_trip_is_exact(self, users):
+        traces = [u.trace for u in users]
+        columns = CheckInColumns.from_traces(traces)
+        rebuilt = columns.to_traces()
+        assert len(rebuilt) == len(traces)
+        for orig, back in zip(traces, rebuilt):
+            assert len(orig) == len(back)
+            for a, b in zip(orig, back):
+                assert a.timestamp == b.timestamp
+                assert a.point.x == b.point.x
+                assert a.point.y == b.point.y
+
+    def test_user_coords_matches_object_path(self, users, pop):
+        for i, user in enumerate(users):
+            np.testing.assert_array_equal(
+                pop.checkins.user_coords(i), checkins_to_array(user.trace)
+            )
+
+    def test_counts_and_sizes(self, users, pop):
+        cols = pop.checkins
+        assert cols.n_users == len(users)
+        assert cols.n_checkins == sum(len(u.trace) for u in users)
+        assert cols.nbytes > 0
+        assert cols.coords().shape == (cols.n_checkins, 2)
+
+    def test_timestamps_are_views(self, pop):
+        ts = pop.checkins.user_timestamps(0)
+        assert ts.base is pop.checkins.timestamps
+
+    def test_iter_user_coords_order(self, pop):
+        listed = list(pop.checkins.iter_user_coords())
+        assert len(listed) == pop.n_users
+        for i, coords in enumerate(listed):
+            np.testing.assert_array_equal(coords, pop.checkins.user_coords(i))
+
+    def test_arrays_round_trip(self, pop):
+        rebuilt = CheckInColumns.from_arrays(pop.checkins.arrays())
+        for name, arr in pop.checkins.arrays().items():
+            np.testing.assert_array_equal(getattr(rebuilt, name), arr)
+
+    def test_user_index_bounds(self, pop):
+        with pytest.raises(IndexError):
+            pop.checkins.user_coords(pop.n_users)
+        with pytest.raises(IndexError):
+            pop.checkins.user_coords(-1)
+
+    @pytest.mark.parametrize(
+        "offsets",
+        [
+            [1, 3],  # does not start at zero
+            [0, 2],  # does not end at n_checkins
+            [0, 2, 1, 3],  # decreasing
+        ],
+    )
+    def test_offset_validation(self, offsets):
+        with pytest.raises(ValueError):
+            CheckInColumns(
+                xs=np.zeros(3), ys=np.zeros(3), timestamps=np.zeros(3), offsets=offsets
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CheckInColumns(
+                xs=np.zeros(3), ys=np.zeros(2), timestamps=np.zeros(3), offsets=[0, 3]
+            )
+
+    def test_empty_population(self):
+        cols = CheckInColumns.from_traces([])
+        assert cols.n_users == 0
+        assert cols.n_checkins == 0
+
+
+class TestPopulationColumns:
+    def test_true_tops_match_object_path(self, users, pop):
+        for i, user in enumerate(users):
+            tops = pop.user_true_tops(i)
+            assert len(tops) == len(user.true_tops)
+            for a, b in zip(tops, user.true_tops):
+                assert a.x == b.x
+                assert a.y == b.y
+
+    def test_arrays_round_trip(self, pop, users):
+        rebuilt = PopulationColumns.from_arrays(pop.arrays())
+        assert rebuilt.n_users == pop.n_users
+        for i in range(pop.n_users):
+            np.testing.assert_array_equal(
+                rebuilt.checkins.user_coords(i), pop.checkins.user_coords(i)
+            )
+            assert rebuilt.user_true_tops(i) == pop.user_true_tops(i)
+
+    def test_top_offsets_must_cover_users(self, pop):
+        with pytest.raises(ValueError):
+            PopulationColumns(
+                checkins=pop.checkins,
+                top_xs=pop.top_xs,
+                top_ys=pop.top_ys,
+                top_offsets=np.asarray([0, len(pop.top_xs)], dtype=np.int64),
+            )

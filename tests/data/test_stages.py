@@ -1,0 +1,55 @@
+"""Cached stage builders: a hit returns exactly what a recompute would."""
+
+import numpy as np
+
+from repro.core.params import GeoIndBudget
+from repro.data.cache import StageCache
+from repro.data.stages import candidate_table, population_columns, population_coords_pool
+from repro.datagen.population import PopulationConfig, iter_population
+from repro.profiles.checkin import checkins_to_array
+
+CONFIG = PopulationConfig(n_users=5, seed=31)
+BUDGET = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
+
+
+def test_population_columns_cache_is_bit_identical(tmp_path):
+    fresh = population_columns(CONFIG, None)
+    cold_cache = StageCache(tmp_path)
+    cold = population_columns(CONFIG, cold_cache)
+    warm_cache = StageCache(tmp_path)
+    warm = population_columns(CONFIG, warm_cache)
+    assert cold_cache.stats()["stores"] == 1
+    assert warm_cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+    for name, arr in fresh.arrays().items():
+        np.testing.assert_array_equal(cold.arrays()[name], arr)
+        np.testing.assert_array_equal(warm.arrays()[name], arr)
+
+
+def test_population_coords_pool_matches_object_path(tmp_path):
+    pool = population_coords_pool(CONFIG.n_users, CONFIG.seed, StageCache(tmp_path))
+    expected = [checkins_to_array(u.trace) for u in iter_population(CONFIG)]
+    assert len(pool) == len(expected)
+    for got, want in zip(pool, expected):
+        np.testing.assert_array_equal(got, want)
+    # Second pool rides the same population cache entry.
+    warm_cache = StageCache(tmp_path)
+    population_coords_pool(CONFIG.n_users, CONFIG.seed, warm_cache)
+    assert warm_cache.stats()["hits"] == 1
+
+
+def test_candidate_table_cache_is_bit_identical(tmp_path):
+    fresh = candidate_table(BUDGET, max_users=7, seed=3, cache=None)
+    cold = candidate_table(BUDGET, max_users=7, seed=3, cache=StageCache(tmp_path))
+    warm_cache = StageCache(tmp_path)
+    warm = candidate_table(BUDGET, max_users=7, seed=3, cache=warm_cache)
+    assert fresh.shape == (7, BUDGET.n, 2)
+    np.testing.assert_array_equal(cold, fresh)
+    np.testing.assert_array_equal(warm, fresh)
+    assert warm_cache.stats() == {"hits": 1, "misses": 0, "stores": 0}
+
+
+def test_candidate_table_params_invalidate(tmp_path):
+    cache = StageCache(tmp_path)
+    candidate_table(BUDGET, max_users=4, seed=3, cache=cache)
+    candidate_table(BUDGET, max_users=4, seed=4, cache=cache)
+    assert cache.stats()["stores"] == 2

@@ -1,0 +1,122 @@
+"""The bench harness: cold/warm archives and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (
+    compare_benches,
+    main,
+    run_cold_warm,
+    run_shm_bench,
+)
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", trials=30, n_users=5, mc_samples=64)
+
+
+def _bench(wall, stages=None):
+    return {
+        "experiment_id": "x",
+        "wall_seconds": wall,
+        "stage_seconds": stages or {},
+    }
+
+
+class TestCompare:
+    def test_equal_is_clean(self):
+        assert compare_benches(_bench(1.0), _bench(1.0)) == []
+
+    def test_faster_is_clean(self):
+        assert compare_benches(_bench(2.0), _bench(0.5)) == []
+
+    def test_wall_clock_regression_flagged(self):
+        problems = compare_benches(_bench(1.0), _bench(1.5))
+        assert len(problems) == 1
+        assert "wall_seconds" in problems[0]
+
+    def test_threshold_boundary(self):
+        assert compare_benches(_bench(1.0), _bench(1.09)) == []
+        assert compare_benches(_bench(1.0), _bench(1.11)) != []
+
+    def test_small_absolute_regressions_ignored(self):
+        # 100% slower but only 10 ms absolute: scheduler noise, not a regression.
+        assert compare_benches(_bench(0.01), _bench(0.02)) == []
+
+    def test_stage_regression_flagged(self):
+        old = _bench(1.0, {"attack": 0.9, "tiny": 0.001})
+        new = _bench(1.0, {"attack": 1.8, "tiny": 0.002})
+        problems = compare_benches(old, new)
+        assert len(problems) == 1
+        assert "attack" in problems[0]
+
+    def test_unshared_stages_ignored(self):
+        old = _bench(1.0, {"only_old": 5.0})
+        new = _bench(1.0, {"only_new": 5.0})
+        assert compare_benches(old, new) == []
+
+    def test_missing_wall_seconds_tolerated(self):
+        assert compare_benches({"stage_seconds": {}}, _bench(9.0)) == []
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench(1.0))
+        new = self._write(tmp_path, "new.json", _bench(0.9))
+        assert main(["--compare", old, new]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _bench(1.0))
+        new = self._write(tmp_path, "new.json", _bench(2.0))
+        assert main(["--compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        old = self._write(tmp_path, "old.json", _bench(1.0))
+        new = self._write(tmp_path, "new.json", _bench(1.5))
+        assert main(["--compare", old, new, "--threshold", "0.6"]) == 0
+
+
+class TestColdWarm:
+    def test_fig9_cold_warm_archives(self, tmp_path):
+        cold, warm = run_cold_warm(
+            "fig9",
+            TINY,
+            workers=1,
+            cache_dir=tmp_path / "cache",
+            results_dir=tmp_path / "results",
+        )
+        assert cold["rows"] == warm["rows"]
+        assert warm["cache"]["hits"] > 0
+        assert warm["cache"]["stores"] == 0
+        assert (tmp_path / "results" / "BENCH_fig9_cache_cold.json").is_file()
+        archived = json.loads(
+            (tmp_path / "results" / "BENCH_fig9_cache_warm.json").read_text()
+        )
+        assert archived["experiment_id"] == "fig9_cache_warm"
+        assert archived["scale"]["name"] == "tiny"
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_cold_warm("nope", TINY, cache_dir=tmp_path)
+
+
+class TestShmBench:
+    def test_transport_metrics(self, tmp_path):
+        result = run_shm_bench(
+            n_points=40_000, n_tasks=8, workers=2, results_dir=tmp_path
+        )
+        assert result["pickle"]["pickled_payload_bytes"] > result["payload_nbytes"]
+        if result["shm"]["shared_arrays"]:
+            assert result["shm"]["shared_bytes"] == result["payload_nbytes"]
+            assert (
+                result["shm"]["pickled_payload_bytes"]
+                < result["pickle"]["pickled_payload_bytes"]
+            )
+        assert (tmp_path / "BENCH_shm_fanout.json").is_file()

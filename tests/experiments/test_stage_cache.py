@@ -1,0 +1,77 @@
+"""Experiment-level stage caching: warm runs are hits and bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.data.cache import StageCache
+from repro.experiments import fig6_attack, fig7_mechanisms, fig9_efficacy
+from repro.experiments.config import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", trials=40, n_users=6, mc_samples=64)
+
+
+class TestFig6Cache:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("fig6cache")
+        plain = fig6_attack.run(TINY)
+        cold_cache = StageCache(cache_dir)
+        cold = fig6_attack.run(TINY, cache=cold_cache)
+        warm_cache = StageCache(cache_dir)
+        warm = fig6_attack.run(TINY, cache=warm_cache)
+        return plain, cold, cold_cache, warm, warm_cache
+
+    def test_rows_bit_identical_across_cache_states(self, runs):
+        plain, cold, _, warm, _ = runs
+        assert plain.rows == cold.rows == warm.rows
+
+    def test_cold_run_stores_every_stage(self, runs):
+        _, _, cold_cache, _, _ = runs
+        # population + 3 one-time levels + 2 defended epsilons
+        assert cold_cache.stats()["stores"] == 6
+        assert cold_cache.stats()["hits"] == 0
+
+    def test_warm_run_skips_population_and_attacks(self, runs):
+        _, _, _, warm, warm_cache = runs
+        # All 5 attack stages hit; population generation never runs.
+        assert warm_cache.stats() == {"hits": 5, "misses": 0, "stores": 0}
+        assert "population" not in warm.meta["stage_seconds"]
+        assert warm.meta["cache"] == warm_cache.stats()
+
+    def test_workers_do_not_change_rows(self, runs):
+        plain = runs[0]
+        parallel = fig6_attack.run(TINY, workers=2)
+        assert parallel.rows == plain.rows
+
+
+class TestSweepCaches:
+    def test_fig7_partial_recompute_is_identical(self, tmp_path):
+        ns = (1, 2)
+        plain = fig7_mechanisms.run(TINY, ns=(1, 2, 3))
+        partial_cache = StageCache(tmp_path)
+        fig7_mechanisms.run(TINY, ns=ns, cache=partial_cache)
+        extended_cache = StageCache(tmp_path)
+        extended = fig7_mechanisms.run(TINY, ns=(1, 2, 3), cache=extended_cache)
+        assert extended.rows == plain.rows
+        # 2 cached ns x 3 mechanisms hit; 1 new n x 3 mechanisms stored.
+        assert extended_cache.stats()["hits"] == 6
+        assert extended_cache.stats()["stores"] == 3
+
+    def test_fig9_partial_recompute_is_identical(self, tmp_path):
+        plain = fig9_efficacy.run(TINY, ns=(1, 2, 3))
+        partial_cache = StageCache(tmp_path)
+        fig9_efficacy.run(TINY, ns=(1, 3), cache=partial_cache)
+        extended_cache = StageCache(tmp_path)
+        extended = fig9_efficacy.run(TINY, ns=(1, 2, 3), cache=extended_cache)
+        assert extended.rows == plain.rows
+        assert extended_cache.stats()["hits"] == 2
+        assert extended_cache.stats()["stores"] == 1
+
+    def test_cache_values_survive_the_npz_round_trip(self, tmp_path):
+        cache = StageCache(tmp_path)
+        first = fig9_efficacy.run(TINY, ns=(2,), cache=cache)
+        warm = fig9_efficacy.run(TINY, ns=(2,), cache=StageCache(tmp_path))
+        for row_a, row_b in zip(first.rows, warm.rows):
+            assert set(row_a) == set(row_b)
+            for key in row_a:
+                assert np.asarray(row_a[key]).item() == np.asarray(row_b[key]).item()

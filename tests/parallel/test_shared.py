@@ -1,0 +1,154 @@
+"""Shared-memory payload transport: round trips, fallbacks, pool identity."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.data.columns import CheckInColumns
+from repro.parallel import (
+    SHARED_MIN_BYTES,
+    SharedArrayRef,
+    export_payload,
+    import_payload,
+    parallel_map,
+    parallel_map_with_stats,
+    set_shared_memory_enabled,
+    shared_memory_enabled,
+)
+
+BIG = np.arange(SHARED_MIN_BYTES, dtype=np.float64)  # well above the threshold
+SMALL = np.arange(8, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class _Carrier:
+    label: str
+    values: np.ndarray
+
+
+class TestExportImport:
+    def test_round_trip_nested_payload(self):
+        payload = {
+            "big": BIG,
+            "small": SMALL,
+            "nested": ("x", [1, 2], {"inner": BIG * 2.0}),
+            "scalar": 3.5,
+        }
+        exported, lease = export_payload(payload)
+        try:
+            assert isinstance(exported["big"], SharedArrayRef)
+            assert exported["small"] is SMALL  # below threshold: untouched
+            assert lease.n_segments == 2
+            assert lease.total_bytes == BIG.nbytes * 2
+            imported = import_payload(exported)
+            np.testing.assert_array_equal(imported["big"], BIG)
+            np.testing.assert_array_equal(imported["nested"][2]["inner"], BIG * 2.0)
+            assert imported["small"] is SMALL
+            assert imported["scalar"] == 3.5
+        finally:
+            lease.release()
+
+    def test_imported_arrays_are_read_only(self):
+        exported, lease = export_payload({"big": BIG})
+        try:
+            imported = import_payload(exported)
+            assert not imported["big"].flags.writeable
+            with pytest.raises(ValueError):
+                imported["big"][0] = -1.0
+        finally:
+            lease.release()
+
+    def test_dataclass_round_trip(self):
+        carrier = _Carrier(label="pop", values=BIG)
+        exported, lease = export_payload(carrier)
+        try:
+            imported = import_payload(exported)
+            assert isinstance(imported, _Carrier)
+            assert imported.label == "pop"
+            np.testing.assert_array_equal(imported.values, BIG)
+        finally:
+            lease.release()
+
+    def test_validated_dataclass_round_trip(self):
+        columns = CheckInColumns(
+            xs=np.arange(SHARED_MIN_BYTES // 8, dtype=np.float64),
+            ys=np.arange(SHARED_MIN_BYTES // 8, dtype=np.float64),
+            timestamps=np.arange(SHARED_MIN_BYTES // 8, dtype=np.float64),
+            offsets=[0, SHARED_MIN_BYTES // 8],
+        )
+        exported, lease = export_payload(columns)
+        try:
+            imported = import_payload(exported)
+            assert isinstance(imported, CheckInColumns)
+            np.testing.assert_array_equal(imported.xs, columns.xs)
+            np.testing.assert_array_equal(imported.offsets, columns.offsets)
+        finally:
+            lease.release()
+
+    def test_small_payload_passes_through_identically(self):
+        payload = {"small": SMALL, "n": 7}
+        exported, lease = export_payload(payload)
+        assert exported is payload
+        assert lease.n_segments == 0
+        lease.release()
+
+    def test_min_bytes_threshold(self):
+        exported, lease = export_payload({"arr": SMALL}, min_bytes=1)
+        try:
+            assert isinstance(exported["arr"], SharedArrayRef)
+        finally:
+            lease.release()
+
+    def test_release_is_idempotent(self):
+        _, lease = export_payload({"big": BIG})
+        lease.release()
+        lease.release()
+        assert lease.n_segments == 0
+
+
+def _sum_chunk(indices, rng, payload):
+    coords = payload["coords"]
+    return [float(coords[i % len(coords)].sum()) for i in indices]
+
+
+class TestPoolTransport:
+    PAYLOAD = {"coords": np.arange(SHARED_MIN_BYTES, dtype=np.float64).reshape(-1, 2)}
+
+    def test_results_identical_shm_on_off_serial(self):
+        serial = parallel_map(
+            _sum_chunk, range(24), workers=1, seed=5, payload=self.PAYLOAD
+        )
+        with_shm, shm_stats = parallel_map_with_stats(
+            _sum_chunk,
+            range(24),
+            workers=2,
+            seed=5,
+            payload=self.PAYLOAD,
+            use_shared_memory=True,
+        )
+        without_shm, plain_stats = parallel_map_with_stats(
+            _sum_chunk,
+            range(24),
+            workers=2,
+            seed=5,
+            payload=self.PAYLOAD,
+            use_shared_memory=False,
+        )
+        assert serial == with_shm == without_shm
+        if shm_stats.pool_used:
+            assert shm_stats.shared_arrays == 1
+            assert shm_stats.shared_bytes == self.PAYLOAD["coords"].nbytes
+        assert plain_stats.shared_arrays == 0
+        assert plain_stats.shared_bytes == 0
+
+    def test_process_wide_toggle(self):
+        assert shared_memory_enabled()
+        try:
+            set_shared_memory_enabled(False)
+            _, stats = parallel_map_with_stats(
+                _sum_chunk, range(8), workers=2, seed=5, payload=self.PAYLOAD
+            )
+            assert stats.shared_arrays == 0
+        finally:
+            set_shared_memory_enabled(True)
