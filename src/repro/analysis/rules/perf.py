@@ -1,8 +1,8 @@
 """Performance rules (``PERF001``).
 
 The columnar data plane gives every hot primitive a vectorised batch
-entry point (``obfuscate_batch``/``obfuscate_many``,
-``select_index_batch``, ``posterior_weights_array``).  Driving those
+entry point (``obfuscate_batch``, ``select_index_batch``,
+``posterior_weights_array``).  Driving those
 primitives one element at a time from a Python loop forfeits the batch
 speedup and is almost always an accident — the loop body pays Point
 boxing and numpy dispatch per element.  Justified scalar loops (RNG
@@ -21,7 +21,7 @@ __all__ = ["ScalarCallInLoop"]
 
 #: Per-element entry point -> the batch API that replaces it in a loop.
 BATCH_ALTERNATIVES: Dict[str, str] = {
-    "obfuscate": "obfuscate_batch/obfuscate_many",
+    "obfuscate": "obfuscate_batch",
     "select_index": "select_index_batch",
     "posterior_weights": "posterior_weights_array",
 }

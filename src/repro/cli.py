@@ -12,6 +12,14 @@ Subcommands::
                                                 # check a budget's calibration
     repro lint src/repro --baseline reprolint-baseline.json
                                                 # privacy/determinism lint
+    repro obs trace.jsonl                       # span/metrics trace summary
+    repro obs trace.jsonl --format prom         # Prometheus-style dump
+
+The work-running subcommands (``experiments``, ``simulate``, ``attack``,
+``verify``) share one option set: ``--workers N``, ``--cache/--no-cache``,
+``--seed S``, and ``--trace PATH`` (record a :mod:`repro.obs` trace,
+inspected with ``repro obs``).  Options that do not apply to a subcommand
+are accepted and ignored, so scripts can pass a uniform flag set.
 
 (Equivalent to ``python -m repro.cli ...``; also installed as the
 ``repro`` console script.)
@@ -21,8 +29,10 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -31,30 +41,76 @@ __all__ = ["main", "build_parser"]
 _LEVELS = {"ln2": math.log(2), "ln4": math.log(4), "ln6": math.log(6)}
 
 
+@contextmanager
+def _maybe_trace(path: Optional[str]) -> Iterator[None]:
+    """Record a repro.obs trace around the body when ``path`` is given."""
+    if path is None:
+        yield
+        return
+    from repro import obs
+
+    obs.enable(path)
+    try:
+        yield
+    finally:
+        obs.shutdown()
+
+
+def _common_options() -> argparse.ArgumentParser:
+    """The shared option set every work-running subcommand inherits.
+
+    One parent parser (``parents=[...]``) keeps spelling, defaults, and
+    help text identical across ``experiments``, ``simulate``, ``attack``,
+    and ``verify``.  ``--seed`` defaults to ``None`` so each handler can
+    keep its historical fallback (0 for simulate, 11 for attack, the
+    scale preset for experiments).
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size where the subcommand parallelizes "
+        "(default: all cores; ignored otherwise)",
+    )
+    common.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="reuse content-addressed stage artifacts where the subcommand "
+        "caches (bit-identical results; ignored otherwise)",
+    )
+    common.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="root RNG seed (default: the subcommand's historical default)",
+    )
+    common.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a repro.obs trace (spans + metrics, JSON lines) to "
+        "PATH; inspect with 'repro obs PATH'",
+    )
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Edge-PrivLocAd reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_options()
 
-    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures", parents=[common]
+    )
     p_exp.add_argument("ids", nargs="+", help="experiment ids or 'all'")
     p_exp.add_argument("--scale", default="small", choices=["small", "medium", "full"])
-    p_exp.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="process-pool size for parallelizable experiments "
-        "(default: all cores)",
-    )
-    p_exp.add_argument(
-        "--cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="reuse content-addressed stage artifacts (bit-identical rows)",
-    )
     p_exp.add_argument(
         "--no-shm",
         action="store_true",
@@ -68,18 +124,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("bench_args", nargs=argparse.REMAINDER)
 
-    p_sim = sub.add_parser("simulate", help="run the end-to-end system")
+    p_sim = sub.add_parser(
+        "simulate", help="run the end-to-end system", parents=[common]
+    )
     p_sim.add_argument("--users", type=int, default=20)
     p_sim.add_argument("--campaigns", type=int, default=200)
     p_sim.add_argument("--edges", type=int, default=4)
-    p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument(
         "--attack", action="store_true", help="also run the provider-side attack"
     )
 
-    p_atk = sub.add_parser("attack", help="case-study de-obfuscation attack")
+    p_atk = sub.add_parser(
+        "attack", help="case-study de-obfuscation attack", parents=[common]
+    )
     p_atk.add_argument("--level", default="ln2", choices=sorted(_LEVELS))
-    p_atk.add_argument("--seed", type=int, default=11)
 
     p_lint = sub.add_parser(
         "lint",
@@ -88,12 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("lint_args", nargs=argparse.REMAINDER)
 
-    p_ver = sub.add_parser("verify", help="verify a (r, eps, delta, n) budget")
+    p_ver = sub.add_parser(
+        "verify", help="verify a (r, eps, delta, n) budget", parents=[common]
+    )
     p_ver.add_argument("--r", type=float, default=500.0)
     p_ver.add_argument("--epsilon", type=float, default=1.0)
     p_ver.add_argument("--delta", type=float, default=0.01)
     p_ver.add_argument("--n", type=int, default=10)
     p_ver.add_argument("--samples", type=int, default=100_000)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect a recorded repro.obs trace file"
+    )
+    p_obs.add_argument("trace_file", help="JSON-lines trace written by --trace")
+    p_obs.add_argument(
+        "--format",
+        dest="obs_format",
+        default="summary",
+        choices=["summary", "prom"],
+        help="summary: span tree + metrics table; prom: Prometheus-style "
+        "text exposition",
+    )
     return parser
 
 
@@ -107,6 +180,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         argv += ["--cache"]
     if args.no_shm:
         argv += ["--no-shm"]
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.trace is not None:
+        argv += ["--trace", args.trace]
     return runner_main(argv)
 
 
@@ -122,35 +199,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.datagen import PopulationConfig, generate_population, shanghai_planar_bbox
     from repro.edge import EdgePrivLocAdSystem, SystemConfig, seed_campaigns
 
-    users = generate_population(
-        PopulationConfig(n_users=args.users, seed=args.seed)
-    )
-    system = EdgePrivLocAdSystem(
-        SystemConfig(n_edge_devices=args.edges, seed=args.seed)
-    )
-    rng = np.random.default_rng(args.seed)
-    system.register_campaigns(
-        seed_campaigns(shanghai_planar_bbox(), args.campaigns, 5_000.0, rng)
-    )
-    report = system.run(users)
-    print(f"requests served:       {report.requests}")
-    print(f"top-path share:        {report.top_path_share:.1%}")
-    print(f"ad relevance ratio:    {report.relevance_ratio:.1%}")
+    seed = args.seed if args.seed is not None else 0
+    with _maybe_trace(args.trace):
+        users = generate_population(
+            PopulationConfig(n_users=args.users, seed=seed)
+        )
+        system = EdgePrivLocAdSystem(
+            SystemConfig(n_edge_devices=args.edges, seed=seed)
+        )
+        rng = np.random.default_rng(seed)
+        system.register_campaigns(
+            seed_campaigns(shanghai_planar_bbox(), args.campaigns, 5_000.0, rng)
+        )
+        report = system.run(users)
+        print(f"requests served:       {report.requests}")
+        print(f"top-path share:        {report.top_path_share:.1%}")
+        print(f"ad relevance ratio:    {report.relevance_ratio:.1%}")
 
-    if args.attack:
-        budget = GeoIndBudget(500.0, 1.0, 0.01, 10)
-        attack = DeobfuscationAttack.against(NFoldGaussianMechanism(budget))
-        findings = system.provider.attack_all(attack, top_n=1)
-        outcomes = [
-            evaluate_user(
-                [i.location for i in findings[u.user_id].inferred],
-                u.true_tops[:1],
-            )
-            for u in users
-        ]
-        for threshold in (200.0, 500.0):
-            rate = success_rate(outcomes, 1, threshold)
-            print(f"attack success @{threshold:.0f}m: {rate:.1%}")
+        if args.attack:
+            budget = GeoIndBudget(500.0, 1.0, 0.01, 10)
+            attack = DeobfuscationAttack.against(NFoldGaussianMechanism(budget))
+            findings = system.provider.attack_all(attack, top_n=1)
+            outcomes = [
+                evaluate_user(
+                    [i.location for i in findings[u.user_id].inferred],
+                    u.true_tops[:1],
+                )
+                for u in users
+            ]
+            for threshold in (200.0, 500.0):
+                rate = success_rate(outcomes, 1, threshold)
+                print(f"attack success @{threshold:.0f}m: {rate:.1%}")
     return 0
 
 
@@ -161,40 +240,49 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.datagen.shanghai import STUDY_START_TS
     from repro.profiles import SECONDS_PER_DAY, filter_window
 
-    user = make_fig4_user()
-    mechanism = PlanarLaplaceMechanism.from_level(
-        _LEVELS[args.level], 200.0, rng=default_rng(args.seed)
-    )
-    observed = one_time_obfuscate(user.trace, mechanism)
-    attack = DeobfuscationAttack.against(mechanism)
-    print(f"victim: {len(observed)} check-ins, level {args.level} at 200 m")
-    for label, days in (("one week", 7), ("one month", 30), ("full year", 365)):
-        window = filter_window(
-            observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
+    seed = args.seed if args.seed is not None else 11
+    with _maybe_trace(args.trace):
+        user = make_fig4_user()
+        mechanism = PlanarLaplaceMechanism.from_level(
+            _LEVELS[args.level], 200.0, rng=default_rng(seed)
         )
-        guess = attack.infer_top1(window)
-        err = guess.distance_to(user.true_tops[0]) if guess else float("inf")
-        print(f"  {label:>9}: home recovered to {err:7.1f} m ({len(window)} obs)")
+        observed = one_time_obfuscate(user.trace, mechanism)
+        attack = DeobfuscationAttack.against(mechanism)
+        print(f"victim: {len(observed)} check-ins, level {args.level} at 200 m")
+        for label, days in (("one week", 7), ("one month", 30), ("full year", 365)):
+            window = filter_window(
+                observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
+            )
+            guess = attack.infer_top1(window)
+            err = guess.distance_to(user.true_tops[0]) if guess else float("inf")
+            print(f"  {label:>9}: home recovered to {err:7.1f} m ({len(window)} obs)")
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.core import NFoldGaussianMechanism, GeoIndBudget
+    from repro.core import NFoldGaussianMechanism, GeoIndBudget, default_rng
     from repro.core.verification import empirical_privacy_check, verify_gaussian_geo_ind
 
     budget = GeoIndBudget(args.r, args.epsilon, args.delta, args.n)
     mechanism = NFoldGaussianMechanism(budget)
-    print(f"budget: r={args.r} m, eps={args.epsilon}, delta={args.delta}, n={args.n}")
-    print(f"calibrated sigma (Theorem 2): {mechanism.sigma:.1f} m")
-    analytic = verify_gaussian_geo_ind(
-        args.r, args.epsilon, args.delta, args.n, mechanism.sigma
-    )
-    print(f"analytic check:  {'OK' if analytic else 'VIOLATED'}")
-    report = empirical_privacy_check(
-        args.r, args.epsilon, args.delta, args.n, mechanism.sigma,
-        samples=args.samples,
-    )
-    print(report)
+    with _maybe_trace(args.trace):
+        print(
+            f"budget: r={args.r} m, eps={args.epsilon}, delta={args.delta}, n={args.n}"
+        )
+        print(f"calibrated sigma (Theorem 2): {mechanism.sigma:.1f} m")
+        analytic = verify_gaussian_geo_ind(
+            args.r, args.epsilon, args.delta, args.n, mechanism.sigma
+        )
+        print(f"analytic check:  {'OK' if analytic else 'VIOLATED'}")
+        kwargs = {}
+        if args.seed is not None:
+            kwargs["rng"] = default_rng(args.seed)
+        report = empirical_privacy_check(
+            args.r, args.epsilon, args.delta, args.n, mechanism.sigma,
+            samples=args.samples,
+            **kwargs,
+        )
+        print(report)
     return 0 if (analytic and report.satisfied) else 1
 
 
@@ -204,6 +292,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args.lint_args or None)
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.render import read_trace, render_prometheus, render_summary
+
+    try:
+        trace = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    if args.obs_format == "prom":
+        print(render_prometheus(trace.metrics))
+    else:
+        print(render_summary(trace))
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
@@ -211,6 +314,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "verify": _cmd_verify,
     "lint": _cmd_lint,
+    "obs": _cmd_obs,
 }
 
 
@@ -229,7 +333,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return bench_main(raw[1:])
     args = build_parser().parse_args(raw)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``repro obs trace | head``);
+        # detach stdout so the interpreter's exit flush stays quiet.
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+        return 0
 
 
 if __name__ == "__main__":

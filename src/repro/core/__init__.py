@@ -14,7 +14,7 @@ from repro.core.calibration import (
 )
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
 from repro.core.laplace import PlanarLaplaceMechanism
-from repro.core.mechanism import LPPM, default_rng
+from repro.core.mechanism import LPPM, Mechanism, default_rng
 from repro.core.params import GeoIndBudget, OneTimeBudget
 from repro.core.posterior import (
     OutputSelector,
@@ -40,6 +40,7 @@ from repro.core.verification import (
 
 __all__ = [
     "LPPM",
+    "Mechanism",
     "default_rng",
     "GeoIndBudget",
     "OneTimeBudget",

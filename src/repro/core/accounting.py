@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.core.calibration import gaussian_sigma_composition, gaussian_sigma_nfold
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
 
 __all__ = [
     "LongitudinalExposureAccountant",
@@ -48,6 +50,12 @@ class LongitudinalExposureAccountant:
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         self.epsilons.extend([epsilon_per_m] * count)
+        if _obs_enabled():
+            registry = _obs_registry()
+            registry.gauge("privacy.longitudinal_epsilon_per_m").add(
+                epsilon_per_m * count
+            )
+            registry.counter("privacy.longitudinal_observations").inc(count)
 
     @property
     def total_epsilon(self) -> float:

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.params import GeoIndBudget
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
 
 __all__ = ["BudgetExceededError", "LedgerEntry", "PrivacyLedger"]
 
@@ -91,6 +93,13 @@ class PrivacyLedger:
             )
         entry = LedgerEntry(budget=budget, label=label, timestamp=timestamp)
         self.entries.append(entry)
+        if _obs_enabled():
+            # Budget gauges accumulate exactly what the ledger records, so
+            # the observability totals always equal the ledger sums.
+            registry = _obs_registry()
+            registry.gauge("privacy.epsilon_spent").add(budget.epsilon)
+            registry.gauge("privacy.delta_spent").add(budget.delta)
+            registry.counter("privacy.ledger_spends").inc()
         return entry
 
     def remaining_epsilon(self) -> float:

@@ -7,23 +7,75 @@ radius, which both the utility analysis and the *attacker* use: the
 de-obfuscation attack's trimming radius ``r_alpha`` (paper Eq. 4) is the
 radius beyond which an obfuscated check-in is implausible at confidence
 ``alpha``.
+
+API stability — the canonical method pair
+-----------------------------------------
+
+The :class:`Mechanism` protocol names the two entry points every
+mechanism exposes, scalar and columnar:
+
+* ``obfuscate(location) -> List[Point]`` — one true location in, its
+  output set out;
+* ``obfuscate_batch(locations) -> np.ndarray`` — an ``(m, 2)``
+  coordinate array in, the stacked outputs out: ``(m, 2)`` for
+  single-output mechanisms, ``(m, n, 2)`` for n-fold ones.
+
+``NFoldGaussianMechanism.obfuscate_many`` is a deprecated alias of
+``obfuscate_batch`` kept for one release.  The trace-level helpers
+:func:`repro.datagen.obfuscate.one_time_obfuscate_xy` and
+:func:`repro.datagen.obfuscate.permanent_obfuscate_xy` are the documented
+fast-path entry points *over* this protocol — they route whole coordinate
+streams through ``obfuscate_batch`` while preserving the scalar path's
+RNG call order bit-for-bit.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.geo.point import Point
 
-__all__ = ["LPPM", "default_rng"]
+__all__ = ["LPPM", "Mechanism", "default_rng"]
 
 
 def default_rng(seed: Optional[int] = None) -> np.random.Generator:
     """The library-wide RNG constructor (PCG64 via numpy's default)."""
     return np.random.default_rng(seed)
+
+
+@runtime_checkable
+class Mechanism(Protocol):
+    """The canonical mechanism surface: the scalar/columnar method pair.
+
+    Structural — any object with these members satisfies it; every
+    shipped mechanism (Gaussian, n-fold Gaussian, planar Laplace, and the
+    discretized wrapper) does.  ``obfuscate_batch`` must consume its RNG
+    in one batched draw whose stream matches the equivalent sequence of
+    scalar ``obfuscate`` calls, so columnar pipelines stay bit-identical
+    to object pipelines at the same seed.
+    """
+
+    name: str
+
+    @property
+    def n_outputs(self) -> int:
+        """How many obfuscated locations one obfuscate() call returns."""
+        ...
+
+    def obfuscate(self, location: Point) -> List[Point]:
+        """The mechanism's output set for one true location."""
+        ...
+
+    def obfuscate_batch(self, locations: np.ndarray) -> np.ndarray:
+        """Stacked outputs for an ``(m, 2)`` coordinate array.
+
+        Shape ``(m, 2)`` for single-output mechanisms, ``(m, n, 2)`` for
+        n-fold ones.
+        """
+        ...
 
 
 class LPPM(abc.ABC):

@@ -28,7 +28,22 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
+
 __all__ = ["DEFAULT_CACHE_DIR", "StageCache", "stage_key"]
+
+
+def _record_cache_event(event: str, nbytes: int = 0) -> None:
+    """Meter one cache interaction (hit/miss/store) when obs is on."""
+    if not _obs_enabled():
+        return
+    registry = _obs_registry()
+    registry.counter(f"cache.{event}").inc()
+    if event == "hits":
+        registry.counter("cache.read_bytes").inc(nbytes)
+    elif event == "stores":
+        registry.counter("cache.written_bytes").inc(nbytes)
 
 
 def _default_cache_dir() -> Path:
@@ -111,12 +126,15 @@ class StageCache:
         """The stored arrays for ``key``, or ``None`` on a miss."""
         if not self.enabled:
             self.misses += 1
+            _record_cache_event("misses")
             return None
         path = self.path_for(key)
         if not path.is_file():
             self.misses += 1
+            _record_cache_event("misses")
             return None
         try:
+            nbytes = path.stat().st_size
             with np.load(path) as npz:
                 arrays = {name: npz[name] for name in npz.files}
         except (OSError, ValueError, EOFError, KeyError):
@@ -126,8 +144,10 @@ class StageCache:
             except OSError:
                 pass
             self.misses += 1
+            _record_cache_event("misses")
             return None
         self.hits += 1
+        _record_cache_event("hits", nbytes)
         return arrays
 
     def store(self, key: str, arrays: Mapping[str, np.ndarray]) -> Optional[Path]:
@@ -150,6 +170,7 @@ class StageCache:
                 pass
             raise
         self.stores += 1
+        _record_cache_event("stores", path.stat().st_size)
         return path
 
     def get_or_compute(

@@ -93,7 +93,7 @@ def candidate_table(
             return arrays["candidates"]
     mechanism = NFoldGaussianMechanism(budget, rng=default_rng(seed))
     candidates = np.asarray(
-        mechanism.obfuscate_many(np.zeros((max_users, 2))), dtype=np.float64
+        mechanism.obfuscate_batch(np.zeros((max_users, 2))), dtype=np.float64
     )
     if cache is not None:
         cache.store(key, {"candidates": candidates})

@@ -13,9 +13,15 @@ sees.
 
 Each helper has an ``_xy`` twin operating on raw ``(m, 2)`` coordinate
 arrays — the columnar pipelines feed those CSR slices directly and skip
-``CheckIn`` materialisation.  The object versions are thin wrappers, so
-both paths consume the mechanisms' RNG in exactly the same call order and
-produce bit-identical noise.
+``CheckIn`` materialisation.  The ``_xy`` helpers are the documented
+fast-path entry points of the :class:`repro.core.mechanism.Mechanism`
+protocol: they route whole coordinate streams through the protocol's
+``obfuscate_batch`` method where its shape contract allows (single-output
+mechanisms only — an n-fold ``obfuscate_batch`` returns ``(m, n, 2)``
+candidate sets, not reports) and fall back to scalar ``obfuscate`` calls
+otherwise.  The object versions are thin wrappers, so both paths consume
+the mechanisms' RNG in exactly the same call order and produce
+bit-identical noise.
 """
 
 from __future__ import annotations
@@ -124,7 +130,14 @@ def permanent_obfuscate_xy(
     nomadic = ~matched
     if nomadic.any():
         if nomadic_mechanism is not None:
-            batch = getattr(nomadic_mechanism, "obfuscate_batch", None)
+            # The batch fast path only applies to single-output mechanisms:
+            # an n-fold obfuscate_batch returns (m, n, 2) candidate sets,
+            # not one report per check-in.
+            batch = (
+                getattr(nomadic_mechanism, "obfuscate_batch", None)
+                if nomadic_mechanism.n_outputs == 1
+                else None
+            )
             if batch is not None:
                 reported_xy[nomadic] = batch(coords[nomadic])
             else:

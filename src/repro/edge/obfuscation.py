@@ -10,12 +10,16 @@ and degrade the budget by composition.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ledger import PrivacyLedger
 from repro.core.mechanism import LPPM
 from repro.geo.point import Point
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
 
 __all__ = ["ObfuscationTable", "ObfuscationModule"]
 
@@ -96,16 +100,23 @@ class ObfuscationModule:
         Called by the location management module after each time window's
         eta-frequent set is recomputed.
         """
+        metering = _obs_enabled()
+        registry = _obs_registry() if metering else None
         for top in top_locations:
             if self.table.lookup(top) is not None:
+                if registry is not None:
+                    registry.counter("edge.obfuscation.table_hits").inc()
                 continue
             if self.ledger is not None:
                 budget = getattr(self.mechanism, "budget", None)
                 if budget is not None and not self.ledger.can_spend(budget):
                     self.skipped_by_ledger += 1
+                    if registry is not None:
+                        registry.counter("edge.obfuscation.ledger_skips").inc()
                     continue
                 if budget is not None:
                     self.ledger.spend(budget, label=f"pin@({top.x:.0f},{top.y:.0f})")
+            t0 = time.perf_counter() if metering else 0.0
             # One draw per *distinct* top location, guarded by the lookup
             # above and charged to the ledger: this is the permanent-noise
             # pin itself, not a per-release re-draw.
@@ -113,6 +124,11 @@ class ObfuscationModule:
             candidates = self.mechanism.obfuscate(top)
             self.table.pin(top, candidates)
             self.obfuscation_count += 1
+            if registry is not None:
+                registry.counter("edge.obfuscation.pins").inc()
+                registry.histogram(
+                    "edge.obfuscation.pin_seconds", DEFAULT_TIME_BUCKETS
+                ).observe(time.perf_counter() - t0)
 
     def candidates_for(self, location: Point) -> Optional[List[Point]]:
         """The pinned candidates covering ``location``, if it is a known top."""

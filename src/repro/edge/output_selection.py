@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.core.posterior import OutputSelector, PosteriorSelector
 from repro.geo.point import Point
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
 
 __all__ = ["OutputSelectionModule"]
 
@@ -35,6 +37,8 @@ class OutputSelectionModule:
     def select(self, candidates: Sequence[Point]) -> Point:
         """Draw the location to report for one ad request."""
         self.selection_count += 1
+        if _obs_enabled():
+            _obs_registry().counter("edge.selection.requests").inc()
         return self.selector.select(candidates)
 
     def select_batch(self, candidates: Sequence[Point], size: int) -> List[Point]:
@@ -49,4 +53,6 @@ class OutputSelectionModule:
         probs = self.selector.probabilities(cand)
         idx = self.selector.rng.choice(len(cand), size=size, p=probs)
         self.selection_count += size
+        if _obs_enabled():
+            _obs_registry().counter("edge.selection.requests").inc(size)
         return [cand[int(i)] for i in idx]

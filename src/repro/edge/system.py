@@ -23,6 +23,9 @@ from repro.edge.clock import SimulationClock
 from repro.edge.device import EdgeConfig, EdgeDevice
 from repro.edge.provider import HonestButCuriousProvider
 from repro.geo.bbox import BoundingBox
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
+from repro.obs.trace import span as _obs_span
 
 __all__ = ["SystemConfig", "SystemReport", "EdgePrivLocAdSystem", "seed_campaigns"]
 
@@ -150,18 +153,30 @@ class EdgePrivLocAdSystem:
             for c in sorted(user.trace):
                 yield (c.timestamp, user.user_id, c)
 
-        streams = [stream(u) for u in users]
-        for timestamp, user_id, checkin in heapq.merge(*streams):
-            self.clock.advance_to(timestamp)
-            client = self.client_for(user_id)
-            result = client.request_ad(checkin)
-            report.requests += 1
-            report.ads_delivered += len(result.delivered_ads)
-            report.ads_received += result.delivery.received
-            if result.path == "top":
-                report.top_path_requests += 1
-            else:
-                report.nomadic_path_requests += 1
-        for user_id, client in self._clients.items():
-            client.edge.finalize_user(user_id)
+        with _obs_span("edge.run", devices=len(self.edges)):
+            streams = [stream(u) for u in users]
+            for timestamp, user_id, checkin in heapq.merge(*streams):
+                self.clock.advance_to(timestamp)
+                client = self.client_for(user_id)
+                result = client.request_ad(checkin)
+                report.requests += 1
+                report.ads_delivered += len(result.delivered_ads)
+                report.ads_received += result.delivery.received
+                if result.path == "top":
+                    report.top_path_requests += 1
+                else:
+                    report.nomadic_path_requests += 1
+            for user_id, client in self._clients.items():
+                client.edge.finalize_user(user_id)
+        if _obs_enabled():
+            # One end-of-run rollup (not per-request increments) keeps the
+            # replay loop free of metering overhead.
+            registry = _obs_registry()
+            registry.counter("edge.requests").inc(report.requests)
+            registry.counter("edge.ads_delivered").inc(report.ads_delivered)
+            registry.counter("edge.ads_received").inc(report.ads_received)
+            registry.counter("edge.top_path_requests").inc(report.top_path_requests)
+            registry.counter("edge.nomadic_path_requests").inc(
+                report.nomadic_path_requests
+            )
         return report

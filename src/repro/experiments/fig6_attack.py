@@ -54,6 +54,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.geo.point import Point
+from repro.obs.trace import span as _obs_span
 from repro.parallel import parallel_map
 from repro.profiles.frequent import eta_frequent_xy
 from repro.profiles.profile import LocationProfile
@@ -84,11 +85,19 @@ def _attack_one_time_chunk(
         level, PAPER_ONETIME_RADIUS_M, rng=rng
     )
     attack = DeobfuscationAttack.against(mechanism)
-    out = []
-    for i in indices:
-        observed = one_time_obfuscate_xy(pop.checkins.user_coords(i), mechanism)
-        inferred = attack.infer_top_locations(observed, 2)
-        out.append([(r.location.x, r.location.y) for r in inferred])
+    # Obfuscate every user, then attack every user: the attack draws no
+    # randomness, so splitting the loop leaves the mechanism's noise
+    # stream untouched while giving each phase its own span.
+    with _obs_span("fig6.obfuscation", deployment="one-time", users=len(indices)):
+        observed = [
+            one_time_obfuscate_xy(pop.checkins.user_coords(i), mechanism)
+            for i in indices
+        ]
+    with _obs_span("fig6.attack", deployment="one-time", users=len(indices)):
+        out = []
+        for obs_xy in observed:
+            inferred = attack.infer_top_locations(obs_xy, 2)
+            out.append([(r.location.x, r.location.y) for r in inferred])
     return out
 
 
@@ -102,20 +111,29 @@ def _attack_defended_chunk(
     nomadic = GaussianMechanism(budget.with_n(1), rng=rng)
     selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
     attack = DeobfuscationAttack.against(mechanism)
-    out = []
-    for i in indices:
-        coords = pop.checkins.user_coords(i)
-        profile = LocationProfile.from_coords(coords)
-        top_xs, top_ys = eta_frequent_xy(profile, DEFAULT_ETA)
-        reported = permanent_obfuscate_xy(
-            coords,
-            np.column_stack((top_xs, top_ys)),
-            mechanism,
-            selector,
-            nomadic_mechanism=nomadic,
-        )
-        inferred = attack.infer_top_locations(reported, 2)
-        out.append([(r.location.x, r.location.y) for r in inferred])
+    # Same loop split as the one-time chunk: the attack is deterministic,
+    # so obfuscating all users before attacking any preserves the exact
+    # mechanism/selector RNG call order of the fused loop.
+    with _obs_span("fig6.obfuscation", deployment="defended", users=len(indices)):
+        reported_all = []
+        for i in indices:
+            coords = pop.checkins.user_coords(i)
+            profile = LocationProfile.from_coords(coords)
+            top_xs, top_ys = eta_frequent_xy(profile, DEFAULT_ETA)
+            reported_all.append(
+                permanent_obfuscate_xy(
+                    coords,
+                    np.column_stack((top_xs, top_ys)),
+                    mechanism,
+                    selector,
+                    nomadic_mechanism=nomadic,
+                )
+            )
+    with _obs_span("fig6.attack", deployment="defended", users=len(indices)):
+        out = []
+        for reported in reported_all:
+            inferred = attack.infer_top_locations(reported, 2)
+            out.append([(r.location.x, r.location.y) for r in inferred])
     return out
 
 
@@ -243,20 +261,22 @@ def run(
         nonlocal pop
         if pop is None:
             start = time.perf_counter()
-            pop = population_columns(config, cache)
+            with _obs_span("fig6.datagen", n_users=config.n_users):
+                pop = population_columns(config, cache)
             stage_seconds["population"] = time.perf_counter() - start
         return pop
 
     def stage_errors(stage: str, params: Dict[str, object], compute) -> np.ndarray:
         key = stage_key(stage, {"population": config, **params}, ATTACK_STAGE_VERSION)
         start = time.perf_counter()
-        cached = cache.load(key)
-        if cached is None:
-            inferred = compute()
-            errors = _error_rows(inferred, get_pop())
-            cache.store(key, {"errors": errors})
-        else:
-            errors = cached["errors"]
+        with _obs_span("fig6.stage", stage=stage, **params):
+            cached = cache.load(key)
+            if cached is None:
+                inferred = compute()
+                errors = _error_rows(inferred, get_pop())
+                cache.store(key, {"errors": errors})
+            else:
+                errors = cached["errors"]
         stage_seconds[stage.replace("fig6-", "") + f" {params}"] = (
             time.perf_counter() - start
         )

@@ -29,6 +29,7 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.efficacy import efficacy_samples
+from repro.obs.trace import span as _obs_span
 from repro.parallel import parallel_map
 
 __all__ = ["run", "efficacy_for", "EFFICACY_STAGE_VERSION"]
@@ -75,17 +76,18 @@ def _fig9_combo(combos: List[int], rng: np.random.Generator, payload) -> list:
     scale, epsilon, selector_kind = payload
     rows = []
     for n in combos:
-        row = {"n": n}
-        for r in PAPER_RADII_M:
-            row[f"efficacy(r={r:.0f})"] = efficacy_for(
-                epsilon,
-                r,
-                n,
-                trials=scale.trials,
-                seed=scale.seed + n,
-                selector_kind=selector_kind,
-            )
-        rows.append(row)
+        with _obs_span("fig9.sweep_point", n=n, epsilon=epsilon):
+            row = {"n": n}
+            for r in PAPER_RADII_M:
+                row[f"efficacy(r={r:.0f})"] = efficacy_for(
+                    epsilon,
+                    r,
+                    n,
+                    trials=scale.trials,
+                    seed=scale.seed + n,
+                    selector_kind=selector_kind,
+                )
+            rows.append(row)
     return rows
 
 

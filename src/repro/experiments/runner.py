@@ -19,9 +19,11 @@ shared-memory payload transport and ships worker payloads by pickle.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.data.cache import StageCache
 from repro.experiments import (
     ext_adaptive,
@@ -44,9 +46,10 @@ __all__ = ["main", "EXPERIMENTS", "WORKER_AWARE", "CACHE_AWARE"]
 
 SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, MEDIUM, FULL)}
 
-#: Experiment id -> callable(scale) -> ExperimentReport.  Scale-free
-#: experiments ignore the argument.
-EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentReport]] = {
+#: Experiment id -> callable(scale, **kwargs) -> ExperimentReport.
+#: Scale-free experiments ignore the argument; worker/cache-aware ones
+#: accept the keywords named in the frozensets below.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "table1": lambda scale: table1_limits.run(),
     "fig2": lambda scale: fig2_mobility.run(),
     "fig3": fig3_entropy.run,
@@ -70,7 +73,7 @@ WORKER_AWARE = frozenset({"fig6", "fig7", "fig8", "fig9", "table2", "table3"})
 CACHE_AWARE = frozenset({"fig6", "fig7", "fig9", "table2", "table3"})
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """Run the requested experiments and print their reports."""
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
@@ -114,6 +117,20 @@ def main(argv: List[str] = None) -> int:
         help="ship worker payloads by pickle instead of shared memory "
         "(results are identical; debugging aid)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="override the scale preset's root seed",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a repro.obs trace (spans + metrics, JSON lines) to PATH; "
+        "inspect with 'repro obs PATH'",
+    )
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.workers < 0:
@@ -129,20 +146,29 @@ def main(argv: List[str] = None) -> int:
         set_shared_memory_enabled(False)
     cache = StageCache() if args.cache else None
     scale = SCALES[args.scale]
-    for exp_id in requested:
-        kwargs = {}
-        if exp_id in WORKER_AWARE:
-            kwargs["workers"] = args.workers
-        if exp_id in CACHE_AWARE and cache is not None:
-            kwargs["cache"] = cache
-        report = EXPERIMENTS[exp_id](scale, **kwargs)
-        print(report.render())
-        if args.charts:
-            chart = _chart_for(exp_id, report)
-            if chart:
-                print()
-                print(chart)
-        print()
+    if args.seed is not None:
+        scale = dataclasses.replace(scale, seed=args.seed)
+    if args.trace is not None:
+        obs.enable(args.trace)
+    try:
+        for exp_id in requested:
+            kwargs: Dict[str, object] = {}
+            if exp_id in WORKER_AWARE:
+                kwargs["workers"] = args.workers
+            if exp_id in CACHE_AWARE and cache is not None:
+                kwargs["cache"] = cache
+            with obs.span("experiment", id=exp_id, scale=scale.name):
+                report = EXPERIMENTS[exp_id](scale, **kwargs)
+            print(report.render())
+            if args.charts:
+                chart = _chart_for(exp_id, report)
+                if chart:
+                    print()
+                    print(chart)
+            print()
+    finally:
+        if args.trace is not None:
+            obs.shutdown()
     return 0
 
 

@@ -29,6 +29,7 @@ from repro.edge.location_management import DEFAULT_ETA
 from repro.experiments.config import PAPER_DELTA, PAPER_NFOLD_N, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
 from repro.metrics.timing import measure_scaling
+from repro.obs.trace import span as _obs_span
 from repro.parallel import parallel_map, resolve_workers
 from repro.profiles.frequent import eta_frequent_set
 from repro.profiles.profile import LocationProfile
@@ -63,7 +64,7 @@ def _obfuscate_users(indices: List[int], rng: np.random.Generator, payload) -> l
         profile = LocationProfile.from_coords(coords)
         tops = eta_frequent_set(profile, DEFAULT_ETA)
         if tops:
-            mechanism.obfuscate_many([(p.x, p.y) for p in tops])
+            mechanism.obfuscate_batch([(p.x, p.y) for p in tops])
     return [None] * len(indices)
 
 
@@ -77,13 +78,14 @@ def obfuscation_workload(
     payload = (list(coords_pool), budget)
 
     def workload(n_users: int) -> None:
-        parallel_map(
-            _obfuscate_users,
-            range(n_users),
-            workers=workers if n_users >= POOL_MIN_USERS else 1,
-            seed=seed,
-            payload=payload,
-        )
+        with _obs_span("table2.obfuscation", users=n_users):
+            parallel_map(
+                _obfuscate_users,
+                range(n_users),
+                workers=workers if n_users >= POOL_MIN_USERS else 1,
+                seed=seed,
+                payload=payload,
+            )
 
     return workload
 
@@ -104,7 +106,8 @@ def run(
     workers = resolve_workers(workers)
     budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
     pool_start = time.perf_counter()
-    coords_pool = population_coords_pool(pool_size, scale.seed, cache)
+    with _obs_span("table2.datagen", pool_size=pool_size):
+        coords_pool = population_coords_pool(pool_size, scale.seed, cache)
     pool_seconds = time.perf_counter() - pool_start
     workload = obfuscation_workload(coords_pool, budget, workers=workers, seed=scale.seed)
     timings = measure_scaling(workload, sizes, warmup=1)

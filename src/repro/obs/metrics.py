@@ -1,0 +1,228 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately tiny and dependency-free.  Three metric
+kinds cover everything the edge pipeline needs to meter:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  cache hits, bytes shipped);
+* :class:`Gauge` — additive level quantities (epsilon/delta budget spent);
+* :class:`Histogram` — fixed-bucket distributions (per-stage latencies,
+  batch sizes).
+
+Every metric merges **additively**: counters and gauges sum, histograms
+sum per-bucket counts (bucket bounds must match).  Additive merge makes
+aggregation across process-pool workers deterministic: each worker chunk
+returns its registry :meth:`~MetricsRegistry.snapshot` with its results,
+and the parent merges the snapshots in *chunk-index order* — the same
+schedule-invariance discipline as the per-chunk RNG streams, so the
+merged registry is bit-identical for any ``--workers`` count (see
+:mod:`repro.parallel.pool`).
+
+Gauges are additive on merge by design: a worker's gauge reading is its
+local contribution to a global level (e.g. epsilon spent by the chunk),
+not a sample of a shared quantity.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+#: Default histogram bounds for latency observations, in seconds.  A
+#: rough log ladder from 0.1 ms to 10 s; observations above the last
+#: bound land in the overflow bucket.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """An additive level quantity (set it, or accumulate into it)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge's level."""
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge's level by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """A fixed-bucket distribution: cumulative-friendly counts + sum.
+
+    ``bounds`` are inclusive upper bucket bounds; one extra overflow
+    bucket catches observations above the last bound, so ``counts`` has
+    ``len(bounds) + 1`` slots.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self, name: str, bounds: Tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {bounds}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+#: A registry snapshot: plain JSON-able nested dicts.
+Snapshot = Dict[str, Any]
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Metrics are created on first access; re-requesting a name returns the
+    same object.  Requesting an existing histogram with different bounds
+    is an error — merge would be ill-defined.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Optional[Tuple[float, ...]] = None
+    ) -> Histogram:
+        """The histogram under ``name`` (created on first use).
+
+        ``bounds`` defaults to :data:`DEFAULT_TIME_BUCKETS`; passing
+        different bounds for an existing name raises.
+        """
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else DEFAULT_TIME_BUCKETS
+            )
+        elif bounds is not None and tuple(bounds) != metric.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{metric.bounds}, requested {tuple(bounds)}"
+            )
+        return metric
+
+    def is_empty(self) -> bool:
+        """True when no metric has been registered."""
+        return not (self._counters or self._gauges or self._histograms)
+
+    def snapshot(self) -> Snapshot:
+        """The registry's full state as sorted, JSON-able primitives."""
+        return {
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(self._histograms[name].bounds),
+                    "counts": list(self._histograms[name].counts),
+                    "sum": self._histograms[name].total,
+                    "count": self._histograms[name].count,
+                }
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: Snapshot) -> None:
+        """Fold one snapshot into this registry (additive, see module doc).
+
+        Merging snapshots in a fixed order (chunk index) is what keeps
+        aggregation independent of the worker count: float sums are
+        accumulated in the same association no matter which process
+        produced which snapshot.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).value += value
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, tuple(data["bounds"]))
+            if list(hist.bounds) != list(data["bounds"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bounds differ "
+                    f"({hist.bounds} vs {data['bounds']})"
+                )
+            for i, c in enumerate(data["counts"]):
+                hist.counts[i] += c
+            hist.total += data["sum"]
+            hist.count += data["count"]
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Fold an ordered sequence of snapshots into one snapshot."""
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.merge(snap)
+    return merged.snapshot()

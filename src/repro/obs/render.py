@@ -1,0 +1,204 @@
+"""Read trace files back and render them for humans and scrapers.
+
+A trace file is JSON lines: an optional ``{"type": "trace"}`` header,
+``{"type": "span"}`` records in span-*close* order, and a final
+``{"type": "metrics"}`` snapshot.  :func:`read_trace` parses it,
+:func:`build_span_tree` rebuilds the nesting from the ``(id, parent)``
+edges, and the render functions produce either the ``repro obs`` summary
+(tree + per-name aggregates + metrics) or a Prometheus-style text dump.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Snapshot
+from repro.obs.trace import SpanRecord
+
+__all__ = [
+    "TraceData",
+    "SpanNode",
+    "read_trace",
+    "build_span_tree",
+    "render_summary",
+    "render_prometheus",
+]
+
+
+@dataclass
+class TraceData:
+    """Everything one trace file contained."""
+
+    spans: List[SpanRecord] = field(default_factory=list)
+    metrics: Optional[Snapshot] = None
+    header: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, in file (= completion) order."""
+
+    record: SpanRecord
+    children: List["SpanNode"] = field(default_factory=list)
+
+
+def read_trace(path: str) -> TraceData:
+    """Parse a JSON-lines trace file.
+
+    Raises ``ValueError`` on a line that is not valid JSON — a truncated
+    or corrupt trace should fail loudly, not render half a story.
+    """
+    data = TraceData()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid trace line: {exc}") from exc
+            kind = obj.get("type")
+            if kind == "span":
+                data.spans.append(SpanRecord.from_dict(obj))
+            elif kind == "metrics":
+                data.metrics = obj.get("metrics")
+            elif kind == "trace":
+                data.header = obj
+    return data
+
+
+def build_span_tree(spans: List[SpanRecord]) -> List[SpanNode]:
+    """Rebuild the span forest from ``(id, parent)`` edges.
+
+    Children keep file order, which is completion order; a span whose
+    parent never closed (crash mid-trace) is promoted to a root.
+    """
+    nodes: Dict[int, SpanNode] = {r.span_id: SpanNode(r) for r in spans}
+    roots: List[SpanNode] = []
+    for record in spans:
+        node = nodes[record.span_id]
+        parent = (
+            nodes.get(record.parent_id) if record.parent_id is not None else None
+        )
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def _format_attrs(attrs: Dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"  [{inner}]"
+
+
+def _render_node(node: SpanNode, depth: int, lines: List[str]) -> None:
+    record = node.record
+    lines.append(
+        f"{'  ' * depth}{record.name:<{max(1, 36 - 2 * depth)}} "
+        f"{record.seconds * 1000:10.2f} ms{_format_attrs(record.attrs)}"
+    )
+    for child in node.children:
+        _render_node(child, depth + 1, lines)
+
+
+def _aggregate_rows(spans: List[SpanRecord]) -> List[Dict[str, Any]]:
+    by_name: Dict[str, List[float]] = {}
+    for record in spans:
+        by_name.setdefault(record.name, []).append(record.seconds)
+    rows = []
+    for name in sorted(by_name):
+        secs = by_name[name]
+        rows.append(
+            {
+                "span": name,
+                "count": len(secs),
+                "total_s": sum(secs),
+                "mean_ms": 1000 * sum(secs) / len(secs),
+                "max_ms": 1000 * max(secs),
+            }
+        )
+    return rows
+
+
+def render_summary(trace: TraceData, max_tree_lines: int = 200) -> str:
+    """The ``repro obs`` default view: tree, aggregates, and metrics."""
+    lines: List[str] = []
+    tree_lines: List[str] = []
+    for root in build_span_tree(trace.spans):
+        _render_node(root, 0, tree_lines)
+    if tree_lines:
+        lines.append("span tree (durations are wall-clock):")
+        lines.extend(tree_lines[:max_tree_lines])
+        if len(tree_lines) > max_tree_lines:
+            lines.append(f"  ... {len(tree_lines) - max_tree_lines} more spans")
+        lines.append("")
+    rows = _aggregate_rows(trace.spans)
+    if rows:
+        lines.append("per-span aggregates:")
+        header = f"{'span':<36} {'count':>6} {'total s':>10} {'mean ms':>10} {'max ms':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append(
+                f"{row['span']:<36} {row['count']:>6} {row['total_s']:>10.3f} "
+                f"{row['mean_ms']:>10.2f} {row['max_ms']:>10.2f}"
+            )
+        lines.append("")
+    if trace.metrics:
+        lines.append("metrics:")
+        for name, value in trace.metrics.get("counters", {}).items():
+            lines.append(f"  counter   {name} = {value}")
+        for name, value in trace.metrics.get("gauges", {}).items():
+            lines.append(f"  gauge     {name} = {value:.6g}")
+        for name, data in trace.metrics.get("histograms", {}).items():
+            count = data.get("count", 0)
+            mean = data.get("sum", 0.0) / count if count else 0.0
+            lines.append(
+                f"  histogram {name}: count={count} sum={data.get('sum', 0.0):.6g} "
+                f"mean={mean:.6g}"
+            )
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines).rstrip()
+
+
+def _prom_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes become underscores)."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus(metrics: Optional[Snapshot]) -> str:
+    """The metrics snapshot in Prometheus text exposition format."""
+    if not metrics:
+        return ""
+    lines: List[str] = []
+    for name, value in metrics.get("counters", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom}_total counter")
+        lines.append(f"{prom}_total {value}")
+    for name, value in metrics.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, data in metrics.get("histograms", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(data.get("bounds", []), data.get("counts", [])):
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        total_count = data.get("count", 0)
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {total_count}')
+        lines.append(f"{prom}_sum {data.get('sum', 0.0)}")
+        lines.append(f"{prom}_count {total_count}")
+    return "\n".join(lines)

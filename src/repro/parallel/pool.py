@@ -43,7 +43,17 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.metrics.timing import ChunkTiming, Stopwatch, summarize_chunks
-from repro.parallel.shared import SHARED_MIN_BYTES, export_payload, import_payload
+from repro.obs.trace import ChunkObservations
+from repro.obs.trace import absorb as _obs_absorb
+from repro.obs.trace import collect as _obs_collect
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
+from repro.parallel.shared import (
+    SHARED_MIN_BYTES,
+    count_payload_arrays,
+    export_payload,
+    import_payload,
+)
 
 __all__ = [
     "parallel_map",
@@ -155,13 +165,26 @@ def _run_chunk(
     seed_seq: Optional[np.random.SeedSequence],
     with_payload: bool,
     payload: Any,
-) -> Tuple[int, List[Any], float]:
-    """Execute one chunk with its derived RNG; returns (index, results, secs)."""
+    collect_obs: bool = False,
+) -> Tuple[int, List[Any], float, Optional[ChunkObservations]]:
+    """Execute one chunk with its derived RNG.
+
+    Returns ``(index, results, secs, observations)``; ``observations`` is
+    the chunk's captured spans + metrics snapshot when ``collect_obs`` is
+    set (the parent absorbs them in chunk order), else None.
+    """
     rng = np.random.default_rng(seed_seq)
     if with_payload and payload is None:
         payload = _WORKER_PAYLOAD
+    observations: Optional[ChunkObservations] = None
     start = time.perf_counter()
-    if with_payload:
+    if collect_obs:
+        # Capture into a fresh buffer/registry in the worker *and* on the
+        # serial path, so the per-chunk observations — and therefore the
+        # parent's chunk-ordered merge — are identical either way.
+        with _obs_collect() as observations:
+            out = fn(chunk, rng, payload) if with_payload else fn(chunk, rng)
+    elif with_payload:
         out = fn(chunk, rng, payload)
     else:
         out = fn(chunk, rng)
@@ -172,7 +195,7 @@ def _run_chunk(
         raise ValueError(
             f"chunk function returned {len(out)} results for {len(chunk)} items"
         )
-    return index, out, elapsed
+    return index, out, elapsed, observations
 
 
 def parallel_map_with_stats(
@@ -223,12 +246,25 @@ def parallel_map_with_stats(
     with_payload = payload is not None
     use_shm = _SHM_ENABLED if use_shared_memory is None else use_shared_memory
 
+    collect_obs = _obs_enabled()
+    observations: List[Optional[ChunkObservations]] = [None] * len(chunks)
     with Stopwatch() as sw:
         results = _execute(
             fn, chunks, seqs, workers, with_payload, payload, stats,
-            use_shm, shm_min_bytes,
+            use_shm, shm_min_bytes, collect_obs, observations,
         )
     stats.total_seconds = sw.elapsed
+
+    if collect_obs:
+        # Chunk-index order: the merged registry is a pure function of the
+        # chunk schedule, never of which worker ran which chunk.
+        for obs_chunk in observations:
+            _obs_absorb(obs_chunk)
+        registry = _obs_registry()
+        registry.counter("parallel.chunks").inc(len(chunks))
+        registry.counter("parallel.items").inc(len(items))
+        for timing in sorted(stats.chunk_timings, key=lambda c: c.index):
+            registry.histogram("parallel.chunk_seconds").observe(timing.seconds)
 
     flat: List[Any] = []
     for chunk_results in results:
@@ -275,19 +311,23 @@ def _execute(
     stats: ParallelStats,
     use_shm: bool,
     shm_min_bytes: int,
+    collect_obs: bool,
+    observations: List[Optional[ChunkObservations]],
 ) -> List[List[Any]]:
     """Run every chunk, preferring the pool, falling back to serial."""
     if workers > 1 and len(chunks) > 1:
         try:
             return _execute_pool(
                 fn, chunks, seqs, workers, with_payload, payload, stats,
-                use_shm, shm_min_bytes,
+                use_shm, shm_min_bytes, collect_obs, observations,
             )
         except (OSError, PermissionError, NotImplementedError, ImportError):
             # No fork/semaphores in this environment: degrade gracefully.
             stats.shared_arrays = 0
             stats.shared_bytes = 0
-    return _execute_serial(fn, chunks, seqs, with_payload, payload, stats)
+    return _execute_serial(
+        fn, chunks, seqs, with_payload, payload, stats, collect_obs, observations
+    )
 
 
 def _execute_serial(
@@ -297,10 +337,15 @@ def _execute_serial(
     with_payload: bool,
     payload: Any,
     stats: ParallelStats,
+    collect_obs: bool,
+    observations: List[Optional[ChunkObservations]],
 ) -> List[List[Any]]:
     out: List[List[Any]] = []
     for index, (chunk, seq) in enumerate(zip(chunks, seqs)):
-        _, results, elapsed = _run_chunk(fn, chunk, index, seq, with_payload, payload)
+        _, results, elapsed, obs_chunk = _run_chunk(
+            fn, chunk, index, seq, with_payload, payload, collect_obs
+        )
+        observations[index] = obs_chunk
         stats.chunk_timings.append(
             ChunkTiming(index=index, size=len(chunk), seconds=elapsed)
         )
@@ -318,15 +363,35 @@ def _execute_pool(
     stats: ParallelStats,
     use_shm: bool,
     shm_min_bytes: int,
+    collect_obs: bool,
+    observations: List[Optional[ChunkObservations]],
 ) -> List[List[Any]]:
     max_workers = min(workers, len(chunks))
     lease = None
+    payload_arrays, payload_bytes = (
+        count_payload_arrays(payload) if with_payload and _obs_enabled() else (0, 0)
+    )
     if with_payload and use_shm:
         # Large payload arrays move into shared segments; only the tiny
         # ref tree is pickled into the pool initializer.
         payload, lease = export_payload(payload, shm_min_bytes)
         stats.shared_arrays = lease.n_segments
         stats.shared_bytes = lease.total_bytes
+    if with_payload and _obs_enabled():
+        # shm-vs-pickle transport accounting: shared segments hold ONE
+        # copy no matter the worker count; whatever stayed on the pickle
+        # path is copied into every worker.
+        shm_arrays = lease.n_segments if lease is not None else 0
+        shm_bytes = lease.total_bytes if lease is not None else 0
+        registry = _obs_registry()
+        registry.counter("parallel.transport.shm_arrays").inc(shm_arrays)
+        registry.counter("parallel.transport.shm_bytes").inc(shm_bytes)
+        registry.counter("parallel.transport.pickle_arrays").inc(
+            (payload_arrays - shm_arrays) * max_workers
+        )
+        registry.counter("parallel.transport.pickle_bytes").inc(
+            (payload_bytes - shm_bytes) * max_workers
+        )
     initializer = _init_worker if with_payload else None
     initargs = (payload,) if with_payload else ()
     ordered: List[Optional[List[Any]]] = [None] * len(chunks)
@@ -338,12 +403,16 @@ def _execute_pool(
                 # Chunk tasks carry payload=None: workers read the
                 # initializer copy instead of re-pickling the payload per
                 # chunk.
-                pool.submit(_run_chunk, fn, chunk, index, seq, with_payload, None)
+                pool.submit(
+                    _run_chunk, fn, chunk, index, seq, with_payload, None,
+                    collect_obs,
+                )
                 for index, (chunk, seq) in enumerate(zip(chunks, seqs))
             ]
             for future in futures:
-                index, results, elapsed = future.result()
+                index, results, elapsed, obs_chunk = future.result()
                 ordered[index] = results
+                observations[index] = obs_chunk
                 stats.chunk_timings.append(
                     ChunkTiming(index=index, size=len(chunks[index]), seconds=elapsed)
                 )

@@ -29,6 +29,7 @@ __all__ = [
     "SHARED_MIN_BYTES",
     "SharedArrayRef",
     "ShmLease",
+    "count_payload_arrays",
     "export_payload",
     "import_payload",
 ]
@@ -92,6 +93,33 @@ class ShmLease:
             except OSError:  # already gone (e.g. manual cleanup)
                 pass
         self._segments.clear()
+
+
+def count_payload_arrays(payload: Any) -> Tuple[int, int]:
+    """``(n_arrays, total_bytes)`` of every ndarray in a payload tree.
+
+    Used to meter the pickle transport when shared memory is disabled —
+    the same walk :func:`export_payload` does, without exporting.
+    """
+    if isinstance(payload, np.ndarray):
+        return 1, payload.nbytes
+    if isinstance(payload, dict):
+        values: Any = payload.values()
+    elif isinstance(payload, (list, tuple)):
+        values = payload
+    elif dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        values = [
+            getattr(payload, f.name) for f in dataclasses.fields(payload)
+        ]
+    else:
+        return 0, 0
+    n_arrays = 0
+    n_bytes = 0
+    for value in values:
+        n, b = count_payload_arrays(value)
+        n_arrays += n
+        n_bytes += b
+    return n_arrays, n_bytes
 
 
 def _export_array(

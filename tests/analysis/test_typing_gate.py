@@ -13,7 +13,8 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-STRICT_PACKAGES = ["repro.core", "repro.parallel", "repro.analysis"]
+STRICT_PACKAGES = ["repro.core", "repro.parallel", "repro.analysis", "repro.obs"]
+STRICT_MODULES = ["repro.experiments.runner"]
 
 
 def _run(argv):
@@ -27,6 +28,8 @@ def test_mypy_strict_modules():
     args = [sys.executable, "-m", "mypy"]
     for package in STRICT_PACKAGES:
         args += ["-p", package]
+    for module in STRICT_MODULES:
+        args += ["-m", module]
     proc = _run(args)
     assert proc.returncode == 0, proc.stdout + proc.stderr
 

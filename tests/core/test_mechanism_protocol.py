@@ -1,0 +1,52 @@
+"""The canonical Mechanism protocol and the obfuscate_many deprecation shim."""
+
+import numpy as np
+import pytest
+
+from repro.core import Mechanism
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.laplace import PlanarLaplaceMechanism
+from repro.core.mechanism import default_rng
+from repro.core.params import GeoIndBudget
+
+
+def _budget(n):
+    return GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=n)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "mechanism",
+        [
+            GaussianMechanism(_budget(1)),
+            NFoldGaussianMechanism(_budget(10)),
+            PlanarLaplaceMechanism.from_level(np.log(2), 200.0),
+        ],
+    )
+    def test_shipped_mechanisms_satisfy_protocol(self, mechanism):
+        assert isinstance(mechanism, Mechanism)
+
+    def test_batch_shape_contract(self):
+        locations = np.zeros((6, 2))
+        single = GaussianMechanism(_budget(1), rng=default_rng(0))
+        assert single.obfuscate_batch(locations).shape == (6, 2)
+        nfold = NFoldGaussianMechanism(_budget(4), rng=default_rng(0))
+        assert nfold.obfuscate_batch(locations).shape == (6, 4, 2)
+
+
+class TestDeprecatedAlias:
+    def test_obfuscate_many_warns_and_matches_batch(self):
+        locations = np.zeros((5, 2))
+        shimmed = NFoldGaussianMechanism(_budget(3), rng=default_rng(42))
+        canonical = NFoldGaussianMechanism(_budget(3), rng=default_rng(42))
+        with pytest.warns(DeprecationWarning, match="obfuscate_batch"):
+            via_alias = shimmed.obfuscate_many(locations)
+        np.testing.assert_array_equal(
+            via_alias, canonical.obfuscate_batch(locations)
+        )
+
+    @pytest.mark.filterwarnings("error::DeprecationWarning")
+    def test_canonical_name_does_not_warn(self):
+        NFoldGaussianMechanism(_budget(3), rng=default_rng(0)).obfuscate_batch(
+            np.zeros((2, 2))
+        )

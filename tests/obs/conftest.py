@@ -1,0 +1,13 @@
+"""Shared obs-test fixtures: the tracing runtime is process-global."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_test():
+    """Never leak an enabled runtime into the next test."""
+    yield
+    obs.shutdown()
+    obs.get_registry().clear()

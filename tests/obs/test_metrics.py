@@ -1,0 +1,100 @@
+"""Unit tests for the process-local metrics registry and its merge law."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot()["counters"]["requests"] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("epsilon")
+        gauge.set(1.5)
+        gauge.add(0.5)
+        assert registry.snapshot()["gauges"]["epsilon"] == 2.0
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", (1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            hist.observe(v)
+        snap = registry.snapshot()["histograms"]["latency"]
+        assert snap["bounds"] == [1.0, 10.0]
+        assert snap["counts"] == [1, 1, 1]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+        assert hist.mean() == pytest.approx(55.5 / 3)
+
+    def test_histogram_bound_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_same_instance_on_reuse(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h", DEFAULT_TIME_BUCKETS) is registry.histogram(
+            "h", DEFAULT_TIME_BUCKETS
+        )
+
+
+class TestMerge:
+    def _registry(self, scale):
+        registry = MetricsRegistry()
+        registry.counter("items").inc(10 * scale)
+        registry.gauge("spend").add(0.25 * scale)
+        hist = registry.histogram("seconds", (0.1, 1.0))
+        hist.observe(0.05 * scale)
+        hist.observe(0.5)
+        return registry
+
+    def test_merge_is_additive(self):
+        parent = self._registry(1)
+        parent.merge(self._registry(2).snapshot())
+        snap = parent.snapshot()
+        assert snap["counters"]["items"] == 30
+        assert snap["gauges"]["spend"] == pytest.approx(0.75)
+        assert snap["histograms"]["seconds"]["count"] == 4
+
+    def test_merge_snapshots_equals_sequential_merge(self):
+        parts = [self._registry(k).snapshot() for k in (1, 2, 3)]
+        combined = merge_snapshots(parts)
+        sequential = MetricsRegistry()
+        for part in parts:
+            sequential.merge(part)
+        assert combined == sequential.snapshot()
+
+    def test_merge_rejects_bound_mismatch(self):
+        parent = MetricsRegistry()
+        parent.histogram("h", (1.0,)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("h", (2.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            parent.merge(other.snapshot())
+
+    def test_snapshot_of_empty_registry(self):
+        registry = MetricsRegistry()
+        assert registry.is_empty()
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_clear_forgets_everything(self):
+        registry = self._registry(1)
+        registry.clear()
+        assert registry.is_empty()

@@ -1,0 +1,101 @@
+"""Span tracing: disabled-path no-ops, file round-trip, worker absorption."""
+
+import json
+
+from repro import obs
+from repro.obs.render import build_span_tree, read_trace
+from repro.obs.trace import _NULL_SPAN, SpanRecord
+
+
+class TestDisabledPath:
+    def test_span_is_shared_null_object(self):
+        """Disabled tracing must not allocate per call sites in hot loops."""
+        assert obs.span("anything", key="value") is _NULL_SPAN
+        assert obs.span("other") is _NULL_SPAN
+
+    def test_null_span_context_is_noop(self):
+        with obs.span("ignored") as s:
+            s.annotate(extra=1)
+        assert not obs.enabled()
+
+    def test_shutdown_without_enable_returns_none(self):
+        assert obs.shutdown() is None
+
+
+class TestRoundTrip:
+    def test_span_tree_survives_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs.enable(path)
+        with obs.span("root", kind="test"):
+            with obs.span("child-a"):
+                with obs.span("grandchild"):
+                    pass
+            with obs.span("child-b", n=2):
+                pass
+        snapshot = obs.shutdown()
+        assert snapshot is not None
+
+        trace = read_trace(path)
+        assert trace.header is not None
+        assert trace.header["version"] == obs.TRACE_SCHEMA_VERSION
+        # Spans are written on close: children appear before parents.
+        assert [s.name for s in trace.spans] == [
+            "grandchild",
+            "child-a",
+            "child-b",
+            "root",
+        ]
+        roots = build_span_tree(trace.spans)
+        assert [r.record.name for r in roots] == ["root"]
+        assert [c.record.name for c in roots[0].children] == ["child-a", "child-b"]
+        assert roots[0].children[0].children[0].record.name == "grandchild"
+        assert roots[0].record.attrs == {"kind": "test"}
+        assert all(s.seconds >= 0.0 for s in trace.spans)
+
+    def test_record_dict_round_trip_is_exact(self):
+        record = SpanRecord(
+            span_id=7, parent_id=3, name="stage", attrs={"n": 1}, start=0.25, seconds=0.5
+        )
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_metrics_line_written_on_shutdown(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs.enable(path)
+        obs.get_registry().counter("events").inc(3)
+        obs.shutdown()
+        lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["metrics"]["counters"]["events"] == 3
+        assert read_trace(path).metrics["counters"]["events"] == 3
+
+
+class TestCollectAbsorb:
+    def test_worker_spans_attach_under_active_span(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        obs.enable(path)
+        with obs.span("parent"):
+            with obs.collect() as observations:
+                with obs.span("worker-op"):
+                    pass
+                obs.get_registry().counter("worker.items").inc(5)
+            obs.absorb(observations)
+        snapshot = obs.shutdown()
+        assert snapshot["counters"]["worker.items"] == 5
+
+        trace = read_trace(path)
+        roots = build_span_tree(trace.spans)
+        assert [r.record.name for r in roots] == ["parent"]
+        assert [c.record.name for c in roots[0].children] == ["worker-op"]
+
+    def test_absorb_none_is_noop(self):
+        obs.enable()
+        obs.absorb(None)
+        assert obs.shutdown() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_collect_restores_outer_runtime(self):
+        obs.enable()
+        obs.get_registry().counter("outer").inc()
+        with obs.collect():
+            obs.get_registry().counter("inner").inc()
+        snapshot = obs.shutdown()
+        assert snapshot["counters"] == {"outer": 1}

@@ -1,6 +1,6 @@
 """Property tests: batched noise sampling matches the per-sample path.
 
-The vectorised fast paths (``obfuscate_batch``, ``obfuscate_many``,
+The vectorised fast paths (``obfuscate_batch``,
 ``posterior_weights_array``, ``select_index_batch``) must be statistically
 indistinguishable from the original one-sample-at-a-time code they
 replaced — same noise law, same posterior weights, same selection
@@ -59,7 +59,7 @@ class TestGaussianBatchDistribution:
 
     @given(seeds)
     @settings(max_examples=10, deadline=None)
-    def test_obfuscate_many_matches_obfuscate(self, seed):
+    def test_obfuscate_batch_matches_obfuscate(self, seed):
         """n-fold batched candidate sets follow the per-call noise law."""
         n_fold = 4
         many_mech = NFoldGaussianMechanism(_budget(n_fold), rng=default_rng(seed))
@@ -68,7 +68,7 @@ class TestGaussianBatchDistribution:
         )
 
         locations = np.zeros((N_SAMPLES // n_fold, 2))
-        many = many_mech.obfuscate_many(locations)
+        many = many_mech.obfuscate_batch(locations)
         assert many.shape == (len(locations), n_fold, 2)
         flat = many.reshape(-1, 2)
         looped = np.array(
