@@ -26,7 +26,7 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.docs import MissingAnnotations, MissingDocstring
 from repro.analysis.rules.floats import FloatEquality
 from repro.analysis.rules.mutables import MutableDefaultArgument
-from repro.analysis.rules.perf import ScalarCallInLoop
+from repro.analysis.rules.perf import PerUserCsrLoop, ScalarCallInLoop
 from repro.analysis.rules.rng import (
     LegacyNumpyRandomCall,
     NonLocalRngSampling,
@@ -54,6 +54,7 @@ def all_rules() -> List[Rule]:
         MissingDocstring(),
         MissingAnnotations(),
         ScalarCallInLoop(),
+        PerUserCsrLoop(),
     ]
     return sorted(rules, key=lambda r: r.id)
 

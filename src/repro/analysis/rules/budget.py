@@ -17,13 +17,22 @@ from repro.analysis.engine import FileContext, Finding, Rule
 
 __all__ = ["NoisePrimitiveOutsideCore", "RedrawInLoop"]
 
-#: Modules allowed to draw planar noise directly.
-SANCTIONED_PREFIXES: Tuple[str, ...] = ("repro.core",)
+#: Modules allowed to draw planar noise directly.  The population
+#: kernels are sanctioned as a package: they consume the calibrated
+#: sigmas/epsilons and per-user spawned streams, feeding the same
+#: sampling primitives as the mechanisms, just batched per shard.
+SANCTIONED_PREFIXES: Tuple[str, ...] = ("repro.core", "repro.kernels")
 SANCTIONED_MODULES: Tuple[str, ...] = ("repro.datagen.obfuscate",)
 
-#: The low-level noise primitives of ``repro.core.sampling``.
+#: The low-level noise primitives of ``repro.core.sampling``, including
+#: the uniform-inversion halves the population kernels batch directly.
 NOISE_PRIMITIVES = frozenset(
-    {"sample_gaussian_noise", "sample_planar_laplace_noise"}
+    {
+        "sample_gaussian_noise",
+        "sample_planar_laplace_noise",
+        "rayleigh_radius_from_uniform",
+        "planar_laplace_radius_from_uniform",
+    }
 )
 
 #: Mechanism entry points that draw fresh noise on every call.

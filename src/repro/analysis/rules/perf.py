@@ -1,13 +1,17 @@
-"""Performance rules (``PERF001``).
+"""Performance rules (``PERF001``–``PERF002``).
 
 The columnar data plane gives every hot primitive a vectorised batch
 entry point (``obfuscate_batch``, ``select_index_batch``,
 ``posterior_weights_array``).  Driving those
 primitives one element at a time from a Python loop forfeits the batch
 speedup and is almost always an accident — the loop body pays Point
-boxing and numpy dispatch per element.  Justified scalar loops (RNG
-call-order contracts, batch-API fallback paths) belong in the baseline
-or under a suppression comment with the reason.
+boxing and numpy dispatch per element.  One level up, the population
+kernels in :mod:`repro.kernels` subsume whole per-user loops over CSR
+shards, so experiment workers that still slice user ranges one at a
+time are leaving the same speedup on the table.  Justified scalar loops
+(RNG call-order contracts, batch-API fallback paths, deliberately kept
+per-user reference modes) belong in the baseline or under a suppression
+comment with the reason.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Dict, Iterator
 
 from repro.analysis.engine import FileContext, Finding, Rule
 
-__all__ = ["ScalarCallInLoop"]
+__all__ = ["ScalarCallInLoop", "PerUserCsrLoop"]
 
 #: Per-element entry point -> the batch API that replaces it in a loop.
 BATCH_ALTERNATIVES: Dict[str, str] = {
@@ -87,4 +91,70 @@ class ScalarCallInLoop(Rule):
                 f"{BATCH_ALTERNATIVES[tail]} over the whole array (or "
                 "baseline/suppress with the reason the loop must stay "
                 "scalar)",
+            )
+
+
+#: Per-user CSR accessors whose presence under a loop marks user-at-a-time
+#: iteration over a columnar shard.
+CSR_USER_ACCESSORS = frozenset(
+    {"user_coords", "user_slice", "user_true_tops", "user_timestamps"}
+)
+
+
+class PerUserCsrLoop(Rule):
+    """``PERF002``: per-user loop over a CSR shard in an experiment driver.
+
+    Flags loops in ``repro.experiments`` that touch CSR rows one user at
+    a time — per-user accessor calls (``user_coords``/``user_slice``/...)
+    or ``*offsets[...]`` subscripts under a loop.  The population kernels
+    in :mod:`repro.kernels` process whole shards in single array passes;
+    a per-user python loop in a chunk worker re-introduces the scaling
+    wall Table II measures.  Deliberate per-user paths (the table2
+    ``mode="loop"`` reference, attacks that are inherently per-user)
+    are justified sites — baseline them or suppress with the reason.
+    """
+
+    id = "PERF002"
+    name = "per-user CSR loop in an experiment driver"
+    rationale = (
+        "Experiment chunk workers should hand whole CSR shards to the "
+        "population kernels (repro.kernels); slicing one user per loop "
+        "iteration pays python dispatch per user and dominates wall "
+        "clock beyond ~10k users."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag per-user CSR row access under a loop in experiments."""
+        if ctx.role != "src":
+            return
+        if ctx.module is None or not ctx.module.startswith("repro.experiments"):
+            return
+        for node in ast.walk(ctx.tree):
+            accessor = None
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CSR_USER_ACCESSORS
+            ):
+                accessor = f".{node.func.attr}()"
+            elif isinstance(node, ast.Subscript):
+                value = node.value
+                base = None
+                if isinstance(value, ast.Name):
+                    base = value.id
+                elif isinstance(value, ast.Attribute):
+                    base = value.attr
+                if base is not None and base.endswith("offsets"):
+                    accessor = f"{base}[...]"
+            if accessor is None:
+                continue
+            if not any(isinstance(anc, _LOOP_NODES) for anc in ctx.ancestors(node)):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"per-user CSR access '{accessor}' inside a loop; process "
+                "the whole shard with a population kernel from "
+                "repro.kernels (or baseline/suppress with the reason this "
+                "path must stay per-user)",
             )

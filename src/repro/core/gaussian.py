@@ -15,7 +15,6 @@ composition.
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -128,21 +127,6 @@ class NFoldGaussianMechanism(LPPM):
         n = self.budget.n
         noise = sample_gaussian_noise(self.sigma, m * n, self.rng)
         return locations[:, None, :] + noise.reshape(m, n, 2)
-
-    def obfuscate_many(self, locations: np.ndarray) -> np.ndarray:
-        """Deprecated alias of :meth:`obfuscate_batch` (one-release shim).
-
-        ``obfuscate_batch`` is the canonical columnar entry point across
-        every mechanism (see :class:`repro.core.mechanism.Mechanism`);
-        this name is kept for one release and then removed.
-        """
-        warnings.warn(
-            "NFoldGaussianMechanism.obfuscate_many is deprecated; use "
-            "obfuscate_batch (same signature and semantics)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.obfuscate_batch(locations)
 
     def noise_tail_radius(self, alpha: float) -> float:
         """Tail radius of a *single* output's noise (Rayleigh(sigma))."""

@@ -20,13 +20,15 @@ mechanism exposes, scalar and columnar:
   coordinate array in, the stacked outputs out: ``(m, 2)`` for
   single-output mechanisms, ``(m, n, 2)`` for n-fold ones.
 
-``NFoldGaussianMechanism.obfuscate_many`` is a deprecated alias of
-``obfuscate_batch`` kept for one release.  The trace-level helpers
+``obfuscate_batch`` is the only columnar entry point (the former
+``NFoldGaussianMechanism.obfuscate_many`` alias served its one-release
+deprecation cycle and has been removed).  The trace-level helpers
 :func:`repro.datagen.obfuscate.one_time_obfuscate_xy` and
 :func:`repro.datagen.obfuscate.permanent_obfuscate_xy` are the documented
 fast-path entry points *over* this protocol — they route whole coordinate
 streams through ``obfuscate_batch`` while preserving the scalar path's
-RNG call order bit-for-bit.
+RNG call order bit-for-bit; the population kernels in
+:mod:`repro.kernels` go one level further and stream whole CSR shards.
 """
 
 from __future__ import annotations

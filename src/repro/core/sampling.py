@@ -26,9 +26,11 @@ _SMALL_P_SERIES_THRESHOLD = 1e-6
 __all__ = [
     "rayleigh_quantile",
     "rayleigh_cdf",
+    "rayleigh_radius_from_uniform",
     "sample_gaussian_noise",
     "planar_laplace_radial_cdf",
     "planar_laplace_radial_quantile",
+    "planar_laplace_radius_from_uniform",
     "sample_planar_laplace_noise",
     "polar_to_cartesian",
 ]
@@ -56,6 +58,20 @@ def polar_to_cartesian(radius: np.ndarray, theta: np.ndarray) -> np.ndarray:
     return np.column_stack([radius * np.cos(theta), radius * np.sin(theta)])
 
 
+def rayleigh_radius_from_uniform(s: np.ndarray, sigma: float) -> np.ndarray:
+    """Invert the Rayleigh CDF elementwise: ``r = sigma * sqrt(-2 log1p(-s))``.
+
+    The deterministic half of :func:`sample_gaussian_noise`, factored out
+    so population-level kernels can draw the uniforms from per-user
+    streams and run this transform batched over every user at once while
+    staying bit-identical (the expression is purely elementwise).
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    s = np.asarray(s, dtype=float)
+    return sigma * np.sqrt(-2.0 * np.log1p(-s))
+
+
 def sample_gaussian_noise(
     sigma: float, size: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -71,7 +87,7 @@ def sample_gaussian_noise(
         raise ValueError(f"size must be non-negative, got {size}")
     theta = rng.uniform(0.0, 2.0 * math.pi, size)
     s = rng.uniform(0.0, 1.0, size)
-    radius = sigma * np.sqrt(-2.0 * np.log1p(-s))
+    radius = rayleigh_radius_from_uniform(s, sigma)
     return polar_to_cartesian(radius, theta)
 
 
@@ -106,6 +122,19 @@ def planar_laplace_radial_quantile(p: float, epsilon: float) -> float:
     return float(-(w.real + 1.0) / epsilon)
 
 
+def planar_laplace_radius_from_uniform(p: np.ndarray, epsilon: float) -> np.ndarray:
+    """Invert the planar-Laplace radial CDF elementwise via Lambert-W.
+
+    The deterministic half of :func:`sample_planar_laplace_noise`; see
+    :func:`rayleigh_radius_from_uniform` for why it is factored out.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    p = np.asarray(p, dtype=float)
+    w = lambertw((p - 1.0) / math.e, k=-1)
+    return np.asarray(-(w.real + 1.0) / epsilon, dtype=float)
+
+
 def sample_planar_laplace_noise(
     epsilon: float, size: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -117,6 +146,5 @@ def sample_planar_laplace_noise(
     theta = rng.uniform(0.0, 2.0 * math.pi, size)
     p = rng.uniform(0.0, 1.0, size)
     # Vectorised Lambert-W inversion over the batch.
-    w = lambertw((p - 1.0) / math.e, k=-1)
-    radius = -(w.real + 1.0) / epsilon
+    radius = planar_laplace_radius_from_uniform(p, epsilon)
     return polar_to_cartesian(radius, theta)

@@ -28,7 +28,20 @@ import numpy as np
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn
 
-__all__ = ["CheckInColumns", "PopulationColumns"]
+__all__ = ["CheckInColumns", "PopulationColumns", "chunk_csr"]
+
+
+def chunk_csr(
+    xs: np.ndarray, ys: np.ndarray, offsets: np.ndarray, lo: int, hi: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Rebase users ``[lo, hi)`` of a CSR bundle to local offsets.
+
+    Returns array views (no copies) over the users' rows plus a rebased
+    offsets array — the unit the population kernels consume when a chunk
+    worker owns a contiguous user range of a larger shard.
+    """
+    start = offsets[lo]
+    return xs[start:offsets[hi]], ys[start:offsets[hi]], offsets[lo:hi + 1] - start
 
 
 def _as_float64(arr: "np.ndarray | Sequence[float]", name: str) -> np.ndarray:
@@ -169,6 +182,32 @@ class CheckInColumns:
             offsets=arrays["offsets"],
         )
 
+    @classmethod
+    def concat(cls, shards: Sequence["CheckInColumns"]) -> "CheckInColumns":
+        """Stack user shards back-to-back into one CSR population.
+
+        Offsets are rebased so shard boundaries disappear; user ``i`` of
+        shard ``j`` becomes a plain user of the combined columns with its
+        rows untouched.  This is the reassembly half of shard-parallel
+        tier generation.
+        """
+        if not shards:
+            return cls(
+                xs=np.empty(0), ys=np.empty(0), timestamps=np.empty(0),
+                offsets=np.zeros(1, dtype=np.int64),
+            )
+        offsets = [shards[0].offsets]
+        base = shards[0].offsets[-1]
+        for shard in shards[1:]:
+            offsets.append(shard.offsets[1:] + base)
+            base = base + shard.offsets[-1]
+        return cls(
+            xs=np.concatenate([s.xs for s in shards]),
+            ys=np.concatenate([s.ys for s in shards]),
+            timestamps=np.concatenate([s.timestamps for s in shards]),
+            offsets=np.concatenate(offsets),
+        )
+
 
 @dataclass(frozen=True)
 class PopulationColumns:
@@ -245,4 +284,25 @@ class PopulationColumns:
             top_xs=arrays["top_xs"],
             top_ys=arrays["top_ys"],
             top_offsets=arrays["top_offsets"],
+        )
+
+    @classmethod
+    def concat(cls, shards: Sequence["PopulationColumns"]) -> "PopulationColumns":
+        """Stack population shards into one (see ``CheckInColumns.concat``)."""
+        if not shards:
+            return cls(
+                checkins=CheckInColumns.concat([]),
+                top_xs=np.empty(0), top_ys=np.empty(0),
+                top_offsets=np.zeros(1, dtype=np.int64),
+            )
+        top_offsets = [shards[0].top_offsets]
+        base = shards[0].top_offsets[-1]
+        for shard in shards[1:]:
+            top_offsets.append(shard.top_offsets[1:] + base)
+            base = base + shard.top_offsets[-1]
+        return cls(
+            checkins=CheckInColumns.concat([s.checkins for s in shards]),
+            top_xs=np.concatenate([s.top_xs for s in shards]),
+            top_ys=np.concatenate([s.top_ys for s in shards]),
+            top_offsets=np.concatenate(top_offsets),
         )

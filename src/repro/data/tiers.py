@@ -1,0 +1,174 @@
+"""Named dataset tiers: small / city / metro-100k populations as CSR shards.
+
+A tier names a fixed :class:`~repro.datagen.population.PopulationConfig`
+so benches and CI refer to "the 10k-user city tier" instead of an ad-hoc
+parameter soup.  Tier populations are generated **shard-streamed**: users
+come from :func:`~repro.datagen.population.iter_population_spawned` (each
+user a pure function of ``(config, user id)``), so fixed-size shards of
+the population can be generated in parallel, cached individually in the
+content-addressed :class:`~repro.data.cache.StageCache` under the
+``tier-shard`` stage, and concatenated back — large populations never
+regenerate, and a partially warm cache only computes the missing shards.
+
+Per-user check-in volume shrinks as the tier grows (a 100k-user bench
+stresses the *population* axis, not per-user trace length), keeping the
+metro tier around 5-6M check-ins (~130 MB of columns).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.cache import StageCache, stage_key
+from repro.data.columns import PopulationColumns
+from repro.datagen.population import PopulationConfig, iter_population_spawned
+
+__all__ = [
+    "DatasetTier",
+    "TIERS",
+    "TIER_SHARD_USERS",
+    "TIER_STAGE_VERSION",
+    "tier_config",
+    "tier_columns",
+]
+
+#: Bump when spawned-stream population generation changes output.
+TIER_STAGE_VERSION = "1"
+
+#: Users per generation/cache shard.  Part of the cache key via the shard
+#: ranges, so changing it invalidates tier entries (they re-shard).
+TIER_SHARD_USERS = 2_500
+
+
+@dataclass(frozen=True)
+class DatasetTier:
+    """A named population scale with its trace-volume calibration."""
+
+    name: str
+    n_users: int
+    count_log_mean: float
+    count_log_sigma: float
+    max_checkins: int
+    seed: int = 20220522
+
+    def config(self) -> PopulationConfig:
+        """The tier's fully specified population config."""
+        return PopulationConfig(
+            n_users=self.n_users,
+            seed=self.seed,
+            count_log_mean=self.count_log_mean,
+            count_log_sigma=self.count_log_sigma,
+            max_checkins=self.max_checkins,
+        )
+
+
+#: The named tiers the benches and docs refer to.
+TIERS: Dict[str, DatasetTier] = {
+    tier.name: tier
+    for tier in (
+        # Laptop tier: the repo-default population calibration.
+        DatasetTier(
+            name="small", n_users=2_000,
+            count_log_mean=math.log(450.0), count_log_sigma=1.15,
+            max_checkins=11_435,
+        ),
+        # CI mid-tier: 10k users, ~130 check-ins each.
+        DatasetTier(
+            name="city", n_users=10_000,
+            count_log_mean=math.log(80.0), count_log_sigma=1.0,
+            max_checkins=2_000,
+        ),
+        # The bench-trajectory tier: 100k users, ~55 check-ins each.
+        DatasetTier(
+            name="metro-100k", n_users=100_000,
+            count_log_mean=math.log(40.0), count_log_sigma=0.8,
+            max_checkins=400,
+        ),
+    )
+}
+
+
+def tier_config(name: str) -> PopulationConfig:
+    """Resolve a tier name to its population config."""
+    try:
+        return TIERS[name].config()
+    except KeyError:
+        raise ValueError(
+            f"unknown tier {name!r}; available: {sorted(TIERS)}"
+        ) from None
+
+
+def _shard_ranges(n_users: int) -> List[Tuple[int, int]]:
+    return [
+        (s, min(s + TIER_SHARD_USERS, n_users))
+        for s in range(0, n_users, TIER_SHARD_USERS)
+    ]
+
+
+def _shard_key(config: PopulationConfig, start: int, stop: int) -> str:
+    return stage_key(
+        "tier-shard",
+        {"config": config, "start": start, "stop": stop},
+        TIER_STAGE_VERSION,
+    )
+
+
+def _generate_shards(chunk, rng, payload) -> List[Dict[str, np.ndarray]]:
+    """parallel_map chunk fn: generate the given ``(start, stop)`` shards.
+
+    The chunk rng is unused on purpose — every user draws from its own
+    spawned stream, so shard content is independent of the chunk schedule.
+    """
+    config: PopulationConfig = payload["config"]
+    return [
+        PopulationColumns.from_users(
+            iter_population_spawned(config, start, stop)
+        ).arrays()
+        for start, stop in chunk
+    ]
+
+
+def tier_columns(
+    name: str,
+    cache: Optional[StageCache] = None,
+    workers: Optional[int] = 1,
+) -> PopulationColumns:
+    """The tier's full population, shard-cached and shard-parallel.
+
+    Shards present in ``cache`` load directly; missing shards are
+    generated (fanned out over ``workers`` via ``parallel_map``) and
+    stored, then everything concatenates in user order.  The result is
+    bit-identical regardless of cache state or worker count.
+    """
+    from repro.parallel.pool import parallel_map
+
+    config = tier_config(name)
+    ranges = _shard_ranges(config.n_users)
+    shards: List[Optional[PopulationColumns]] = [None] * len(ranges)
+    missing: List[Tuple[int, Tuple[int, int]]] = []
+    for i, (start, stop) in enumerate(ranges):
+        if cache is not None:
+            arrays = cache.load(_shard_key(config, start, stop))
+            if arrays is not None:
+                shards[i] = PopulationColumns.from_arrays(arrays)
+                continue
+        missing.append((i, (start, stop)))
+
+    if missing:
+        generated = parallel_map(
+            _generate_shards,
+            [rng_pair for _, rng_pair in missing],
+            workers=workers,
+            chunk_size=1,
+            payload={"config": config},
+        )
+        for (i, (start, stop)), arrays in zip(missing, generated):
+            if cache is not None:
+                cache.store(_shard_key(config, start, stop), arrays)
+            shards[i] = PopulationColumns.from_arrays(arrays)
+
+    return PopulationColumns.concat([s for s in shards if s is not None])

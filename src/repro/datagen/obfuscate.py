@@ -40,6 +40,7 @@ __all__ = [
     "one_time_obfuscate_xy",
     "permanent_obfuscate",
     "permanent_obfuscate_xy",
+    "permanent_obfuscate_batched_xy",
 ]
 
 
@@ -157,6 +158,71 @@ def permanent_obfuscate_xy(
                 )
                 reported_xy[i] = (p.x, p.y)
 
+    return reported_xy
+
+
+def permanent_obfuscate_batched_xy(
+    coords: np.ndarray,
+    tops_xy: np.ndarray,
+    mechanism: LPPM,
+    selector: OutputSelector,
+    match_radius: float = 100.0,
+    nomadic_mechanism: Optional[LPPM] = None,
+) -> np.ndarray:
+    """Edge-PrivLocAd reporting with batch-pinned candidate sets.
+
+    Same deployment as :func:`permanent_obfuscate_xy` but the candidate
+    sets are pinned with ONE ``mechanism.obfuscate_batch`` call over all
+    top locations (all angles before all radii for the whole set) instead
+    of a per-top ``obfuscate`` loop.  This batched draw order is the
+    per-user reference that the population kernels in
+    :mod:`repro.kernels.obfuscate` reproduce bit for bit; it produces
+    different (equally distributed) noise than :func:`permanent_obfuscate_xy`.
+    ``nomadic_mechanism`` is required — the selector-over-fresh-set
+    fallback has no batched draw order to pin down.
+    """
+    if match_radius <= 0:
+        raise ValueError("match radius must be positive")
+    if nomadic_mechanism is None:
+        raise ValueError(
+            "permanent_obfuscate_batched_xy requires an explicit "
+            "nomadic_mechanism (the fresh-set fallback is per check-in)"
+        )
+    if nomadic_mechanism.n_outputs != 1:
+        raise ValueError(
+            "nomadic mechanism must be single-output, got "
+            f"{nomadic_mechanism.name} with n={nomadic_mechanism.n_outputs}"
+        )
+    coords = np.asarray(coords, dtype=float)
+    tops_xy = np.asarray(tops_xy, dtype=float).reshape(-1, 2)
+    # (k, n, 2) pinned candidates in one draw; size-0 draws are no-ops.
+    candidates = np.asarray(mechanism.obfuscate_batch(tops_xy), dtype=float)
+    m = len(coords)
+    if m == 0:
+        return np.empty((0, 2), dtype=float)
+
+    reported_xy = np.empty((m, 2), dtype=float)
+    if len(tops_xy):
+        d = np.hypot(
+            coords[:, 0, None] - tops_xy[None, :, 0],
+            coords[:, 1, None] - tops_xy[None, :, 1],
+        )
+        nearest = d.argmin(axis=1)
+        matched = d[np.arange(m), nearest] <= match_radius
+    else:
+        nearest = np.zeros(m, dtype=np.int64)
+        matched = np.zeros(m, dtype=bool)
+
+    if matched.any():
+        row_sets = candidates[nearest[matched]]
+        chosen = selector.select_index_batch(row_sets)
+        reported_xy[matched] = row_sets[np.arange(len(row_sets)), chosen]
+
+    nomadic = ~matched
+    if nomadic.any():
+        reported_xy[nomadic] = nomadic_mechanism.obfuscate_batch(
+            coords[nomadic]
+        )
     return reported_xy
 
 

@@ -32,7 +32,13 @@ from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn
 
-__all__ = ["PopulationConfig", "SyntheticUser", "generate_population", "iter_population"]
+__all__ = [
+    "PopulationConfig",
+    "SyntheticUser",
+    "generate_population",
+    "iter_population",
+    "iter_population_spawned",
+]
 
 #: The paper's per-user check-in bounds.
 PAPER_MIN_CHECKINS = 20
@@ -175,6 +181,33 @@ def iter_population(config: PopulationConfig) -> Iterator[SyntheticUser]:
     """Stream users one at a time (constant memory for very large populations)."""
     rng = np.random.default_rng(config.seed)
     for idx in range(config.n_users):
+        model, n_checkins = _build_user(idx, config, rng)
+        trace = model.generate(n_checkins, config.start_ts, config.days, rng)
+        yield SyntheticUser(user_id=model.user_id, model=model, trace=trace)
+
+
+def iter_population_spawned(
+    config: PopulationConfig, start: int = 0, stop: Optional[int] = None
+) -> Iterator[SyntheticUser]:
+    """Stream users ``[start, stop)`` with per-user spawned RNG streams.
+
+    Unlike :func:`iter_population` (ONE sequential rng, so user ``i``
+    depends on all users before it), each user here draws from
+    ``SeedSequence(entropy=config.seed, spawn_key=(i,))`` — user ``i`` is
+    a pure function of ``(config, i)``.  That makes arbitrary index
+    ranges generable independently, which is what lets the dataset tiers
+    build 100k-user populations shard-parallel and cache each shard
+    separately while remaining bit-identical for any shard schedule.
+    """
+    stop = config.n_users if stop is None else stop
+    if not 0 <= start <= stop <= config.n_users:
+        raise ValueError(
+            f"invalid user range [{start}, {stop}) for {config.n_users} users"
+        )
+    for idx in range(start, stop):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=config.seed, spawn_key=(idx,))
+        )
         model, n_checkins = _build_user(idx, config, rng)
         trace = model.generate(n_checkins, config.start_ts, config.days, rng)
         yield SyntheticUser(user_id=model.user_id, model=model, trace=trace)

@@ -7,7 +7,13 @@ Three jobs, all reachable through ``repro bench``:
   as ``BENCH_<id>_cache_cold.json`` / ``BENCH_<id>_cache_warm.json`` in
   the same shape as the pytest-benchmark archives, and print the warm
   speedup.  For the deterministic experiments the harness also asserts
-  the cold and warm rows are bit-identical.
+  the cold and warm rows are bit-identical.  The table2 workload takes
+  ``--tier small|city|metro-100k`` (named dataset tiers), ``--mode
+  kernel|loop`` (population kernels vs the per-user reference path),
+  ``--digest`` (attach the candidate sha256 — the worker-invariance
+  witness; cold/warm digests must agree) and ``--trace`` (attach
+  per-span timing summaries from ``repro.obs``); the bench id grows
+  matching suffixes, e.g. ``BENCH_table2_city_kernel_cache_cold.json``.
 * ``repro bench shm`` — measure the shared-memory fan-out transport:
   ship the same large payload to a process pool with shared memory on
   and off and archive bytes-over-pickle vs bytes-over-shm.
@@ -30,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.data.cache import DEFAULT_CACHE_DIR, StageCache
+from repro.data.tiers import TIERS
 from repro.experiments import (
     fig6_attack,
     fig7_mechanisms,
@@ -39,6 +46,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
+from repro.obs import trace as _trace
 from repro.parallel import (
     parallel_map_with_stats,
     set_shared_memory_enabled,
@@ -95,9 +103,10 @@ def _payload(
     bench_id: str,
     wall_seconds: float,
     scale: ExperimentScale,
+    spans: Optional[Dict[str, dict]] = None,
 ) -> dict:
     """One archive entry, same shape as ``benchmarks/conftest.py`` writes."""
-    return {
+    out = {
         "experiment_id": bench_id,
         "title": report.title,
         "wall_seconds": wall_seconds,
@@ -108,6 +117,24 @@ def _payload(
         "rows": report.rows,
         "notes": report.notes,
     }
+    for key in ("mode", "tier", "digest"):
+        if report.meta.get(key) is not None:
+            out[key] = report.meta[key]
+    if spans is not None:
+        out["spans"] = spans
+    return out
+
+
+def _summarise_spans(spans: List[dict]) -> Dict[str, dict]:
+    """Aggregate raw span records to per-name count/total-seconds."""
+    summary: Dict[str, dict] = {}
+    for record in spans:
+        entry = summary.setdefault(record["name"], {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += float(record["seconds"])
+    for entry in summary.values():
+        entry["seconds"] = round(entry["seconds"], 6)
+    return summary
 
 
 def _archive(payload: dict, results_dir: Path) -> Path:
@@ -117,44 +144,103 @@ def _archive(payload: dict, results_dir: Path) -> Path:
     return path
 
 
+def _timed_run(
+    runner: Callable[[ExperimentScale, Optional[int], StageCache], ExperimentReport],
+    scale: ExperimentScale,
+    workers: Optional[int],
+    cache: StageCache,
+    with_spans: bool,
+) -> Tuple[ExperimentReport, float, Optional[Dict[str, dict]]]:
+    start = time.perf_counter()
+    if with_spans:
+        with _trace.collect() as obs:
+            report = runner(scale, workers, cache)
+        spans: Optional[Dict[str, dict]] = _summarise_spans(obs.spans)
+    else:
+        report = runner(scale, workers, cache)
+        spans = None
+    return report, time.perf_counter() - start, spans
+
+
 def run_cold_warm(
     exp_id: str,
     scale: ExperimentScale,
     workers: Optional[int] = 1,
     cache_dir: Optional[Path] = None,
     results_dir: Optional[Path] = None,
+    tier: Optional[str] = None,
+    mode: Optional[str] = None,
+    with_digest: bool = False,
+    with_spans: bool = False,
 ) -> Tuple[dict, dict]:
     """Run ``exp_id`` cold (cleared cache) then warm; archive both runs.
 
     Returns the (cold, warm) archive payloads.  Raises ``RuntimeError``
     if a deterministic experiment's warm rows differ from its cold rows —
     a cache hit must be indistinguishable from a recompute.
+
+    ``tier``/``mode``/``with_digest`` parameterise the table2 workload
+    (dataset tier, kernel-vs-loop execution, candidate digest); the
+    bench id grows matching suffixes so each combination archives
+    separately.  ``with_spans`` wraps both runs in the observability
+    collector and attaches per-span-name timing summaries.
     """
     if exp_id not in BENCH_RUNNERS:
         raise ValueError(
             f"unknown cache-aware experiment {exp_id!r}; "
             f"choose from {sorted(BENCH_RUNNERS)}"
         )
-    runner = BENCH_RUNNERS[exp_id]
+    if tier is not None or mode is not None or with_digest:
+        if exp_id != "table2":
+            raise ValueError("tier/mode/digest options only apply to table2")
+
+        def runner(
+            scale: ExperimentScale, workers: Optional[int], cache: StageCache
+        ) -> ExperimentReport:
+            return table2_obfuscation_time.run(
+                scale,
+                workers=workers,
+                cache=cache,
+                tier=tier,
+                mode=mode or "kernel",
+                with_digest=with_digest,
+            )
+
+        bench_id = "_".join(
+            [exp_id] + ([tier] if tier else []) + ([mode] if mode else [])
+        )
+    else:
+        runner = BENCH_RUNNERS[exp_id]
+        bench_id = exp_id
     cache = StageCache(cache_dir)
     cache.clear()
 
-    start = time.perf_counter()
-    cold_report = runner(scale, workers, cache)
-    cold_seconds = time.perf_counter() - start
-
+    cold_report, cold_seconds, cold_spans = _timed_run(
+        runner, scale, workers, cache, with_spans
+    )
     warm_cache = StageCache(cache_dir)
-    start = time.perf_counter()
-    warm_report = runner(scale, workers, warm_cache)
-    warm_seconds = time.perf_counter() - start
+    warm_report, warm_seconds, warm_spans = _timed_run(
+        runner, scale, workers, warm_cache, with_spans
+    )
 
     if exp_id in DETERMINISTIC_ROWS and warm_report.rows != cold_report.rows:
         raise RuntimeError(
             f"{exp_id}: warm-cache rows differ from cold-cache rows — "
             "a stage cache entry is not bit-identical to its recompute"
         )
-    cold = _payload(cold_report, f"{exp_id}_cache_cold", cold_seconds, scale)
-    warm = _payload(warm_report, f"{exp_id}_cache_warm", warm_seconds, scale)
+    cold_digest = cold_report.meta.get("digest")
+    warm_digest = warm_report.meta.get("digest")
+    if cold_digest is not None and cold_digest != warm_digest:
+        raise RuntimeError(
+            f"{exp_id}: warm-cache candidate digest differs from cold — "
+            "the cached tier is not bit-identical to its regeneration"
+        )
+    cold = _payload(
+        cold_report, f"{bench_id}_cache_cold", cold_seconds, scale, cold_spans
+    )
+    warm = _payload(
+        warm_report, f"{bench_id}_cache_warm", warm_seconds, scale, warm_spans
+    )
     if results_dir is not None:
         _archive(cold, results_dir)
         _archive(warm, results_dir)
@@ -341,6 +427,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--workers", type=int, default=1, metavar="N")
     parser.add_argument(
+        "--tier",
+        choices=sorted(TIERS),
+        default=None,
+        help="named dataset tier for the table2 workload (small/city/metro-100k)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("kernel", "loop"),
+        default=None,
+        help="table2 execution mode: population kernels or the per-user loop",
+    )
+    parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="attach the (untimed) table2 candidate digest to the archives",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect repro.obs span timings into the archives",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -380,6 +488,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         results_dir=args.results_dir,
+        tier=args.tier,
+        mode=args.mode,
+        with_digest=args.digest,
+        with_spans=args.trace,
     )
     speedup = (
         cold["wall_seconds"] / warm["wall_seconds"]

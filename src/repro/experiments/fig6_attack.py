@@ -36,11 +36,9 @@ from repro.attack.success import UserAttackOutcome, evaluate_user
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
 from repro.core.laplace import PlanarLaplaceMechanism
 from repro.core.params import GeoIndBudget
-from repro.core.posterior import PosteriorSelector
 from repro.data.cache import StageCache, stage_key
-from repro.data.columns import PopulationColumns
+from repro.data.columns import PopulationColumns, chunk_csr
 from repro.data.stages import population_columns
-from repro.datagen.obfuscate import one_time_obfuscate_xy, permanent_obfuscate_xy
 from repro.datagen.population import PopulationConfig, SyntheticUser
 from repro.edge.location_management import DEFAULT_ETA
 from repro.experiments.config import (
@@ -54,10 +52,14 @@ from repro.experiments.config import (
 )
 from repro.experiments.tables import ExperimentReport
 from repro.geo.point import Point
+from repro.kernels.frequent import population_eta_tops
+from repro.kernels.obfuscate import (
+    one_time_laplace_population,
+    permanent_obfuscate_population,
+)
+from repro.kernels.profiles import population_profiles
 from repro.obs.trace import span as _obs_span
 from repro.parallel import parallel_map
-from repro.profiles.frequent import eta_frequent_xy
-from repro.profiles.profile import LocationProfile
 
 __all__ = ["run", "attack_one_time", "attack_defended", "ATTACK_STAGE_VERSION"]
 
@@ -65,7 +67,9 @@ THRESHOLDS_M = (200.0, 500.0)
 DEFENSE_R_M = 500.0
 
 #: Bump when the attack stages change output for unchanged parameters.
-ATTACK_STAGE_VERSION = "1"
+#: "2": obfuscation moved to the population kernels — noise now comes
+#: from per-user spawned streams instead of a shared per-chunk rng.
+ATTACK_STAGE_VERSION = "2"
 
 #: A user's inferred top locations, best first, as plain coordinates.
 InferredXY = List[Tuple[float, float]]
@@ -76,26 +80,27 @@ def _attack_one_time_chunk(
 ) -> List[InferredXY]:
     """Chunk worker: obfuscate + attack one slice of the population.
 
-    The mechanism is rebuilt per chunk on the chunk's derived RNG, so the
-    noise a user receives depends only on the root seed and the chunk
-    schedule — never on the worker count.
+    Obfuscation is one :func:`one_time_laplace_population` pass over the
+    chunk's CSR slice; each user's noise comes from that user's own
+    spawned stream, so outputs depend only on ``(seed, user id)`` — never
+    on the worker count or the chunk schedule.  The chunk rng is unused
+    on purpose.
     """
-    pop, level = payload
-    mechanism = PlanarLaplaceMechanism.from_level(
-        level, PAPER_ONETIME_RADIUS_M, rng=rng
-    )
+    pop, level, seed = payload
+    mechanism = PlanarLaplaceMechanism.from_level(level, PAPER_ONETIME_RADIUS_M)
     attack = DeobfuscationAttack.against(mechanism)
-    # Obfuscate every user, then attack every user: the attack draws no
-    # randomness, so splitting the loop leaves the mechanism's noise
-    # stream untouched while giving each phase its own span.
+    ck = pop.checkins
+    lo, hi = indices[0], indices[-1] + 1
+    cxs, cys, coffsets = chunk_csr(ck.xs, ck.ys, ck.offsets, lo, hi)
     with _obs_span("fig6.obfuscation", deployment="one-time", users=len(indices)):
-        observed = [
-            one_time_obfuscate_xy(pop.checkins.user_coords(i), mechanism)
-            for i in indices
-        ]
+        reported = one_time_laplace_population(
+            cxs, cys, coffsets, mechanism.epsilon, seed,
+            user_ids=np.arange(lo, hi, dtype=np.int64),
+        )
     with _obs_span("fig6.attack", deployment="one-time", users=len(indices)):
         out = []
-        for obs_xy in observed:
+        for j in range(len(indices)):
+            obs_xy = reported[coffsets[j]:coffsets[j + 1]]
             inferred = attack.infer_top_locations(obs_xy, 2)
             out.append([(r.location.x, r.location.y) for r in inferred])
     return out
@@ -104,35 +109,38 @@ def _attack_one_time_chunk(
 def _attack_defended_chunk(
     indices: List[int], rng: np.random.Generator, payload
 ) -> List[InferredXY]:
-    """Chunk worker: Edge-PrivLocAd deployment + attack for one user slice."""
-    pop, epsilon, n = payload
+    """Chunk worker: Edge-PrivLocAd deployment + attack for one user slice.
+
+    Profiling, eta reduction and the full permanent reporting stream are
+    population-kernel passes over the chunk's CSR slice
+    (:func:`population_profiles` / :func:`population_eta_tops` /
+    :func:`permanent_obfuscate_population`); per-user spawned streams
+    make the output invariant to chunking, so the chunk rng is unused.
+    """
+    pop, epsilon, n, seed = payload
     budget = GeoIndBudget(r=DEFENSE_R_M, epsilon=epsilon, delta=PAPER_DELTA, n=n)
-    mechanism = NFoldGaussianMechanism(budget, rng=rng)
-    nomadic = GaussianMechanism(budget.with_n(1), rng=rng)
-    selector = PosteriorSelector(mechanism.posterior_sigma, rng=rng)
+    mechanism = NFoldGaussianMechanism(budget)
+    nomadic_sigma = GaussianMechanism(budget.with_n(1)).sigma
     attack = DeobfuscationAttack.against(mechanism)
-    # Same loop split as the one-time chunk: the attack is deterministic,
-    # so obfuscating all users before attacking any preserves the exact
-    # mechanism/selector RNG call order of the fused loop.
+    ck = pop.checkins
+    lo, hi = indices[0], indices[-1] + 1
+    cxs, cys, coffsets = chunk_csr(ck.xs, ck.ys, ck.offsets, lo, hi)
     with _obs_span("fig6.obfuscation", deployment="defended", users=len(indices)):
-        reported_all = []
-        for i in indices:
-            coords = pop.checkins.user_coords(i)
-            profile = LocationProfile.from_coords(coords)
-            top_xs, top_ys = eta_frequent_xy(profile, DEFAULT_ETA)
-            reported_all.append(
-                permanent_obfuscate_xy(
-                    coords,
-                    np.column_stack((top_xs, top_ys)),
-                    mechanism,
-                    selector,
-                    nomadic_mechanism=nomadic,
-                )
-            )
+        profiles = population_profiles(cxs, cys, coffsets)
+        top_xs, top_ys, top_offsets = population_eta_tops(profiles, DEFAULT_ETA)
+        reported = permanent_obfuscate_population(
+            cxs, cys, coffsets, top_xs, top_ys, top_offsets,
+            sigma=mechanism.sigma, n=n,
+            posterior_sigma=mechanism.posterior_sigma,
+            nomadic_sigma=nomadic_sigma, seed=seed,
+            user_ids=np.arange(lo, hi, dtype=np.int64),
+        )
     with _obs_span("fig6.attack", deployment="defended", users=len(indices)):
         out = []
-        for reported in reported_all:
-            inferred = attack.infer_top_locations(reported, 2)
+        for j in range(len(indices)):
+            inferred = attack.infer_top_locations(
+                reported[coffsets[j]:coffsets[j + 1]], 2
+            )
             out.append([(r.location.x, r.location.y) for r in inferred])
     return out
 
@@ -145,7 +153,7 @@ def _infer_one_time(
         range(pop.n_users),
         workers=workers,
         seed=seed,
-        payload=(pop, level),
+        payload=(pop, level, seed),
     )
 
 
@@ -161,7 +169,7 @@ def _infer_defended(
         range(pop.n_users),
         workers=workers,
         seed=seed,
-        payload=(pop, epsilon, n),
+        payload=(pop, epsilon, n, seed),
     )
 
 

@@ -28,14 +28,16 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.tables import ExperimentReport
-from repro.metrics.efficacy import efficacy_samples
+from repro.metrics.efficacy import efficacy_samples_batched
 from repro.obs.trace import span as _obs_span
 from repro.parallel import parallel_map
 
 __all__ = ["run", "efficacy_for", "EFFICACY_STAGE_VERSION"]
 
 #: Bump when the efficacy sweep changes output for unchanged parameters.
-EFFICACY_STAGE_VERSION = "1"
+#: "2": trials run through efficacy_samples_batched (three array passes
+#: per sweep point), which consumes the rng in batched call order.
+EFFICACY_STAGE_VERSION = "2"
 
 
 def efficacy_for(
@@ -57,7 +59,7 @@ def efficacy_for(
         selector = UniformSelector(rng=rng)
     else:
         raise ValueError(f"unknown selector kind: {selector_kind}")
-    samples = efficacy_samples(
+    samples = efficacy_samples_batched(
         mechanism,
         selector,
         trials=trials,

@@ -1,0 +1,45 @@
+"""Population-level array kernels over the CSR columnar plane.
+
+Each kernel consumes an entire ``CheckInColumns``/``PopulationColumns``
+shard and replaces a per-user python loop with one (or a handful of)
+array passes, while staying bit-identical to the per-user object path it
+supersedes:
+
+* :mod:`repro.kernels.cluster` — connectivity clustering for every
+  user's check-ins at once (grid cells, box pruning, C-level connected
+  components).
+* :mod:`repro.kernels.profiles` — location profiles (centroids + counts,
+  profile-ordered) via global bincounts and one lexsort.
+* :mod:`repro.kernels.frequent` — eta-frequent location sets via a
+  segment cumsum (Algorithm 2 for the whole shard).
+* :mod:`repro.kernels.gaussian` — batched n-fold Gaussian pinning with
+  per-user ``SeedSequence.spawn`` streams preserved.
+* :mod:`repro.kernels.obfuscate` — full reporting streams (one-time
+  Laplace and Edge-PrivLocAd permanent deployment) per shard.
+
+The property suite (``tests/property/test_kernel_equivalence.py``) pins
+every kernel against its per-user reference.
+"""
+
+from repro.kernels.cluster import population_component_labels
+from repro.kernels.frequent import population_eta_counts, population_eta_tops
+from repro.kernels.gaussian import pin_candidates_population, user_rng
+from repro.kernels.obfuscate import (
+    match_tops_population,
+    one_time_laplace_population,
+    permanent_obfuscate_population,
+)
+from repro.kernels.profiles import ProfileColumns, population_profiles
+
+__all__ = [
+    "population_component_labels",
+    "ProfileColumns",
+    "population_profiles",
+    "population_eta_counts",
+    "population_eta_tops",
+    "user_rng",
+    "pin_candidates_population",
+    "match_tops_population",
+    "one_time_laplace_population",
+    "permanent_obfuscate_population",
+]

@@ -1,0 +1,72 @@
+"""Population-level eta-frequent location sets (Algorithm 2, all users).
+
+One segment-cumsum over the profile-count CSR columns replaces the
+per-user ``eta_frequent_count`` calls: each user's stopping index is the
+number of cumulative counts strictly below that user's threshold, counted
+with a single ``bincount``.  Visit counts are integers (exact in float64
+far beyond any shard size), so the batched float comparison agrees with
+the per-user ``searchsorted`` bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.profiles import ProfileColumns
+
+__all__ = ["population_eta_counts", "population_eta_tops"]
+
+
+def population_eta_counts(profiles: ProfileColumns, eta: float) -> np.ndarray:
+    """Per-user eta-frequent prefix lengths for a whole profile shard.
+
+    ``result[i] == eta_frequent_count(profile_i, eta)`` for every user:
+    the minimal prefix (in profile order) whose cumulative count reaches
+    ``eta`` — absolute when ``eta > 1``, else a fraction of the user's
+    total check-ins.  Empty profiles get 0.
+    """
+    if eta <= 0:
+        raise ValueError(f"eta must be positive, got {eta}")
+    counts = np.asarray(profiles.counts, dtype=np.int64)
+    offsets = np.asarray(profiles.offsets, dtype=np.int64)
+    n_users = len(offsets) - 1
+    nloc = np.diff(offsets)
+    if len(counts) == 0:
+        return np.zeros(n_users, dtype=np.int64)
+
+    comp_user = np.repeat(np.arange(n_users, dtype=np.int64), nloc)
+    totals = np.bincount(comp_user, weights=counts, minlength=n_users)
+    # eta * total is computed in float64 either way; totals are exact.
+    thresholds = eta * totals if eta <= 1.0 else np.full(n_users, float(eta))
+
+    # Segment cumulative counts: global int64 cumsum rebased per user.
+    cum = np.cumsum(counts)
+    base = np.concatenate([[0], cum])[offsets[:-1]]
+    seg_cum = cum - base[comp_user]
+
+    # searchsorted(cumulative, threshold, side="left") == number of
+    # cumulative entries strictly below the threshold.
+    below = seg_cum < thresholds[comp_user]
+    idx = np.bincount(comp_user[below], minlength=n_users)
+    return np.where(nloc > 0, np.minimum(idx + 1, nloc), 0).astype(np.int64)
+
+
+def population_eta_tops(
+    profiles: ProfileColumns, eta: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Every user's eta-frequent coordinates as one CSR bundle.
+
+    Returns ``(top_xs, top_ys, top_offsets)`` where user ``i``'s slice
+    equals ``eta_frequent_xy(profile_i, eta)``.
+    """
+    k = population_eta_counts(profiles, eta)
+    top_offsets = np.concatenate([[0], np.cumsum(k)]).astype(np.int64)
+    total = int(top_offsets[-1])
+    # Gather the first k[i] profile rows of each user: a flat index made
+    # of each user's profile base plus a per-segment arange.
+    seg_base = np.repeat(np.asarray(profiles.offsets[:-1], dtype=np.int64), k)
+    within = np.arange(total, dtype=np.int64) - np.repeat(top_offsets[:-1], k)
+    gather = seg_base + within
+    return profiles.xs[gather], profiles.ys[gather], top_offsets

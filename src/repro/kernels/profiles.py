@@ -1,0 +1,101 @@
+"""Population-level location profiling: every user in one aggregation pass.
+
+Replaces ``profiles_from_offsets``'s per-user ``LocationProfile.from_xy``
+loop for bulk consumers: component labels come from the population
+clustering kernel, centroids from ONE weighted ``bincount`` per axis over
+globally renumbered components, and the per-user (frequency desc, x, y)
+profile order from one global ``lexsort`` keyed by user first.
+
+Bit-identity with the per-user path holds because ``bincount`` accumulates
+in index order (each component's addends arrive in the same order either
+way), and ``lexsort`` with the user id as primary key reproduces each
+user's standalone sort (it is stable, and full-key ties preserve the same
+input order both ways).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.cluster import population_component_labels
+from repro.profiles.profile import DEFAULT_CONNECT_RADIUS_M
+
+__all__ = ["ProfileColumns", "population_profiles"]
+
+
+@dataclass(frozen=True)
+class ProfileColumns:
+    """CSR columns of every user's location profile, in profile order.
+
+    ``offsets[i]:offsets[i+1]`` slices user ``i``'s clustered locations,
+    sorted by decreasing visit count (ties by x then y) — exactly the
+    order :class:`repro.profiles.profile.LocationProfile` exposes.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    counts: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_users(self) -> int:
+        """Number of users the profile columns cover."""
+        return len(self.offsets) - 1
+
+    def user_slice(self, i: int) -> slice:
+        """The slice of user ``i``'s profile rows in the CSR columns."""
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+
+def population_profiles(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    offsets: np.ndarray,
+    connect_radius: float = DEFAULT_CONNECT_RADIUS_M,
+) -> ProfileColumns:
+    """Profile an entire CSR shard in one pass.
+
+    For each user ``i`` the returned columns equal
+    ``LocationProfile.from_xy(xs[sl], ys[sl], connect_radius)``'s
+    ``xs``/``ys``/``counts`` bit for bit.
+    """
+    xs = np.ascontiguousarray(xs, dtype=float)
+    ys = np.ascontiguousarray(ys, dtype=float)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n_users = len(offsets) - 1
+    n = len(xs)
+    if n == 0:
+        empty = np.empty(0, dtype=float)
+        return ProfileColumns(
+            empty, empty.copy(), np.empty(0, dtype=np.int64),
+            np.zeros(n_users + 1, dtype=np.int64),
+        )
+
+    labels = population_component_labels(xs, ys, offsets, connect_radius)
+    sizes_u = np.diff(offsets)
+    user_of_point = np.repeat(np.arange(n_users, dtype=np.int64), sizes_u)
+
+    # Per-user component counts -> global component renumbering that keeps
+    # components grouped by user and ordered by per-user label.
+    ncomp = np.zeros(n_users, dtype=np.int64)
+    nonempty = sizes_u > 0
+    if nonempty.any():
+        ncomp[nonempty] = (
+            np.maximum.reduceat(labels, offsets[:-1][nonempty]) + 1
+        )
+    comp_offsets = np.concatenate([[0], np.cumsum(ncomp)])
+    comp_id = comp_offsets[:-1][user_of_point] + labels
+    total_comps = int(comp_offsets[-1])
+
+    counts = np.bincount(comp_id, minlength=total_comps)
+    cx = np.bincount(comp_id, weights=xs, minlength=total_comps) / counts
+    cy = np.bincount(comp_id, weights=ys, minlength=total_comps) / counts
+
+    # Per-user profile order via one global lexsort (user id primary).
+    comp_user = np.repeat(np.arange(n_users, dtype=np.int64), ncomp)
+    order = np.lexsort((cy, cx, -counts, comp_user))
+    return ProfileColumns(
+        cx[order], cy[order], counts[order].astype(np.int64), comp_offsets
+    )

@@ -21,7 +21,7 @@ from repro.geo.geometry import sample_uniform_disc
 from repro.geo.point import Point
 from repro.metrics.utilization import DEFAULT_TARGETING_RADIUS_M
 
-__all__ = ["efficacy_of_report", "efficacy_samples"]
+__all__ = ["efficacy_of_report", "efficacy_samples", "efficacy_samples_batched"]
 
 
 def efficacy_of_report(
@@ -82,3 +82,51 @@ def efficacy_samples(
             rng=rng,
         )
     return out
+
+
+def efficacy_samples_batched(
+    mechanism: LPPM,
+    selector: OutputSelector,
+    trials: int,
+    targeting_radius: float = DEFAULT_TARGETING_RADIUS_M,
+    true_location: Point = Point(0.0, 0.0),
+    ads_per_trial: int = 256,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """AE distribution with every trial batched into array passes.
+
+    Statistically the same measurement as :func:`efficacy_samples` —
+    fresh candidate set, one selection, AOR ad sampling per trial — but
+    executed as three shard-wide passes: one ``obfuscate_batch`` over the
+    tiled true location, one ``select_index_batch``, and one uniform-disc
+    ad draw for all ``trials * ads_per_trial`` ads.  The batched calls
+    consume the rng in a different order than the per-trial loop, so the
+    two variants sample different (equally distributed) AE values.
+    """
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    if targeting_radius <= 0:
+        raise ValueError("targeting radius must be positive")
+    if ads_per_trial < 1:
+        raise ValueError("ads_per_trial must be positive")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    tiled = np.tile([[true_location.x, true_location.y]], (trials, 1))
+    candidates = mechanism.obfuscate_batch(tiled)
+    if candidates.ndim == 2:  # single-output mechanisms return (trials, 2)
+        candidates = candidates[:, None, :]
+    idx = selector.select_index_batch(candidates)
+    reported = candidates[np.arange(trials), idx]
+
+    # Uniform-disc ad sampling for all trials at once: same draw pattern
+    # as sample_uniform_disc (theta first, then radius), one call each.
+    total = trials * ads_per_trial
+    theta = rng.uniform(0.0, 2.0 * np.pi, total)
+    radii = targeting_radius * np.sqrt(rng.uniform(0.0, 1.0, total))
+    ad_x = np.repeat(reported[:, 0], ads_per_trial) + radii * np.cos(theta)
+    ad_y = np.repeat(reported[:, 1], ads_per_trial) + radii * np.sin(theta)
+    d2 = (ad_x - true_location.x) ** 2 + (ad_y - true_location.y) ** 2
+    hits = (d2 <= targeting_radius * targeting_radius).reshape(
+        trials, ads_per_trial
+    )
+    return hits.mean(axis=1)

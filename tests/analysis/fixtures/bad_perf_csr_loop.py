@@ -1,0 +1,15 @@
+"""PERF002 fixture: per-user CSR loops in an experiment chunk worker."""
+
+from typing import List
+
+import numpy as np
+
+
+def attack_chunk(pop: object, offsets: np.ndarray, reported: np.ndarray) -> List[int]:
+    """Slices one user per iteration instead of using a population kernel."""
+    rows = []
+    for i in range(len(offsets) - 1):
+        coords = pop.user_coords(i)
+        window = reported[offsets[i]:]
+        rows.append(len(coords) + len(window))
+    return rows

@@ -25,12 +25,21 @@ EXPECTATIONS = {
     "bad_docstring.py": ("DOC001", 1),
     "bad_annotations.py": ("DOC002", 2),
     "bad_perf_scalar_loop.py": ("PERF001", 2),
+    "bad_perf_csr_loop.py": ("PERF002", 2),
+}
+
+#: Fixtures whose rule only applies inside a specific package get a
+#: synthetic module path (analyze_source derives the module from it).
+MODULE_PATHS = {
+    "bad_perf_csr_loop.py": Path("src/repro/experiments/bad_perf_csr_loop.py"),
 }
 
 
 def _analyze(name, rules, role="src"):
     path = FIXTURES / name
-    return analyze_source(path.read_text(), path, rules, role=role)
+    return analyze_source(
+        path.read_text(), MODULE_PATHS.get(name, path), rules, role=role
+    )
 
 
 def test_every_rule_has_a_fixture():
@@ -106,6 +115,16 @@ def test_budget_rules_exempt_sanctioned_modules():
         src, Path("src/repro/core/mechanism.py"), [rule], role="src"
     )
     assert findings == [], "repro.core may call noise primitives directly"
+
+
+def test_perf002_only_applies_to_experiment_modules():
+    """The kernels themselves loop over offsets by design (RNG streams)."""
+    src = FIXTURES.joinpath("bad_perf_csr_loop.py").read_text()
+    rule = rules_by_id()["PERF002"]
+    findings, _ = analyze_source(
+        src, Path("src/repro/kernels/gaussian.py"), [rule], role="src"
+    )
+    assert findings == []
 
 
 def test_det003_accepts_sorted_wrapper():

@@ -1,4 +1,4 @@
-"""The canonical Mechanism protocol and the obfuscate_many deprecation shim."""
+"""The canonical Mechanism protocol shared by every shipped mechanism."""
 
 import numpy as np
 import pytest
@@ -33,17 +33,10 @@ class TestProtocol:
         nfold = NFoldGaussianMechanism(_budget(4), rng=default_rng(0))
         assert nfold.obfuscate_batch(locations).shape == (6, 4, 2)
 
-
-class TestDeprecatedAlias:
-    def test_obfuscate_many_warns_and_matches_batch(self):
-        locations = np.zeros((5, 2))
-        shimmed = NFoldGaussianMechanism(_budget(3), rng=default_rng(42))
-        canonical = NFoldGaussianMechanism(_budget(3), rng=default_rng(42))
-        with pytest.warns(DeprecationWarning, match="obfuscate_batch"):
-            via_alias = shimmed.obfuscate_many(locations)
-        np.testing.assert_array_equal(
-            via_alias, canonical.obfuscate_batch(locations)
-        )
+    def test_obfuscate_many_alias_is_gone(self):
+        # The one-release deprecation shim has been removed; obfuscate_batch
+        # is the only columnar entry point.
+        assert not hasattr(NFoldGaussianMechanism(_budget(3)), "obfuscate_many")
 
     @pytest.mark.filterwarnings("error::DeprecationWarning")
     def test_canonical_name_does_not_warn(self):

@@ -1,0 +1,106 @@
+"""Unit tests for the population clustering kernel's staged resolution.
+
+The property suite pins bit-identity against the per-user path on random
+populations; these tests drive the specific machinery — capped witness
+probes, the exact fallback, batching boundaries, degenerate shards —
+through constructed inputs where each stage's role is known.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.index import component_labels
+from repro.kernels import cluster
+from repro.kernels.cluster import (
+    PROBE_CAPS,
+    population_component_labels,
+)
+
+
+def _labels_match_reference(xs, ys, offsets, radius):
+    labels = population_component_labels(xs, ys, offsets, radius)
+    for i in range(len(offsets) - 1):
+        sl = slice(int(offsets[i]), int(offsets[i + 1]))
+        np.testing.assert_array_equal(
+            labels[sl],
+            component_labels(np.column_stack((xs[sl], ys[sl])), radius),
+        )
+    return labels
+
+
+class TestDegenerateShards:
+    def test_empty_shard(self):
+        labels = population_component_labels(
+            np.empty(0), np.empty(0), np.array([0, 0, 0]), 100.0
+        )
+        assert labels.shape == (0,)
+
+    def test_mixed_empty_and_singleton_users(self):
+        xs = np.array([0.0, 1000.0])
+        ys = np.array([0.0, 1000.0])
+        offsets = np.array([0, 0, 1, 1, 2])
+        labels = _labels_match_reference(xs, ys, offsets, 100.0)
+        np.testing.assert_array_equal(labels, [0, 0])
+
+    def test_radius_must_be_positive(self):
+        with pytest.raises(ValueError, match="radius"):
+            population_component_labels(
+                np.zeros(1), np.zeros(1), np.array([0, 1]), 0.0
+            )
+
+
+class TestStagedResolution:
+    def test_probe_resolves_near_boundary_pairs(self):
+        """Two clusters of cells joined only through a boundary-distance
+        pair: the boxes cannot decide, the capped probe must."""
+        radius = 100.0
+        # Two dense blobs ~radius apart; points spread inside each cell so
+        # neither "surely joined" nor "surely apart" can fire for the
+        # cross-blob cell pairs.
+        rng = np.random.default_rng(7)
+        left = rng.uniform(0.0, 60.0, size=(40, 2))
+        right = rng.uniform(0.0, 60.0, size=(40, 2)) + [95.0, 0.0]
+        coords = np.concatenate([left, right])
+        xs, ys = coords[:, 0], coords[:, 1]
+        offsets = np.array([0, len(coords)])
+        labels = _labels_match_reference(xs, ys, offsets, radius)
+        assert labels.max() == 0  # one merged component
+
+    def test_exact_fallback_when_probes_miss(self):
+        """A pair whose only witness points sit beyond every probe cap
+        must fall through to the exact cross-pair test."""
+        radius = 100.0
+        cap = max(PROBE_CAPS)
+        # Cell A: `cap` decoy points far from the boundary, then one
+        # witness. Grid order within a cell follows input order, so the
+        # witness is never probed. Cell B: a single far point whose box
+        # spans keep the pair ambiguous.
+        ax = np.concatenate([np.full(cap, 5.0), [69.0]])
+        ay = np.concatenate([np.linspace(0.0, 60.0, cap), [30.0]])
+        bx, by = np.array([168.0]), np.array([30.0])
+        xs = np.concatenate([ax, bx])
+        ys = np.concatenate([ay, by])
+        offsets = np.array([0, len(xs)])
+        labels = _labels_match_reference(xs, ys, offsets, radius)
+        assert labels[-1] == labels[cap]  # witness joined B to A
+
+    def test_tiny_pair_test_batch_still_exact(self, monkeypatch):
+        """Batching boundaries in probe/exact stages change no labels."""
+        rng = np.random.default_rng(3)
+        coords = rng.uniform(0.0, 800.0, size=(120, 2))
+        xs, ys = coords[:, 0], coords[:, 1]
+        offsets = np.array([0, 40, 40, 120])
+        baseline = population_component_labels(xs, ys, offsets, 90.0)
+        monkeypatch.setattr(cluster, "PAIR_TEST_BATCH", 8)
+        squeezed = _labels_match_reference(xs, ys, offsets, 90.0)
+        np.testing.assert_array_equal(squeezed, baseline)
+
+    def test_rank_order_size_desc_then_first_member(self):
+        """Label k is the user's k-th largest component, ties by the
+        smallest member index — the per-user contract."""
+        xs = np.array([0.0, 1.0, 500.0, 1000.0, 1001.0, 1002.0])
+        ys = np.zeros(6)
+        offsets = np.array([0, 6])
+        labels = _labels_match_reference(xs, ys, offsets, 10.0)
+        # sizes: {0,1}=2, {2}=1, {3,4,5}=3 -> ranks 1, 2, 0
+        np.testing.assert_array_equal(labels, [1, 1, 2, 0, 0, 0])
