@@ -16,7 +16,14 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.engine import Finding
 
-__all__ = ["fingerprint", "load_baseline", "write_baseline", "filter_baselined"]
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "filter_baselined",
+    "stale_entries",
+    "prune_baseline",
+]
 
 #: Schema version of the baseline JSON document.
 BASELINE_VERSION = 1
@@ -68,3 +75,49 @@ def filter_baselined(
         else:
             kept.append(finding)
     return kept, n_baselined
+
+
+def stale_entries(
+    baseline: Dict[str, int], findings: Sequence[Finding]
+) -> Dict[str, int]:
+    """Baseline allowance no current finding consumes.
+
+    Returns ``fingerprint -> excess count`` for every entry whose
+    allowed count exceeds the number of live findings with that
+    fingerprint.  Stale allowance is debt: it lets a *future*
+    regression of the same rule in the same file slip through CI, so
+    the lint gate fails on it until the baseline is pruned.
+    """
+    live = Counter(fingerprint(f) for f in findings)
+    stale: Dict[str, int] = {}
+    for key, allowed in sorted(baseline.items()):
+        excess = allowed - live.get(key, 0)
+        if excess > 0:
+            stale[key] = excess
+    return stale
+
+
+def prune_baseline(
+    path: Path, findings: Sequence[Finding]
+) -> Tuple[Dict[str, int], int]:
+    """Rewrite ``path`` dropping allowance no current finding consumes.
+
+    Each entry is clamped to the number of live findings with that
+    fingerprint; entries that drop to zero are removed.  Returns the
+    stale map that was garbage-collected and the number of entries
+    remaining in the pruned baseline.
+    """
+    baseline = load_baseline(path)
+    stale = stale_entries(baseline, findings)
+    live = Counter(fingerprint(f) for f in findings)
+    pruned = {
+        key: min(allowed, live[key])
+        for key, allowed in baseline.items()
+        if min(allowed, live.get(key, 0)) > 0
+    }
+    doc = {
+        "version": BASELINE_VERSION,
+        "counts": {k: pruned[k] for k in sorted(pruned)},
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return stale, len(pruned)

@@ -16,9 +16,17 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.baseline import filter_baselined, load_baseline, write_baseline
-from repro.analysis.engine import Finding, Rule, analyze_paths
+from repro.analysis.baseline import (
+    filter_baselined,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
+from repro.analysis.dataflow.flowrules import analyze_flow, flow_rule_catalogue
+from repro.analysis.engine import Finding, analyze_paths
 from repro.analysis.rules import all_rules
+from repro.analysis.sarif import RuleLike, sarif_report
 
 __all__ = ["build_parser", "main"]
 
@@ -40,9 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the flow-sensitive dataflow analysis (PRIV/BUD/DET rules)",
     )
     parser.add_argument(
         "--select",
@@ -69,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite --baseline dropping entries no current finding needs",
+    )
+    parser.add_argument(
+        "--fail-on-stale",
+        action="store_true",
+        help="exit 1 when --baseline carries allowance no finding consumes",
+    )
+    parser.add_argument(
         "--role",
         choices=["auto", "src", "test"],
         default="auto",
@@ -82,27 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _select_rules(
-    select: Optional[str], ignore: Optional[str], parser: argparse.ArgumentParser
-) -> List[Rule]:
-    rules = all_rules()
-    known = {r.id for r in rules}
+def _selected_ids(
+    catalogue: Sequence[RuleLike],
+    select: Optional[str],
+    ignore: Optional[str],
+    parser: argparse.ArgumentParser,
+) -> List[str]:
+    """Rule ids that survive --select/--ignore, in catalogue order."""
+    known = {r.id for r in catalogue}
+    kept = [r.id for r in catalogue]
     if select is not None:
         wanted = {s.strip() for s in select.split(",") if s.strip()}
         unknown = wanted - known
         if unknown:
             parser.error(f"unknown rule id(s) in --select: {sorted(unknown)}")
-        rules = [r for r in rules if r.id in wanted]
+        kept = [rid for rid in kept if rid in wanted]
     if ignore is not None:
         dropped = {s.strip() for s in ignore.split(",") if s.strip()}
         unknown = dropped - known
         if unknown:
             parser.error(f"unknown rule id(s) in --ignore: {sorted(unknown)}")
-        rules = [r for r in rules if r.id not in dropped]
-    return rules
+        kept = [rid for rid in kept if rid not in dropped]
+    return kept
 
 
-def _print_rules(rules: Sequence[Rule]) -> None:
+def _print_rules(rules: Sequence[RuleLike]) -> None:
     for rule in rules:
         print(f"{rule.id}  {rule.name}")
         print(f"       {rule.rationale}")
@@ -113,7 +140,7 @@ def _json_report(
     files_scanned: int,
     n_suppressed: int,
     n_baselined: int,
-    rules: Sequence[Rule],
+    rules: Sequence[RuleLike],
 ) -> Dict[str, object]:
     counts: Dict[str, int] = dict(
         sorted(Counter(f.rule for f in findings).items())
@@ -134,20 +161,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    rules = _select_rules(args.select, args.ignore, parser)
+    catalogue: List[RuleLike] = (
+        list(flow_rule_catalogue()) if args.flow else list(all_rules())
+    )
+    selected = _selected_ids(catalogue, args.select, args.ignore, parser)
+    rules = [r for r in catalogue if r.id in selected]
 
     if args.list_rules:
         _print_rules(rules)
         return 0
+    if (args.prune_baseline or args.fail_on_stale) and args.baseline is None:
+        parser.error("--prune-baseline/--fail-on-stale require --baseline")
 
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
     if missing:
         parser.error(f"no such path(s): {[str(p) for p in missing]}")
-    role = None if args.role == "auto" else args.role
-    findings, files_scanned, n_suppressed = analyze_paths(
-        paths, rules, root=Path.cwd(), role=role
-    )
+
+    if args.flow:
+        flow = analyze_flow(paths, root=Path.cwd())
+        findings = [f for f in flow.findings if f.rule in set(selected)]
+        files_scanned = flow.stats["modules"]
+        n_suppressed = flow.n_suppressed
+    else:
+        role = None if args.role == "auto" else args.role
+        classic_rules = [r for r in all_rules() if r.id in set(selected)]
+        findings, files_scanned, n_suppressed = analyze_paths(
+            paths, classic_rules, root=Path.cwd(), role=role
+        )
 
     if args.write_baseline is not None:
         write_baseline(Path(args.write_baseline), findings)
@@ -157,12 +198,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        try:
+            stale, remaining = prune_baseline(Path(args.baseline), findings)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot load baseline: {exc}")
+        for key, excess in sorted(stale.items()):
+            print(f"reprolint: pruned {key} (-{excess})")
+        print(
+            f"reprolint: baseline {args.baseline} pruned "
+            f"({len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}, "
+            f"{remaining} remaining)"
+        )
+        return 0
+
     n_baselined = 0
+    stale_failure = False
     if args.baseline is not None:
         try:
             baseline = load_baseline(Path(args.baseline))
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             parser.error(f"cannot load baseline: {exc}")
+        if args.fail_on_stale:
+            stale = stale_entries(baseline, findings)
+            if stale:
+                for key, excess in sorted(stale.items()):
+                    print(
+                        f"reprolint: stale baseline entry {key} "
+                        f"(allows {excess} more than the tree carries)",
+                        file=sys.stderr,
+                    )
+                print(
+                    f"reprolint: run with --prune-baseline to drop "
+                    f"{len(stale)} stale entr"
+                    f"{'y' if len(stale) == 1 else 'ies'}",
+                    file=sys.stderr,
+                )
+                stale_failure = True
         findings, n_baselined = filter_baselined(findings, baseline)
 
     if args.format == "json":
@@ -170,6 +242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             findings, files_scanned, n_suppressed, n_baselined, rules
         )
         print(json.dumps(report, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(findings, rules), indent=2))
     else:
         for finding in findings:
             print(finding.format())
@@ -178,7 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f" ({n_suppressed} suppressed, {n_baselined} baselined)"
         )
         print(summary)
-    return 1 if findings else 0
+    return 1 if findings or stale_failure else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+"""Flow-sensitive, interprocedural dataflow analysis for reprolint.
+
+The syntactic rules of :mod:`repro.analysis.rules` check one file at a
+time; this package checks the *trust boundary* of the paper's system
+model: raw check-in coordinates live on the client+edge, and only
+mechanism outputs may cross to the honest-but-curious ad provider, the
+trace/metrics plane, cache artifacts, or stdout.  It is built from four
+pieces:
+
+* :mod:`~repro.analysis.dataflow.project` — a project-wide module loader
+  and symbol table (every function, class, method and re-export under
+  the analyzed roots);
+* :mod:`~repro.analysis.dataflow.callgraph` — a call-graph builder that
+  resolves direct calls, method calls over annotated/constructed
+  receiver types (including :class:`~repro.core.mechanism.Mechanism`
+  protocol dispatch), and the ``parallel_map(worker_fn, ...)``
+  indirection of the process pool;
+* :mod:`~repro.analysis.dataflow.taint` — a forward taint engine with
+  per-function summaries (source/sanitizer/sink lattice, fixpoint over
+  the call graph, attribute- and container-aware propagation);
+* :mod:`~repro.analysis.dataflow.flowrules` — the ``PRIV0xx`` /
+  ``BUD1xx`` / ``DET2xx`` rule families reported through the ordinary
+  :class:`~repro.analysis.engine.Finding` machinery (suppressions and
+  baselines apply unchanged).
+
+Run it with ``repro lint --flow`` (or ``python -m repro.analysis
+--flow``); see ``docs/static_analysis.md`` for the catalogue of
+sources, sanitizers, and sinks.
+"""
+
+from repro.analysis.dataflow.callgraph import CallGraph, CallSite
+from repro.analysis.dataflow.flowrules import analyze_flow, flow_rule_catalogue
+from repro.analysis.dataflow.lattice import (
+    BOTTOM,
+    RAW,
+    RNG,
+    Taint,
+    is_param,
+    join,
+    param_index,
+    param_label,
+)
+from repro.analysis.dataflow.policy import FlowPolicy, default_policy
+from repro.analysis.dataflow.project import ClassInfo, FunctionInfo, Project
+from repro.analysis.dataflow.taint import Summary, TaintAnalysis
+
+__all__ = [
+    "BOTTOM",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FlowPolicy",
+    "FunctionInfo",
+    "Project",
+    "RAW",
+    "RNG",
+    "Summary",
+    "Taint",
+    "TaintAnalysis",
+    "analyze_flow",
+    "default_policy",
+    "flow_rule_catalogue",
+    "is_param",
+    "join",
+    "param_index",
+    "param_label",
+]

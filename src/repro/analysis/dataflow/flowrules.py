@@ -1,0 +1,315 @@
+"""The PRIV/BUD/DET flow-rule families over converged taint results.
+
+Unlike the syntactic rules, these consume the interprocedural
+:class:`~repro.analysis.dataflow.taint.TaintAnalysis` — a finding here
+means a *flow* exists, not just that a name was spelled somewhere.
+Findings are ordinary :class:`~repro.analysis.engine.Finding` records,
+so suppression comments and the committed baseline apply unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.dataflow.callgraph import CallGraph
+from repro.analysis.dataflow.lattice import RAW, RNG
+from repro.analysis.dataflow.policy import FlowPolicy, default_policy
+from repro.analysis.dataflow.project import FunctionInfo, Project
+from repro.analysis.dataflow.taint import CallEvent, FunctionEvents, TaintAnalysis
+from repro.analysis.engine import Finding, SuppressionIndex
+
+__all__ = ["FlowRuleInfo", "FlowReport", "analyze_flow", "flow_rule_catalogue"]
+
+
+@dataclass(frozen=True)
+class FlowRuleInfo:
+    """Catalogue entry for one flow rule (docs and ``--list-rules``)."""
+
+    id: str
+    name: str
+    rationale: str
+
+
+_CATALOGUE = [
+    FlowRuleInfo(
+        id="PRIV001",
+        name="raw coordinates reach the ad provider",
+        rationale=(
+            "The ads package models the honest-but-curious provider; only "
+            "mechanism outputs may cross that trust boundary."
+        ),
+    ),
+    FlowRuleInfo(
+        id="PRIV002",
+        name="raw coordinates reach trace/metrics emission",
+        rationale=(
+            "Trace files and metric snapshots leave the trust boundary "
+            "(artifacts, dashboards); raw check-ins must never be attached "
+            "to spans, gauges, counters, or histograms."
+        ),
+    ),
+    FlowRuleInfo(
+        id="PRIV003",
+        name="raw coordinates written to a cache artifact",
+        rationale=(
+            "StageCache artifacts persist on disk beyond the run; cached "
+            "raw coordinates defeat the obfuscation mechanisms. Trusted "
+            "client-side stage builders carry justified suppressions."
+        ),
+    ),
+    FlowRuleInfo(
+        id="PRIV004",
+        name="raw coordinates written to stdout or a file",
+        rationale=(
+            "Experiment drivers publish their stdout and report rows as "
+            "results; raw coordinates in them are a longitudinal leak."
+        ),
+    ),
+    FlowRuleInfo(
+        id="BUD101",
+        name="obfuscation released without a ledger charge",
+        rationale=(
+            "Every mechanism invocation consumes geo-indistinguishability "
+            "budget; a sanitizer call site whose function never charges "
+            "PrivacyLedger.spend or LongitudinalExposureAccountant.observe "
+            "is an unaccounted release."
+        ),
+    ),
+    FlowRuleInfo(
+        id="DET201",
+        name="RNG object crosses a parallel_map chunk boundary",
+        rationale=(
+            "Generators shipped through items/payload break worker-count "
+            "invariance; per-chunk streams must come from "
+            "SeedSequence.spawn inside the worker."
+        ),
+    ),
+    FlowRuleInfo(
+        id="DET202",
+        name="parallel worker mutates module state",
+        rationale=(
+            "A 'global' write reachable from a parallel_map worker is a "
+            "silent race: it mutates a per-process copy, so results depend "
+            "on chunk placement."
+        ),
+    ),
+]
+
+_SINK_RULE = {
+    "ads": ("PRIV001", "the ad provider surface"),
+    "obs": ("PRIV002", "trace/metrics emission"),
+    "cache": ("PRIV003", "a cache artifact"),
+    "io": ("PRIV004", "stdout/file output"),
+    "report": ("PRIV004", "experiment report rows (rendered to stdout)"),
+}
+
+
+def flow_rule_catalogue() -> List[FlowRuleInfo]:
+    """Every flow rule, in id order."""
+    return list(_CATALOGUE)
+
+
+@dataclass
+class FlowReport:
+    """Result of one flow analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _call_desc(event: CallEvent) -> str:
+    site = event.site
+    if site.dotted is not None:
+        return site.dotted
+    if site.attr is not None:
+        return f".{site.attr}"
+    return site.callees[0] if site.callees else "<call>"
+
+
+class _Collector:
+    """Accumulates deduplicated findings per file."""
+
+    def __init__(self) -> None:
+        self.seen: Set[Finding] = set()
+        self.by_path: Dict[str, List[Finding]] = {}
+
+    def add(
+        self, fn: FunctionInfo, node: ast.AST, rule: str, message: str
+    ) -> None:
+        finding = Finding(
+            path=fn.ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+        if finding in self.seen:
+            return
+        self.seen.add(finding)
+        self.by_path.setdefault(finding.path, []).append(finding)
+
+    def add_at_line(self, fn: FunctionInfo, line: int, rule: str, message: str) -> None:
+        finding = Finding(
+            path=fn.ctx.relpath, line=line, col=1, rule=rule, message=message
+        )
+        if finding in self.seen:
+            return
+        self.seen.add(finding)
+        self.by_path.setdefault(finding.path, []).append(finding)
+
+
+def _check_priv(
+    fn: FunctionInfo, events: FunctionEvents, out: _Collector
+) -> None:
+    for event in events.calls:
+        desc = _call_desc(event)
+        if event.sink_kinds and RAW in event.arg_join and not event.is_sanitizer:
+            for kind in sorted(event.sink_kinds):
+                rule, sink_desc = _SINK_RULE[kind]
+                out.add(
+                    fn,
+                    event.site.node,
+                    rule,
+                    f"raw check-in coordinates reach {sink_desc} via "
+                    f"'{desc}(...)' without passing an obfuscation mechanism",
+                )
+        for callee, pname, kinds in event.transitive:
+            for kind in sorted(kinds):
+                rule, sink_desc = _SINK_RULE[kind]
+                out.add(
+                    fn,
+                    event.site.node,
+                    rule,
+                    f"raw check-in coordinates flow into parameter "
+                    f"'{pname}' of {callee}, which reaches {sink_desc}",
+                )
+
+
+def _check_bud(
+    fn: FunctionInfo,
+    events: FunctionEvents,
+    analysis: TaintAnalysis,
+    policy: FlowPolicy,
+    out: _Collector,
+) -> None:
+    if policy.charge_exempt(fn.module):
+        return
+    if policy.is_sanitizer(fn.qname, None):
+        return  # wrapper helpers are themselves part of the sanitizer layer
+    sanitizer_events = [e for e in events.calls if e.is_sanitizer]
+    if not sanitizer_events:
+        return
+    if analysis.summary(fn.qname).charges:
+        return
+    for event in sanitizer_events:
+        out.add(
+            fn,
+            event.site.node,
+            "BUD101",
+            f"'{_call_desc(event)}(...)' releases obfuscated locations but "
+            f"'{fn.qname}' never charges PrivacyLedger.spend or "
+            "LongitudinalExposureAccountant.observe for them",
+        )
+
+
+def _check_det201(
+    fn: FunctionInfo, events: FunctionEvents, out: _Collector
+) -> None:
+    for event in events.calls:
+        if event.site.is_parallel_map and RNG in event.parallel_boundary:
+            out.add(
+                fn,
+                event.site.node,
+                "DET201",
+                "a live RNG object crosses the parallel_map chunk boundary "
+                "via items/payload; spawn per-chunk generators from the "
+                "SeedSequence the pool hands each worker instead",
+            )
+
+
+def _check_det202(
+    analysis: TaintAnalysis,
+    graph: CallGraph,
+    policy: FlowPolicy,
+    out: _Collector,
+) -> None:
+    workers = graph.worker_functions()
+    if not workers:
+        return
+    for qname in graph.reachable_from(workers):
+        fn = analysis.project.functions.get(qname)
+        if fn is None or fn.ctx.role != "src":
+            continue
+        if policy.det_exempt(fn.module):
+            continue
+        events = analysis.events.get(qname)
+        if events is None:
+            continue
+        for line in sorted(set(events.global_lines)):
+            out.add_at_line(
+                fn,
+                line,
+                "DET202",
+                f"'{qname}' is reachable from a parallel_map worker and "
+                "mutates module state via 'global'; per-process copies make "
+                "results depend on chunk placement",
+            )
+
+
+def analyze_flow(
+    paths: Iterable[Path],
+    root: Optional[Path] = None,
+    policy: Optional[FlowPolicy] = None,
+    project: Optional[Project] = None,
+) -> FlowReport:
+    """Run the interprocedural flow rules over every file under ``paths``.
+
+    Suppression comments and file roles behave exactly as in the
+    syntactic engine: findings in test/bench code are dropped, and
+    ``# reprolint: disable=PRIV003`` silences a finding with the usual
+    inline/standalone/file-level forms.
+    """
+    policy = policy or default_policy()
+    if project is None:
+        project = Project.load(paths, root=root)
+    graph = CallGraph.build(project, policy)
+    analysis = TaintAnalysis(project, graph, policy)
+    analysis.run()
+
+    out = _Collector()
+    for fn in project.functions.values():
+        if fn.ctx.role != "src":
+            continue
+        events = analysis.events.get(fn.qname)
+        if events is None:
+            continue
+        _check_priv(fn, events, out)
+        _check_bud(fn, events, analysis, policy, out)
+        _check_det201(fn, events, out)
+    _check_det202(analysis, graph, policy, out)
+
+    findings: List[Finding] = []
+    n_suppressed = 0
+    suppressions: Dict[str, SuppressionIndex] = {}
+    for ctx in project.modules.values():
+        suppressions[ctx.relpath] = SuppressionIndex.from_source(
+            ctx.source, tree=ctx.tree
+        )
+    for path, file_findings in out.by_path.items():
+        index = suppressions.get(path)
+        for finding in file_findings:
+            if index is not None and index.is_suppressed(finding):
+                n_suppressed += 1
+            else:
+                findings.append(finding)
+
+    stats = dict(analysis.project.stats())
+    stats["fixpoint_iterations"] = analysis.iterations
+    stats["call_sites"] = sum(len(s) for s in graph.sites.values())
+    return FlowReport(
+        findings=sorted(findings), n_suppressed=n_suppressed, stats=stats
+    )

@@ -1,0 +1,96 @@
+"""The taint lattice.
+
+A taint value is a frozen set of labels.  Two concrete labels matter to
+the policy — :data:`RAW` (an unobfuscated coordinate or something
+derived from one) and :data:`RNG` (a live ``numpy.random.Generator``)
+— plus *symbolic* labels ``p0, p1, ...`` naming the parameters of the
+function under summary.  Symbolic labels make summaries reusable: a
+function whose return carries ``{p0}`` returns whatever taint its first
+argument had, so the fixpoint engine can substitute per call site
+without re-walking the body.
+
+The lattice order is subset inclusion; ``join`` is set union, bottom is
+the empty set.  Everything is monotone, so the interprocedural fixpoint
+terminates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional
+
+__all__ = [
+    "Taint",
+    "BOTTOM",
+    "RAW",
+    "RNG",
+    "join",
+    "is_param",
+    "param_label",
+    "param_index",
+    "concrete",
+    "substitute",
+]
+
+Taint = FrozenSet[str]
+
+#: No information flows here.
+BOTTOM: Taint = frozenset()
+
+#: Raw (unsanitized) coordinate data.
+RAW = "raw"
+
+#: A live RNG object (``numpy.random.Generator`` or equivalent).
+RNG = "rng"
+
+_PARAM_PREFIX = "p"
+
+
+def join(*values: Taint) -> Taint:
+    """Least upper bound: the union of all labels."""
+    out: FrozenSet[str] = frozenset()
+    for value in values:
+        out = out | value
+    return out
+
+
+def param_label(index: int) -> str:
+    """The symbolic label for parameter ``index`` (``p0``, ``p1``, ...)."""
+    if index < 0:
+        raise ValueError(f"parameter index must be >= 0, got {index}")
+    return f"{_PARAM_PREFIX}{index}"
+
+
+def is_param(label: str) -> bool:
+    """Whether ``label`` is a symbolic parameter reference."""
+    return (
+        label.startswith(_PARAM_PREFIX)
+        and len(label) > 1
+        and label[1:].isdigit()
+    )
+
+
+def param_index(label: str) -> Optional[int]:
+    """The parameter index behind a symbolic label, or None."""
+    if is_param(label):
+        return int(label[1:])
+    return None
+
+
+def concrete(value: Taint) -> Taint:
+    """The concrete (non-symbolic) part of a taint value."""
+    return frozenset(label for label in value if not is_param(label))
+
+
+def substitute(value: Taint, args: Iterable[Taint]) -> Taint:
+    """Replace symbolic parameter labels with the call-site argument taints.
+
+    ``args[i]`` is the taint of the argument bound to parameter ``i``;
+    missing positions (defaulted parameters) contribute nothing.
+    """
+    arg_list = list(args)
+    out = concrete(value)
+    for label in value:
+        idx = param_index(label)
+        if idx is not None and idx < len(arg_list):
+            out = out | arg_list[idx]
+    return out

@@ -132,7 +132,18 @@ class SuppressionIndex:
     line; a directive on a standalone comment line suppresses the next
     line (useful before long statements); ``disable-file`` suppresses the
     rule for the whole file.  ``disable=all`` matches every rule.
+
+    When the parsed ``tree`` is supplied, directives are associated with
+    whole statements instead of single physical lines: an inline
+    directive anywhere in a multi-line statement covers the statement's
+    full span, a directive on a decorator line covers the decorated
+    ``def``/``class`` header, and a standalone comment above a statement
+    covers that statement's span.  Compound-statement headers (``if``,
+    ``for``, ``with``, ``def``) never swallow findings in their bodies.
     """
+
+    #: Safety cap on how many lines one directive may cover.
+    MAX_SPAN = 200
 
     def __init__(self) -> None:
         self.inline: Dict[int, Set[str]] = {}
@@ -140,7 +151,9 @@ class SuppressionIndex:
         self.file_level: Set[str] = set()
 
     @classmethod
-    def from_source(cls, source: str) -> "SuppressionIndex":
+    def from_source(
+        cls, source: str, tree: Optional[ast.AST] = None
+    ) -> "SuppressionIndex":
         """Tokenize ``source`` and index every suppression comment."""
         idx = cls()
         try:
@@ -162,7 +175,27 @@ class SuppressionIndex:
                 idx.standalone.setdefault(line, set()).update(rules)
             else:
                 idx.inline.setdefault(line, set()).update(rules)
+        if tree is not None:
+            idx._bind_tree(tree)
         return idx
+
+    def _bind_tree(self, tree: ast.AST) -> None:
+        """Expand line directives over the statement spans they touch."""
+        spans = statement_spans(tree)
+        expanded: Dict[int, Set[str]] = {}
+        for line, rules in self.inline.items():
+            for span_line in _span_lines(spans, line, self.MAX_SPAN):
+                expanded.setdefault(span_line, set()).update(rules)
+        self.inline = expanded
+        # A standalone comment above a statement covers the whole span:
+        # re-anchor the directive so the existing line-1 lookup finds it
+        # from any line of the statement.
+        extra: Dict[int, Set[str]] = {}
+        for line, rules in self.standalone.items():
+            for span_line in _span_lines(spans, line + 1, self.MAX_SPAN):
+                extra.setdefault(span_line - 1, set()).update(rules)
+        for line, rules in extra.items():
+            self.standalone.setdefault(line, set()).update(rules)
 
     def _matches(self, rules: Set[str], rule: str) -> bool:
         return "all" in rules or rule in rules
@@ -176,6 +209,59 @@ class SuppressionIndex:
             return True
         above = self.standalone.get(finding.line - 1)
         return above is not None and self._matches(above, finding.rule)
+
+
+def statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Header spans of every statement, innermost-last.
+
+    Simple statements span their full physical extent; compound
+    statements (and decorated ``def``/``class``) span only their header —
+    first decorator through the line before the body starts — so a
+    directive on the header never silences findings inside the body.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        if isinstance(
+            node,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.If,
+                ast.For,
+                ast.AsyncFor,
+                ast.While,
+                ast.With,
+                ast.AsyncWith,
+                ast.Try,
+            ),
+        ):
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            body = getattr(node, "body", [])
+            if body:
+                end = max(start, body[0].lineno - 1)
+        spans.append((start, end))
+    return spans
+
+
+def _span_lines(
+    spans: List[Tuple[int, int]], line: int, max_span: int
+) -> List[int]:
+    """Every line of the innermost statement span containing ``line``."""
+    best: Optional[Tuple[int, int]] = None
+    for start, end in spans:
+        if start <= line <= end and end - start < max_span:
+            if best is None or (end - start) < (best[1] - best[0]):
+                best = (start, end)
+    if best is None:
+        return [line]
+    return list(range(best[0], best[1] + 1))
 
 
 @dataclass
@@ -346,7 +432,7 @@ def analyze_source(
             ],
             0,
         )
-    suppressions = SuppressionIndex.from_source(source)
+    suppressions = SuppressionIndex.from_source(source, tree=ctx.tree)
     kept: List[Finding] = []
     n_suppressed = 0
     for rule in rules:

@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 emission for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format GitHub code scanning ingests: uploading a ``.sarif`` file from
+CI turns each finding into an inline annotation on the pull request.
+Only the small subset of the spec that code scanning actually reads is
+emitted — tool driver with a rule catalogue, one result per finding
+with a physical location, and a stable ``partialFingerprints`` entry
+matching the baseline fingerprint so re-uploads deduplicate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence
+
+from repro.analysis.baseline import fingerprint
+from repro.analysis.engine import Finding
+
+__all__ = ["SARIF_VERSION", "sarif_report"]
+
+#: SARIF schema version emitted.
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+class RuleLike(Protocol):
+    """Anything with an id, a name, and a rationale (Rule, FlowRuleInfo)."""
+
+    id: str
+    name: str
+    rationale: str
+
+
+def _rule_descriptor(rule: RuleLike) -> Dict[str, object]:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": max(finding.col, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reprolint/v1": fingerprint(finding)},
+    }
+
+
+def sarif_report(
+    findings: Sequence[Finding],
+    rules: Sequence[RuleLike],
+    tool_version: str = "1.0.0",
+) -> Dict[str, object]:
+    """Build a SARIF 2.1.0 document for ``findings``.
+
+    ``rules`` is the catalogue that *ran* (not just the rules that
+    fired), so code scanning can show rule help for clean runs too.
+    """
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results: List[Dict[str, object]] = [
+        _result(finding, rule_index) for finding in findings
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "version": tool_version,
+                        "rules": [_rule_descriptor(rule) for rule in rules],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///", "description": {"text": "repo root"}}
+                },
+                "results": results,
+            }
+        ],
+    }

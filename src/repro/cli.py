@@ -235,7 +235,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.attack import DeobfuscationAttack
-    from repro.core import PlanarLaplaceMechanism, default_rng
+    from repro.core import (
+        LongitudinalExposureAccountant,
+        PlanarLaplaceMechanism,
+        default_rng,
+    )
     from repro.datagen import make_fig4_user, one_time_obfuscate
     from repro.datagen.shanghai import STUDY_START_TS
     from repro.profiles import SECONDS_PER_DAY, filter_window
@@ -247,8 +251,17 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             _LEVELS[args.level], 200.0, rng=default_rng(seed)
         )
         observed = one_time_obfuscate(user.trace, mechanism)
+        # Each one-time release composes; showing the accrued effective
+        # level next to the recovery error is the point of the demo.
+        accountant = LongitudinalExposureAccountant()
+        accountant.observe(mechanism.epsilon, count=max(1, len(observed)))
         attack = DeobfuscationAttack.against(mechanism)
         print(f"victim: {len(observed)} check-ins, level {args.level} at 200 m")
+        print(
+            f"longitudinal exposure: effective l = "
+            f"{accountant.effective_level(200.0):.1f} at 200 m after "
+            f"{accountant.observations} composed releases"
+        )
         for label, days in (("one week", 7), ("one month", 30), ("full year", 365)):
             window = filter_window(
                 observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY

@@ -53,6 +53,10 @@ def population_columns(
             return PopulationColumns.from_arrays(arrays)
     columns = PopulationColumns.from_users(iter_population(config))
     if cache is not None:
+        # The stage cache is a client-side artifact inside the trust
+        # boundary: it memoises the *input* population the obfuscation
+        # experiments consume, so it stores raw coordinates by design.
+        # reprolint: disable=PRIV003
         cache.store(key, columns.arrays())
     return columns
 
@@ -92,6 +96,10 @@ def candidate_table(
         if arrays is not None:
             return arrays["candidates"]
     mechanism = NFoldGaussianMechanism(budget, rng=default_rng(seed))
+    # Precomputed candidate table for the selection-timing workload: the
+    # sets are drawn around the origin (no real location is released) and
+    # real deployments charge at pin time via ObfuscationModule's ledger.
+    # reprolint: disable=BUD101
     candidates = np.asarray(
         mechanism.obfuscate_batch(np.zeros((max_users, 2))), dtype=np.float64
     )

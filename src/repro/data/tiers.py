@@ -117,7 +117,11 @@ def _shard_key(config: PopulationConfig, start: int, stop: int) -> str:
     )
 
 
-def _generate_shards(chunk, rng, payload) -> List[Dict[str, np.ndarray]]:
+def _generate_shards(
+    chunk: List[Tuple[int, int]],
+    rng: np.random.Generator,
+    payload: Dict[str, PopulationConfig],
+) -> List[Dict[str, np.ndarray]]:
     """parallel_map chunk fn: generate the given ``(start, stop)`` shards.
 
     The chunk rng is unused on purpose — every user draws from its own
@@ -168,6 +172,9 @@ def tier_columns(
         )
         for (i, (start, stop)), arrays in zip(missing, generated):
             if cache is not None:
+                # Client-side population shards: inputs to the mechanisms,
+                # cached inside the trust boundary (see population_columns).
+                # reprolint: disable=PRIV003
                 cache.store(_shard_key(config, start, stop), arrays)
             shards[i] = PopulationColumns.from_arrays(arrays)
 

@@ -24,7 +24,9 @@ import numpy as np
 from repro.ads.bidding import Ad
 from repro.ads.delivery import DeliveryStats, filter_ads_to_aoi
 from repro.ads.network import AdNetwork
+from repro.core.accounting import LongitudinalExposureAccountant
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.ledger import PrivacyLedger
 from repro.core.params import GeoIndBudget
 from repro.edge.location_management import DEFAULT_ETA, LocationManagementModule
 from repro.edge.obfuscation import ObfuscationModule
@@ -96,6 +98,11 @@ class EdgeDevice:
         self._assessor = RiskAssessor() if config.adaptive else None
         self._users: Dict[str, _UserState] = {}
         self.requests_served = 0
+        #: Longitudinal exposure accrued by nomadic one-shot releases.
+        #: Each nomadic report is an independent perturbation of the true
+        #: check-in, so repeated observations compose (paper Section IV);
+        #: the accountant makes that decay measurable per device.
+        self.nomadic_accountant = LongitudinalExposureAccountant()
 
     @property
     def user_count(self) -> int:
@@ -118,7 +125,11 @@ class EdgeDevice:
                     connect_radius=self.config.connect_radius,
                 ),
                 obfuscation=ObfuscationModule(
-                    self._nfold, match_radius=self.config.match_radius
+                    self._nfold,
+                    match_radius=self.config.match_radius,
+                    # Per-user ledger: every pinned top location is a
+                    # (r, eps, delta, n) release and must be on the books.
+                    ledger=PrivacyLedger(),
                 ),
                 selection=OutputSelectionModule.posterior(
                     self._nfold.posterior_sigma, rng=self._selector_rng
@@ -138,9 +149,15 @@ class EdgeDevice:
         candidates = state.obfuscation.candidates_for(true_location)
         if candidates is not None:
             return state.selection.select(candidates), "top"
-        return self._nomadic.obfuscate(true_location)[0], "nomadic"
+        reported = self._nomadic.obfuscate(true_location)[0]
+        # A nomadic release is a fresh independent perturbation: charge its
+        # per-metre epsilon so longitudinal decay shows up in the accounts.
+        self.nomadic_accountant.observe(
+            self.config.budget.epsilon / self.config.budget.r
+        )
+        return reported, "nomadic"
 
-    def _maybe_pin(self, state: _UserState, new_tops) -> None:
+    def _maybe_pin(self, state: _UserState, new_tops: List[Point]) -> None:
         """Pin fresh tops, subject to the adaptive risk policy."""
         if self._assessor is not None and state.management.profile is not None:
             assessment = self._assessor.assess(state.management.profile)

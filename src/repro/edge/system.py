@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from repro.geo.bbox import BoundingBox
 from repro.obs.trace import enabled as _obs_enabled
 from repro.obs.trace import get_registry as _obs_registry
 from repro.obs.trace import span as _obs_span
+from repro.profiles.checkin import CheckIn
 
 __all__ = ["SystemConfig", "SystemReport", "EdgePrivLocAdSystem", "seed_campaigns"]
 
@@ -149,7 +150,7 @@ class EdgePrivLocAdSystem:
         # Merge the per-user (already sorted) traces on timestamp.  The
         # helper pins each user into its own closure; a bare generator
         # expression in the comprehension would share one loop variable.
-        def stream(user: SyntheticUser):
+        def stream(user: SyntheticUser) -> Iterator[Tuple[float, str, CheckIn]]:
             for c in sorted(user.trace):
                 yield (c.timestamp, user.user_id, c)
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.attack.deobfuscation import DeobfuscationAttack
 from repro.attack.success import UserAttackOutcome, evaluate_user, success_rate
+from repro.core.accounting import LongitudinalExposureAccountant
 from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
 from repro.core.laplace import PlanarLaplaceMechanism
 from repro.core.mechanism import default_rng
@@ -50,9 +51,19 @@ _DEFENSE_BUDGET = GeoIndBudget(r=500.0, epsilon=1.0, delta=0.01, n=10)
 
 
 def _report_stream(
-    user: SyntheticUser, policy: str, assessor: RiskAssessor, seed: int
+    user: SyntheticUser,
+    policy: str,
+    assessor: RiskAssessor,
+    seed: int,
+    accountant: LongitudinalExposureAccountant,
 ) -> Tuple[List[CheckIn], bool]:
-    """The user's outgoing stream under a policy; returns (stream, permanent?)."""
+    """The user's outgoing stream under a policy; returns (stream, permanent?).
+
+    Every release is charged to ``accountant``: one epsilon-per-metre
+    observation per check-in on the one-time path (they compose), one
+    n-fold release per pinned top on the permanent path (replays of a
+    pinned candidate are free by the sufficient-statistic analysis).
+    """
     profile = LocationProfile.from_checkins(user.trace)
     rng = default_rng(seed)
     if policy == "all one-time":
@@ -68,11 +79,16 @@ def _report_stream(
         mech = PlanarLaplaceMechanism.from_level(
             _ONETIME_LEVEL, 200.0, rng=rng
         )
-        return one_time_obfuscate(user.trace, mech), False
+        stream = one_time_obfuscate(user.trace, mech)
+        accountant.observe(mech.epsilon, count=max(1, len(stream)))
+        return stream, False
     mech = NFoldGaussianMechanism(_DEFENSE_BUDGET, rng=rng)
     nomadic = GaussianMechanism(_DEFENSE_BUDGET.with_n(1), rng=rng)
     selector = PosteriorSelector(mech.posterior_sigma, rng=rng)
     tops = eta_frequent_set(profile, 0.8)
+    accountant.observe(
+        _DEFENSE_BUDGET.epsilon / _DEFENSE_BUDGET.r, count=max(1, len(tops))
+    )
     return (
         permanent_obfuscate(
             user.trace, tops, mech, selector, nomadic_mechanism=nomadic
@@ -101,9 +117,10 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
         outcomes: List[UserAttackOutcome] = []
         report_errors: List[float] = []
         protected = 0
+        accountant = LongitudinalExposureAccountant()
         for i, user in enumerate(users):
             stream, permanent = _report_stream(
-                user, policy, assessor, seed=scale.seed + i
+                user, policy, assessor, seed=scale.seed + i, accountant=accountant
             )
             protected += int(permanent)
             report_errors.extend(
@@ -121,6 +138,7 @@ def run(scale: ExperimentScale = SMALL) -> ExperimentReport:
                 "permanent_users": protected,
                 "attack_top1_within_200m": success_rate(outcomes, 1, 200.0),
                 "mean_report_error_m": float(np.mean(report_errors)),
+                "epsilon_per_m_spent": accountant.total_epsilon,
             }
         )
     return ExperimentReport(

@@ -25,13 +25,15 @@ def run(seed: int = 7) -> ExperimentReport:
         true_err = min(
             entry.location.distance_to(t) for t in user.true_tops
         )
+        # Report rows are published artifacts: only distances (which carry
+        # no absolute position) may appear, never the reconstructed
+        # coordinates themselves — printing the victim's recovered home
+        # would be exactly the longitudinal leak the paper describes.
         rows.append(
             {
                 "rank": rank,
                 "frequency": entry.frequency,
                 "share": entry.frequency / profile.total_checkins,
-                "x_m": entry.location.x,
-                "y_m": entry.location.y,
                 "dist_to_true_anchor_m": true_err,
             }
         )

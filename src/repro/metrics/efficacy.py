@@ -70,8 +70,9 @@ def efficacy_samples(
     out = np.empty(trials)
     for t in range(trials):
         # Measurement loop: each trial intentionally draws a fresh
-        # candidate set to sample the AE distribution, not to serve ads.
-        # reprolint: disable=BUD002
+        # candidate set to sample the AE distribution, not to serve ads —
+        # nothing is released, so no budget charge applies either.
+        # reprolint: disable=BUD002,BUD101
         candidates = mechanism.obfuscate(true_location)
         reported = selector.select(candidates)
         out[t] = efficacy_of_report(
@@ -112,6 +113,9 @@ def efficacy_samples_batched(
     if rng is None:
         rng = np.random.default_rng(0)
     tiled = np.tile([[true_location.x, true_location.y]], (trials, 1))
+    # Measurement sampling (batched variant of the loop above): the draws
+    # estimate the AE distribution and are never released to a consumer.
+    # reprolint: disable=BUD101
     candidates = mechanism.obfuscate_batch(tiled)
     if candidates.ndim == 2:  # single-output mechanisms return (trials, 2)
         candidates = candidates[:, None, :]

@@ -41,8 +41,8 @@ def report_distances(
     out = np.empty(trials)
     for t in range(trials):
         # Measurement loop: fresh draws per trial sample the QoS-loss
-        # distribution; no release leaves this function.
-        # reprolint: disable=BUD002
+        # distribution; no release leaves this function, so no charge.
+        # reprolint: disable=BUD002,BUD101
         candidates = mechanism.obfuscate(true_location)
         if len(candidates) == 1:
             reported = candidates[0]

@@ -78,8 +78,9 @@ def utilization_samples(
     out = np.empty(trials)
     for t in range(trials):
         # Measurement loop: the per-trial fresh draw IS the distribution
-        # being quantified (Eq. 24's randomness), not a served release.
-        # reprolint: disable=BUD002
+        # being quantified (Eq. 24's randomness), not a served release —
+        # no consumer sees it, so no budget charge applies.
+        # reprolint: disable=BUD002,BUD101
         candidates = mechanism.obfuscate(true_location)
         out[t] = utilization_rate(
             true_location,

@@ -1,0 +1,185 @@
+"""Shared fixtures for the flow-analysis tests.
+
+The dataflow engine analyzes whole projects, so these tests materialize
+a small ``src/flowpkg`` package in a tmp directory and run the analysis
+with a :class:`~repro.analysis.dataflow.FlowPolicy` whose trust
+boundary points at the fixture's own names.  Everything is static — the
+fixture files are parsed, never imported.
+"""
+
+import textwrap
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.dataflow import FlowPolicy, Project, default_policy
+
+FLOWPKG_FILES = {
+    "__init__.py": "",
+    "datagen.py": """
+        from typing import List
+
+
+        def make_trace() -> List[float]:
+            return [1.0, 2.0]
+        """,
+    "mech.py": """
+        class Ledger:
+            def spend(self, amount: float) -> None:
+                pass
+
+
+        class Mechanism:
+            def obfuscate(self, xs):
+                return xs
+
+
+        class Gaussian(Mechanism):
+            def obfuscate(self, xs):
+                return xs
+        """,
+    "ads.py": """
+        def serve(location) -> None:
+            pass
+        """,
+    "par.py": """
+        def parallel_map(fn, items, payload=None):
+            return [fn(item, None, payload) for item in items]
+        """,
+    "profile.py": """
+        from typing import List
+
+
+        class Entry:
+            count: int
+
+            def __init__(self, count: int) -> None:
+                self.count = count
+
+
+        class Prof:
+            def __init__(self) -> None:
+                self.entries: List[Entry] = []
+
+            def top(self, k: int) -> List[Entry]:
+                return self.entries[:k]
+        """,
+    "pipeline.py": """
+        import numpy as np
+
+        from flowpkg.ads import serve
+        from flowpkg.datagen import make_trace
+        from flowpkg.mech import Gaussian, Ledger, Mechanism
+        from flowpkg.par import parallel_map
+        from flowpkg.profile import Prof
+
+
+        def leak_to_ads() -> None:
+            trace = make_trace()
+            serve(trace)
+
+
+        def sanitized_to_ads() -> None:
+            trace = make_trace()
+            mech = Gaussian()
+            ledger = Ledger()
+            safe = mech.obfuscate(trace)
+            ledger.spend(1.0)
+            serve(safe)
+
+
+        def uncharged_release():
+            mech = Gaussian()
+            return mech.obfuscate([0.0])
+
+
+        def print_leak() -> None:
+            print(make_trace())
+
+
+        def cache_leak(cache) -> None:
+            cache.store("key", make_trace())
+
+
+        def suppressed_leak() -> None:
+            trace = make_trace()
+            # reprolint: disable=PRIV001
+            serve(trace)
+
+
+        def sink_helper(rows) -> None:
+            serve(rows)
+
+
+        def transitive_leak() -> None:
+            sink_helper(make_trace())
+
+
+        def apply_protocol(mech: Mechanism, xs):
+            out = mech.obfuscate(xs)
+            Ledger().spend(1.0)
+            return out
+
+
+        def _worker(chunk, rng, payload):
+            global _STATE
+            _STATE = payload
+            return chunk
+
+
+        _STATE = None
+
+
+        def fan_out() -> None:
+            rng = np.random.default_rng(0)
+            parallel_map(_worker, [1, 2], payload=rng)
+
+
+        def ranked(p: Prof) -> None:
+            for rank, entry in enumerate(p.top(3), start=1):
+                serve(entry.count)
+            for entry2 in p.top(3):
+                pass
+            for entry3 in Prof().top(3):
+                pass
+        """,
+}
+
+
+def flow_policy() -> FlowPolicy:
+    """The default policy re-pointed at the flowpkg fixture names."""
+    return replace(
+        default_policy(),
+        source_prefixes=(),
+        source_functions=frozenset({"flowpkg.datagen.make_trace"}),
+        ads_prefixes=("flowpkg.ads.",),
+        obs_prefixes=(),
+        cache_store_qnames=frozenset(),
+        report_qnames=frozenset(),
+        charge_exempt_prefixes=("flowpkg.mech",),
+        parallel_map_qnames=frozenset({"flowpkg.par.parallel_map"}),
+        det_exempt_prefixes=("flowpkg.par",),
+        sink_exempt_prefixes=(),
+    )
+
+
+def write_flowpkg(tmp_path: Path) -> Path:
+    """Materialize the fixture package; returns the ``src`` root."""
+    pkg = tmp_path / "src" / "flowpkg"
+    pkg.mkdir(parents=True)
+    for name, source in FLOWPKG_FILES.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return tmp_path / "src"
+
+
+@pytest.fixture()
+def flow_src(tmp_path):
+    """Path to the fixture project's ``src`` directory."""
+    return write_flowpkg(tmp_path)
+
+
+@pytest.fixture()
+def flow_project(flow_src):
+    """The fixture package loaded as a :class:`Project`."""
+    return Project.load([flow_src], root=flow_src.parent)

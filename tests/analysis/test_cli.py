@@ -122,3 +122,61 @@ def test_python_dash_m_entrypoint():
     )
     assert proc.returncode == 1
     assert "FLT001" in proc.stdout
+
+
+class TestFlowCli:
+    """``--flow`` switches the CLI to the dataflow engine and catalogue."""
+
+    @pytest.fixture()
+    def leak_project(self, tmp_path):
+        """A minimal src-layout package with a raw-print flow leak."""
+        pkg = tmp_path / "src" / "leakpkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(
+            "from repro.datagen.population import generate_population\n"
+            "\n"
+            "\n"
+            "def leak():\n"
+            "    pop = generate_population()\n"
+            "    print(pop)\n"
+        )
+        return str(tmp_path / "src")
+
+    def test_flow_list_rules_prints_the_flow_catalogue(self, capsys):
+        from repro.analysis.dataflow import flow_rule_catalogue
+
+        assert lint_main(["--flow", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in flow_rule_catalogue():
+            assert rule.id in out
+        assert "FLT001" not in out
+
+    def test_flow_finds_the_leak(self, capsys, leak_project):
+        assert lint_main([leak_project, "--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "PRIV004" in out
+
+    def test_flow_select_narrows_the_run(self, capsys, leak_project):
+        assert lint_main([leak_project, "--flow", "--select", "DET201"]) == 0
+        capsys.readouterr()
+
+    def test_flow_json_report_uses_the_flow_catalogue(self, capsys, leak_project):
+        from repro.analysis.dataflow import flow_rule_catalogue
+
+        assert lint_main([leak_project, "--flow", "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["rules"] == [r.id for r in flow_rule_catalogue()]
+        assert report["counts"].get("PRIV004") == 1
+        assert report["files_scanned"] == 2
+
+    def test_classic_rule_ids_are_unknown_under_flow(self, leak_project):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([leak_project, "--flow", "--select", "FLT001"])
+        assert exc.value.code == 2
+
+    def test_flow_sarif_document(self, capsys, leak_project):
+        assert lint_main([leak_project, "--flow", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "PRIV004" for r in results)

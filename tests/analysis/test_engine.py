@@ -109,6 +109,86 @@ class TestSuppressions:
         assert len(findings) == 1 and findings[0].line == 4
         assert n_suppressed == 1
 
+    def test_inline_directive_covers_whole_multiline_statement(self):
+        """Regression: a directive on a multi-line statement's first
+        physical line must cover findings reported on its later lines."""
+        src = (
+            "def f(x: float) -> bool:\n"
+            "    return (  # reprolint: disable=FLT001\n"
+            "        x\n"
+            "        == 0.0\n"
+            "    )\n"
+        )
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_standalone_comment_covers_whole_multiline_statement(self):
+        src = (
+            "def f(x: float) -> bool:\n"
+            "    # reprolint: disable=FLT001\n"
+            "    return (\n"
+            "        x\n"
+            "        == 0.0\n"
+            "    )\n"
+        )
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_directive_on_decorator_line_covers_the_def_header(self):
+        """Regression: MUT001 reports on the ``def`` line, below the
+        decorator the directive is attached to."""
+        src = (
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache()  # reprolint: disable=MUT001\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        rule = rules_by_id()["MUT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_standalone_comment_above_decorator_covers_the_def_header(self):
+        src = (
+            "import functools\n"
+            "\n"
+            "# reprolint: disable=MUT001\n"
+            "@functools.lru_cache()\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        rule = rules_by_id()["MUT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
+    def test_compound_header_directive_does_not_swallow_the_body(self):
+        """A directive on a ``def`` line must not silence body findings."""
+        src = (
+            "def f(x: float) -> bool:  # reprolint: disable=FLT001\n"
+            "    return x == 0.0\n"
+        )
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert len(findings) == 1 and findings[0].line == 2
+        assert n_suppressed == 0
+
+    def test_comma_separated_rules_in_one_directive(self):
+        src = (
+            "def f(x: float) -> bool:\n"
+            "    # reprolint: disable=FLT001,DET001\n"
+            "    return x == 0.0\n"
+        )
+        rule = rules_by_id()["FLT001"]
+        findings, n_suppressed = analyze_source(src, Path("x.py"), [rule], role="src")
+        assert findings == []
+        assert n_suppressed == 1
+
 
 class TestErrorPaths:
     def test_syntax_error_becomes_e999_finding(self):

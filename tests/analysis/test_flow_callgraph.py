@@ -1,0 +1,102 @@
+"""Call-graph builder tests: resolution shapes over the flowpkg fixture."""
+
+from repro.analysis.dataflow import CallGraph
+
+from tests.analysis.conftest import flow_policy
+
+PIPE = "flowpkg.pipeline"
+
+
+def _graph(flow_project):
+    return CallGraph.build(flow_project, flow_policy())
+
+
+class TestProjectIndex:
+    def test_modules_functions_classes_indexed(self, flow_project):
+        assert PIPE in flow_project.modules
+        assert f"{PIPE}.leak_to_ads" in flow_project.functions
+        assert "flowpkg.mech.Gaussian" in flow_project.classes
+        assert flow_project.subclasses["flowpkg.mech.Mechanism"] == [
+            "flowpkg.mech.Gaussian"
+        ]
+
+    def test_scalar_attrs_from_annotations(self, flow_project):
+        entry = flow_project.classes["flowpkg.profile.Entry"]
+        assert "count" in entry.scalar_attrs
+
+    def test_fixture_files_have_src_role(self, flow_project):
+        assert all(
+            ctx.role == "src" for ctx in flow_project.modules.values()
+        ), "tmp fixture paths must not be classified as test code"
+
+
+class TestDirectCalls:
+    def test_imported_function_resolves(self, flow_project):
+        graph = _graph(flow_project)
+        assert "flowpkg.ads.serve" in graph.edges[f"{PIPE}.leak_to_ads"]
+
+    def test_constructor_resolves_to_class(self, flow_project):
+        graph = _graph(flow_project)
+        sites = graph.sites[f"{PIPE}.uncharged_release"]
+        constructed = [s.constructed for s in sites if s.constructed]
+        assert constructed == ["flowpkg.mech.Gaussian"]
+
+
+class TestMethodDispatch:
+    def test_local_constructor_assignment_types_receiver(self, flow_project):
+        graph = _graph(flow_project)
+        env = graph.local_env[f"{PIPE}.sanitized_to_ads"]
+        assert env["mech"] == "flowpkg.mech.Gaussian"
+        assert env["ledger"] == "flowpkg.mech.Ledger"
+        # mech.obfuscate dispatches to the concrete override only.
+        obf = [
+            s
+            for s in graph.sites[f"{PIPE}.sanitized_to_ads"]
+            if s.attr == "obfuscate"
+        ]
+        assert obf and obf[0].callees == ["flowpkg.mech.Gaussian.obfuscate"]
+
+    def test_protocol_annotation_expands_to_overrides(self, flow_project):
+        """mech: Mechanism dispatches to the base def and every subclass."""
+        graph = _graph(flow_project)
+        obf = [
+            s
+            for s in graph.sites[f"{PIPE}.apply_protocol"]
+            if s.attr == "obfuscate"
+        ]
+        assert obf
+        assert set(obf[0].callees) == {
+            "flowpkg.mech.Mechanism.obfuscate",
+            "flowpkg.mech.Gaussian.obfuscate",
+        }
+
+
+class TestParallelMapIndirection:
+    def test_worker_reference_becomes_an_edge(self, flow_project):
+        graph = _graph(flow_project)
+        fan = [s for s in graph.sites[f"{PIPE}.fan_out"] if s.is_parallel_map]
+        assert len(fan) == 1
+        assert fan[0].workers == [f"{PIPE}._worker"]
+        assert f"{PIPE}._worker" in graph.edges[f"{PIPE}.fan_out"]
+        assert graph.worker_functions() == [f"{PIPE}._worker"]
+
+    def test_worker_reachability(self, flow_project):
+        graph = _graph(flow_project)
+        reachable = graph.reachable_from(graph.worker_functions())
+        assert f"{PIPE}._worker" in reachable
+
+
+class TestLoopElementTyping:
+    def test_plain_loop_over_annotated_container(self, flow_project):
+        env = _graph(flow_project).local_env[f"{PIPE}.ranked"]
+        assert env["entry2"] == "flowpkg.profile.Entry"
+
+    def test_enumerate_unwraps_to_element(self, flow_project):
+        env = _graph(flow_project).local_env[f"{PIPE}.ranked"]
+        assert env["entry"] == "flowpkg.profile.Entry"
+        assert "rank" not in env
+
+    def test_constructor_chained_receiver(self, flow_project):
+        """Prof().top(3) resolves through the constructed class."""
+        env = _graph(flow_project).local_env[f"{PIPE}.ranked"]
+        assert env["entry3"] == "flowpkg.profile.Entry"

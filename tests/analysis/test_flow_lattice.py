@@ -1,0 +1,98 @@
+"""Unit tests for the taint lattice and per-function summaries."""
+
+import pytest
+
+from repro.analysis.dataflow import (
+    BOTTOM,
+    RAW,
+    RNG,
+    Summary,
+    is_param,
+    join,
+    param_index,
+    param_label,
+)
+from repro.analysis.dataflow.lattice import concrete, substitute
+
+
+class TestJoin:
+    def test_join_is_union(self):
+        assert join(frozenset({RAW}), frozenset({RNG})) == frozenset({RAW, RNG})
+
+    def test_bottom_is_identity(self):
+        assert join(BOTTOM, frozenset({RAW})) == frozenset({RAW})
+        assert join() == BOTTOM
+
+    def test_join_is_idempotent_and_commutative(self):
+        a, b = frozenset({RAW}), frozenset({RNG, "p0"})
+        assert join(a, a) == a
+        assert join(a, b) == join(b, a)
+
+
+class TestParamLabels:
+    def test_round_trip(self):
+        for i in (0, 1, 7, 12):
+            label = param_label(i)
+            assert is_param(label)
+            assert param_index(label) == i
+
+    def test_concrete_labels_are_not_params(self):
+        assert not is_param(RAW)
+        assert not is_param(RNG)
+        assert param_index(RAW) is None
+        # A bare "p" has no digits; "px" has non-digits.
+        assert not is_param("p")
+        assert not is_param("px")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            param_label(-1)
+
+
+class TestSubstitute:
+    def test_symbolic_labels_map_to_argument_taints(self):
+        value = frozenset({param_label(0), param_label(1)})
+        out = substitute(value, [frozenset({RAW}), BOTTOM])
+        assert out == frozenset({RAW})
+
+    def test_concrete_labels_survive(self):
+        value = frozenset({RAW, param_label(0)})
+        assert substitute(value, [frozenset({RNG})]) == frozenset({RAW, RNG})
+
+    def test_missing_positions_contribute_nothing(self):
+        # p1 refers to a defaulted parameter with no call-site argument.
+        value = frozenset({param_label(1)})
+        assert substitute(value, [frozenset({RAW})]) == BOTTOM
+
+    def test_concrete_strips_symbolic_labels(self):
+        assert concrete(frozenset({RAW, param_label(3)})) == frozenset({RAW})
+
+
+class TestSummaryMerge:
+    def test_merge_is_pointwise_join(self):
+        a = Summary(
+            returns=frozenset({RAW}),
+            sink_params={0: frozenset({"ads"})},
+            charges=False,
+            has_global=False,
+        )
+        b = Summary(
+            returns=frozenset({param_label(0)}),
+            sink_params={0: frozenset({"io"}), 1: frozenset({"cache"})},
+            charges=True,
+            has_global=True,
+        )
+        merged = a.merge(b)
+        assert merged.returns == frozenset({RAW, param_label(0)})
+        assert merged.sink_params == {
+            0: frozenset({"ads", "io"}),
+            1: frozenset({"cache"}),
+        }
+        assert merged.charges and merged.has_global
+
+    def test_merge_with_default_is_identity(self):
+        a = Summary(returns=frozenset({RAW}), charges=True)
+        merged = a.merge(Summary())
+        assert merged.returns == a.returns
+        assert merged.charges
+        assert not merged.has_global

@@ -1,0 +1,135 @@
+"""End-to-end flow-rule tests: PRIV/BUD/DET findings over flowpkg."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.dataflow import analyze_flow, flow_rule_catalogue
+
+from tests.analysis.conftest import flow_policy
+
+PIPE = "src/flowpkg/pipeline.py"
+
+
+@pytest.fixture()
+def report(flow_src):
+    return analyze_flow([flow_src], root=flow_src.parent, policy=flow_policy())
+
+
+def _rules_at(report, path_tail):
+    return {
+        (f.rule, f.line) for f in report.findings if f.path.endswith(path_tail)
+    }
+
+
+class TestCatalogue:
+    def test_catalogue_is_family_ordered_and_complete(self):
+        ids = [r.id for r in flow_rule_catalogue()]
+        assert len(ids) == len(set(ids))
+        assert {"PRIV001", "PRIV004", "BUD101", "DET201", "DET202"} <= set(ids)
+        # Families stay grouped: every PRIV before every BUD before DET.
+        families = [i[: len(i) - 3] for i in ids]
+        assert families == sorted(families, key=["PRIV", "BUD", "DET"].index)
+
+
+class TestPrivRules:
+    def test_raw_source_to_ads_sink(self, report):
+        priv1 = [f for f in report.findings if f.rule == "PRIV001"]
+        # leak_to_ads's serve(trace) and transitive_leak's helper call;
+        # suppressed_leak's copy is suppressed, not reported.
+        assert len(priv1) == 2
+
+    def test_sanitized_flow_is_clean(self, report):
+        # sanitized_to_ads obfuscates then charges: no finding of any kind.
+        assert not any("sanitized_to_ads" in f.message for f in report.findings)
+
+    def test_print_of_raw_is_priv004(self, report):
+        assert any(f.rule == "PRIV004" for f in report.findings)
+
+    def test_attr_store_of_raw_is_priv003(self, report):
+        assert any(f.rule == "PRIV003" for f in report.findings)
+
+    def test_transitive_flow_through_parameter(self, report):
+        transitive = [
+            f
+            for f in report.findings
+            if f.rule == "PRIV001" and "parameter 'rows'" in f.message
+        ]
+        assert len(transitive) == 1
+        assert "sink_helper" in transitive[0].message
+
+
+class TestBudRules:
+    def test_uncharged_sanitizer_call_is_bud101(self, report):
+        bud = [f for f in report.findings if f.rule == "BUD101"]
+        assert len(bud) == 1
+        assert "uncharged_release" in bud[0].message
+
+    def test_charged_function_is_exempt(self, report):
+        assert not any(
+            f.rule == "BUD101" and "sanitized_to_ads" in f.message
+            for f in report.findings
+        )
+
+
+class TestDetRules:
+    def test_rng_across_parallel_boundary_is_det201(self, report):
+        det = [f for f in report.findings if f.rule == "DET201"]
+        assert len(det) == 1
+
+    def test_worker_global_write_is_det202(self, report):
+        det = [f for f in report.findings if f.rule == "DET202"]
+        assert len(det) == 1
+        assert "_worker" in det[0].message
+
+
+class TestSuppression:
+    def test_standalone_comment_suppresses_the_flow_finding(self, report):
+        # suppressed_leak's serve(trace) is identical to leak_to_ads's,
+        # but carries a disable=PRIV001 comment above it.
+        assert report.n_suppressed == 1
+        assert not any(
+            "suppressed_leak" in f.message for f in report.findings
+        )
+
+
+class TestStatsAndDeterminism:
+    def test_stats_report_project_shape(self, report):
+        assert report.stats["modules"] == 7
+        assert report.stats["fixpoint_iterations"] >= 1
+        assert report.stats["call_sites"] > 0
+
+    def test_findings_are_sorted_and_stable(self, flow_src):
+        pol = flow_policy()
+        a = analyze_flow([flow_src], root=flow_src.parent, policy=pol)
+        b = analyze_flow([flow_src], root=flow_src.parent, policy=pol)
+        assert a.findings == b.findings
+        assert a.findings == sorted(a.findings)
+
+
+class TestRoleFiltering:
+    def test_findings_in_test_files_are_dropped(self, tmp_path):
+        pkg = tmp_path / "src" / "flowpkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "datagen.py").write_text(
+            "def make_trace():\n    return [1.0]\n"
+        )
+        tests_dir = tmp_path / "src" / "flowpkg" / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "__init__.py").write_text("")
+        (tests_dir / "test_leak.py").write_text(
+            textwrap.dedent(
+                """
+                from flowpkg.datagen import make_trace
+
+
+                def check():
+                    print(make_trace())
+                """
+            )
+        )
+        report = analyze_flow(
+            [tmp_path / "src"], root=tmp_path, policy=flow_policy()
+        )
+        assert report.findings == []

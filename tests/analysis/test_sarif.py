@@ -1,0 +1,186 @@
+"""SARIF emission and baseline staleness: units plus CLI round trips."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Finding
+from repro.analysis.baseline import (
+    fingerprint,
+    load_baseline,
+    prune_baseline,
+    stale_entries,
+    write_baseline,
+)
+from repro.analysis.cli import main as lint_main
+from repro.analysis.dataflow import flow_rule_catalogue
+from repro.analysis.rules import all_rules
+from repro.analysis.sarif import SARIF_VERSION, sarif_report
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "bad_float_eq.py")
+CLEAN = str(FIXTURES / "clean.py")
+
+
+def _finding(rule="PRIV001", path="src/repro/x.py", line=10, col=3):
+    return Finding(
+        path=path, line=line, col=col, rule=rule, message="raw reaches a sink"
+    )
+
+
+class TestSarifReport:
+    def test_document_shape(self):
+        doc = sarif_report([_finding()], flow_rule_catalogue())
+        assert doc["version"] == SARIF_VERSION
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert {r["id"] for r in driver["rules"]} == {
+            r.id for r in flow_rule_catalogue()
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "PRIV001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 10, "startColumn": 3}
+
+    def test_rule_index_points_into_the_catalogue(self):
+        rules = flow_rule_catalogue()
+        doc = sarif_report([_finding(rule=rules[2].id)], rules)
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleIndex"] == 2
+
+    def test_partial_fingerprint_matches_baseline_identity(self):
+        finding = _finding()
+        doc = sarif_report([finding], flow_rule_catalogue())
+        prints = doc["runs"][0]["results"][0]["partialFingerprints"]
+        assert prints["reprolint/v1"] == fingerprint(finding)
+
+    def test_classic_rules_satisfy_the_rulelike_protocol(self):
+        doc = sarif_report([], all_rules())
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rules and all(r["fullDescription"]["text"] for r in rules)
+
+    def test_zero_column_is_clamped_to_one(self):
+        doc = sarif_report([_finding(col=0)], flow_rule_catalogue())
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region["startColumn"] == 1
+
+    def test_document_is_json_serializable(self):
+        doc = sarif_report([_finding()], flow_rule_catalogue())
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestSarifCli:
+    def test_format_sarif_emits_a_valid_document(self, capsys):
+        assert lint_main([BAD, "--role", "src", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == SARIF_VERSION
+        assert any(
+            r["ruleId"] == "FLT001" for r in doc["runs"][0]["results"]
+        )
+
+    def test_clean_sarif_run_still_carries_the_catalogue(self, capsys):
+        assert lint_main([CLEAN, "--role", "src", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"]
+
+
+class TestStaleEntries:
+    def test_consumed_allowance_is_not_stale(self):
+        f = _finding(rule="FLT001")
+        baseline = {fingerprint(f): 1}
+        assert stale_entries(baseline, [f]) == {}
+
+    def test_excess_allowance_is_reported(self):
+        f = _finding(rule="FLT001")
+        baseline = {fingerprint(f): 3, "BUD002::src/repro/gone.py": 2}
+        stale = stale_entries(baseline, [f])
+        assert stale == {
+            fingerprint(f): 2,
+            "BUD002::src/repro/gone.py": 2,
+        }
+
+
+class TestPruneBaseline:
+    def test_prune_clamps_and_drops(self, tmp_path):
+        f = _finding(rule="FLT001")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f, f, _finding(rule="DET001", path="old.py")])
+        # Only one FLT001 finding remains live; DET001's file is gone.
+        stale, remaining = prune_baseline(path, [f])
+        assert stale == {fingerprint(f): 1, "DET001::old.py": 1}
+        assert remaining == 1
+        assert load_baseline(path) == {fingerprint(f): 1}
+
+    def test_prune_is_idempotent(self, tmp_path):
+        f = _finding(rule="FLT001")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [f])
+        prune_baseline(path, [f])
+        stale, remaining = prune_baseline(path, [f])
+        assert stale == {} and remaining == 1
+
+
+class TestStaleCli:
+    @pytest.fixture()
+    def stale_baseline(self, tmp_path):
+        """A baseline carrying allowance the CLEAN fixture never uses."""
+        path = tmp_path / "baseline.json"
+        write_baseline(
+            path, [Finding(path=CLEAN, line=1, col=1, rule="FLT001", message="x")]
+        )
+        return str(path)
+
+    def test_fail_on_stale_trips_on_excess_allowance(
+        self, capsys, stale_baseline
+    ):
+        code = lint_main(
+            [CLEAN, "--role", "src", "--baseline", stale_baseline, "--fail-on-stale"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "--prune-baseline" in err
+
+    def test_without_the_flag_stale_allowance_passes(self, stale_baseline):
+        assert lint_main([CLEAN, "--role", "src", "--baseline", stale_baseline]) == 0
+
+    def test_prune_baseline_clears_the_staleness(self, capsys, stale_baseline):
+        assert (
+            lint_main(
+                [
+                    CLEAN,
+                    "--role",
+                    "src",
+                    "--baseline",
+                    stale_baseline,
+                    "--prune-baseline",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert load_baseline(Path(stale_baseline)) == {}
+        assert (
+            lint_main(
+                [
+                    CLEAN,
+                    "--role",
+                    "src",
+                    "--baseline",
+                    stale_baseline,
+                    "--fail-on-stale",
+                ]
+            )
+            == 0
+        )
+
+    def test_stale_flags_require_a_baseline(self):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([CLEAN, "--fail-on-stale"])
+        assert exc.value.code == 2

@@ -46,3 +46,27 @@ def test_bad_fixture_would_fail_the_gate():
     findings, _, _ = analyze_paths([bad], all_rules(), root=REPO_ROOT, role="src")
     new, _ = filter_baselined(findings, load_baseline(BASELINE))
     assert any(f.rule == "BUD002" for f in new)
+
+
+def test_flow_analysis_of_src_tree_is_clean():
+    """The flow rules must pass over src/repro with zero unsuppressed
+    findings — every accepted release/cache site carries a justified
+    inline suppression instead of a baseline entry."""
+    from repro.analysis.dataflow import analyze_flow
+
+    report = analyze_flow([SRC], root=REPO_ROOT)
+    details = "\n".join(f.format() for f in report.findings)
+    assert report.findings == [], f"new flow findings:\n{details}"
+    assert report.n_suppressed > 0, "the justified suppressions disappeared"
+    assert report.stats["modules"] > 100
+    assert report.stats["fixpoint_iterations"] >= 2
+
+
+def test_committed_baseline_carries_no_stale_allowance():
+    """Same check as CI's --fail-on-stale: every baseline entry must be
+    consumed by a live finding."""
+    from repro.analysis.baseline import stale_entries
+
+    findings, _, _ = analyze_paths([SRC], all_rules(), root=REPO_ROOT)
+    stale = stale_entries(load_baseline(BASELINE), findings)
+    assert stale == {}, f"stale baseline entries: {stale}"
