@@ -72,10 +72,20 @@ class Campaign:
         radius_m: float,
         bid_price: float = 1.0,
         platform: Optional[str] = None,
+        campaign_id: Optional[str] = None,
     ) -> "Campaign":
-        """Create a campaign with an auto-assigned id."""
+        """Create a campaign, auto-assigning an id unless one is given.
+
+        The auto-assigned id comes from a process-global counter, which
+        is fine for single-process simulations but not reproducible
+        across processes — replicated inventories (every serve shard
+        builds the same campaign set) must pass an explicit
+        ``campaign_id``.
+        """
         return cls(
-            campaign_id=f"campaign-{next(_campaign_counter):06d}",
+            campaign_id=campaign_id
+            if campaign_id is not None
+            else f"campaign-{next(_campaign_counter):06d}",
             advertiser=advertiser,
             business_location=business_location,
             radius_m=radius_m,

@@ -95,8 +95,11 @@ class FlowPolicy:
 
     # -- sinks -------------------------------------------------------------
     #: PRIV001: resolved callees under these prefixes are ad-provider
-    #: surfaces; raw arguments cross the trust boundary.
-    ads_prefixes: Tuple[str, ...] = ("repro.ads.",)
+    #: surfaces; raw arguments cross the trust boundary.  The serve
+    #: egress is the streaming service's response path — everything a
+    #: :class:`repro.serve.egress.ServeResponse` carries leaves the edge,
+    #: so feeding it raw coordinates is exactly the PRIV001 violation.
+    ads_prefixes: Tuple[str, ...] = ("repro.ads.", "repro.serve.egress.")
     #: PRIV002: resolved callees under these prefixes emit traces/metrics.
     obs_prefixes: Tuple[str, ...] = ("repro.obs.",)
     #: PRIV002: unresolved attribute calls with these names on any

@@ -361,6 +361,21 @@ class Project:
                 elif _scalar_annotation(a.annotation):
                     param_scalars.add(a.arg)
         for sub in ast.walk(node if isinstance(node, ast.AST) else ast.Module()):
+            if isinstance(sub, ast.AnnAssign):
+                # Annotated assignment: ``self.attr: SomeClass = ...``
+                # declares the type directly.
+                target = sub.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    resolved = self._resolve_annotation(sub.annotation, ctx)
+                    if resolved is not None:
+                        cinfo.attr_types.setdefault(target.attr, resolved)
+                    elif _scalar_annotation(sub.annotation):
+                        cinfo.scalar_attrs.add(target.attr)
+                continue
             if not isinstance(sub, ast.Assign):
                 continue
             for target in sub.targets:

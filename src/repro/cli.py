@@ -7,6 +7,10 @@ Subcommands::
     repro bench fig6 --scale small              # cold/warm cache benchmark
     repro bench --compare OLD.json NEW.json     # wall-clock regression gate
     repro simulate --users 40 --campaigns 300   # end-to-end system run
+    repro serve --shards 4 --qps 2000 --duration 5
+                                                # streaming edge service run
+    repro serve --replay --shards 2 --duration-events 2000
+                                                # bit-identical replay mode
     repro attack --level ln2                    # case-study attack demo
     repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
                                                 # check a budget's calibration
@@ -15,8 +19,8 @@ Subcommands::
     repro obs trace.jsonl                       # span/metrics trace summary
     repro obs trace.jsonl --format prom         # Prometheus-style dump
 
-The work-running subcommands (``experiments``, ``simulate``, ``attack``,
-``verify``) share one option set: ``--workers N``, ``--cache/--no-cache``,
+The work-running subcommands (``experiments``, ``simulate``, ``serve``,
+``attack``, ``verify``) share one option set: ``--workers N``, ``--cache/--no-cache``,
 ``--seed S``, and ``--trace PATH`` (record a :mod:`repro.obs` trace,
 inspected with ``repro obs``).  Options that do not apply to a subcommand
 are accepted and ignored, so scripts can pass a uniform flag set.
@@ -134,6 +138,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--attack", action="store_true", help="also run the provider-side attack"
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the sharded streaming edge service (see docs/serving.md)",
+        parents=[common],
+    )
+    p_srv.add_argument(
+        "--shards", type=int, default=2, help="actor shards (worker processes)"
+    )
+    p_srv.add_argument(
+        "--qps",
+        type=float,
+        default=0.0,
+        help="live-mode producer pacing in events/s (0 = unpaced)",
+    )
+    p_srv.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="live run length in seconds; with --qps this sizes the "
+        "workload (overrides --duration-events)",
+    )
+    p_srv.add_argument(
+        "--duration-events",
+        type=int,
+        default=2_000,
+        metavar="N",
+        help="workload size in events when --duration is not given",
+    )
+    p_srv.add_argument(
+        "--replay",
+        action="store_true",
+        help="deterministic replay: virtual clock, blocking ingress, "
+        "bit-identical response/metrics digests at any shard count",
+    )
+    p_srv.add_argument("--users", type=int, default=50)
+    p_srv.add_argument("--campaigns", type=int, default=200)
+    p_srv.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="per-shard bounded ingress queue depth (live mode sheds "
+        "beyond it)",
+    )
+    p_srv.add_argument("--batch-max", type=int, default=32)
+    p_srv.add_argument(
+        "--inline",
+        action="store_true",
+        help="run shards inline instead of in worker processes",
+    )
+    p_srv.add_argument(
+        "--prom-file",
+        default=None,
+        metavar="PATH",
+        help="write the fleet metrics snapshot as Prometheus text to PATH",
+    )
+    p_srv.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write a BENCH payload (for 'repro bench --compare') to PATH",
+    )
+
     p_atk = sub.add_parser(
         "attack", help="case-study de-obfuscation attack", parents=[common]
     )
@@ -233,6 +300,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.render import render_prometheus
+    from repro.serve import ServeConfig, ServeService, ServeWorkloadConfig
+    from repro.serve.harness import bench_payload, slo_report
+
+    seed = args.seed if args.seed is not None else 0
+    qps = args.qps
+    if args.duration is not None:
+        if qps <= 0:
+            qps = 500.0
+        n_events = max(1, int(qps * args.duration))
+    else:
+        n_events = args.duration_events
+    workload = ServeWorkloadConfig(
+        n_users=args.users,
+        n_events=n_events,
+        n_campaigns=args.campaigns,
+        seed=seed,
+    )
+    config = ServeConfig(
+        workload=workload,
+        n_shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        qps=0.0 if args.replay else qps,
+        replay=args.replay,
+        use_processes=not args.inline,
+    )
+    with _maybe_trace(args.trace):
+        result = ServeService(config).run()
+    print(json.dumps(slo_report(result), indent=2, sort_keys=True))
+    if args.prom_file is not None:
+        with open(args.prom_file, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(result.metrics))
+            fh.write("\n")
+    if args.bench_json is not None:
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(bench_payload(result, config), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     from repro.attack import DeobfuscationAttack
     from repro.core import (
@@ -324,6 +435,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "attack": _cmd_attack,
     "verify": _cmd_verify,
     "lint": _cmd_lint,

@@ -1,7 +1,12 @@
 """The Edge-PrivLocAd system: clients, edge devices, provider, orchestration."""
 
 from repro.edge.client import ClientStats, MobileClient
-from repro.edge.clock import SimulationClock
+from repro.edge.clock import (
+    SimulationClock,
+    TimeSource,
+    VirtualTimeSource,
+    WallTimeSource,
+)
 from repro.edge.device import EdgeConfig, EdgeDevice, EdgeServeResult
 from repro.edge.location_management import DEFAULT_ETA, LocationManagementModule
 from repro.edge.obfuscation import ObfuscationModule, ObfuscationTable
@@ -28,6 +33,9 @@ __all__ = [
     "HonestButCuriousProvider",
     "AttackFinding",
     "SimulationClock",
+    "TimeSource",
+    "WallTimeSource",
+    "VirtualTimeSource",
     "EdgePrivLocAdSystem",
     "SystemConfig",
     "SystemReport",

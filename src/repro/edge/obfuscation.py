@@ -10,12 +10,12 @@ and degrade the budget by composition.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ledger import PrivacyLedger
 from repro.core.mechanism import LPPM
+from repro.edge.clock import TimeSource, WallTimeSource
 from repro.geo.point import Point
 from repro.obs.metrics import DEFAULT_TIME_BUCKETS
 from repro.obs.trace import enabled as _obs_enabled
@@ -84,10 +84,18 @@ class ObfuscationModule:
         mechanism: LPPM,
         match_radius: float = 100.0,
         ledger: Optional[PrivacyLedger] = None,
+        time_source: Optional[TimeSource] = None,
     ) -> None:
         self.mechanism = mechanism
         self.table = ObfuscationTable(match_radius)
         self.ledger = ledger
+        #: Where pin-latency readings come from.  The wall clock by
+        #: default; replay-mode serving injects a deterministic
+        #: :class:`~repro.edge.clock.VirtualTimeSource` so the
+        #: ``pin_seconds`` histogram replays bit-identically.
+        self.time_source: TimeSource = (
+            time_source if time_source is not None else WallTimeSource()
+        )
         #: How many times the module actually spent budget (for tests and
         #: the permanence ablation).
         self.obfuscation_count = 0
@@ -116,7 +124,7 @@ class ObfuscationModule:
                     continue
                 if budget is not None:
                     self.ledger.spend(budget, label=f"pin@({top.x:.0f},{top.y:.0f})")
-            t0 = time.perf_counter() if metering else 0.0
+            t0 = self.time_source.monotonic() if metering else 0.0
             # One draw per *distinct* top location, guarded by the lookup
             # above and charged to the ledger: this is the permanent-noise
             # pin itself, not a per-release re-draw.
@@ -128,7 +136,7 @@ class ObfuscationModule:
                 registry.counter("edge.obfuscation.pins").inc()
                 registry.histogram(
                     "edge.obfuscation.pin_seconds", DEFAULT_TIME_BUCKETS
-                ).observe(time.perf_counter() - t0)
+                ).observe(self.time_source.monotonic() - t0)
 
     def candidates_for(self, location: Point) -> Optional[List[Point]]:
         """The pinned candidates covering ``location``, if it is a known top."""

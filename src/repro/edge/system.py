@@ -71,8 +71,16 @@ def seed_campaigns(
     radius_m: float,
     rng: np.random.Generator,
     platform: Optional[str] = None,
+    deterministic_ids: bool = False,
 ) -> List[Campaign]:
-    """Scatter radius-targeting campaigns uniformly over the region."""
+    """Scatter radius-targeting campaigns uniformly over the region.
+
+    With ``deterministic_ids`` the campaign ids are a pure function of
+    the index (``campaign-<i>``) instead of the process-global counter —
+    required when several processes must build the *same* inventory
+    (every serve shard replicates the campaign set, and response digests
+    compare campaign ids across shard layouts).
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
     from repro.geo.point import Point
@@ -88,6 +96,7 @@ def seed_campaigns(
                 radius_m=radius_m,
                 bid_price=float(rng.uniform(0.5, 5.0)),
                 platform=platform,
+                campaign_id=f"campaign-{i:06d}" if deterministic_ids else None,
             )
         )
     return campaigns

@@ -35,6 +35,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_snapshots",
+    "quantile_from_histogram",
 ]
 
 #: Default histogram bounds for latency observations, in seconds.  A
@@ -226,3 +227,35 @@ def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
     for snap in snapshots:
         merged.merge(snap)
     return merged.snapshot()
+
+
+def quantile_from_histogram(data: Dict[str, Any], q: float) -> float:
+    """Estimate the ``q``-quantile from a snapshotted histogram dict.
+
+    Prometheus-style bucket interpolation: find the bucket the quantile
+    rank lands in and interpolate linearly inside it (the first bucket
+    interpolates from 0, the overflow bucket reports the last bound —
+    the histogram cannot resolve beyond its ladder).  Returns 0.0 for an
+    empty histogram.  This is what turns the additive-merge histograms
+    (``pin_seconds``, serve latency) into p50/p99 SLO numbers.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    bounds = [float(b) for b in data.get("bounds", [])]
+    counts = [int(c) for c in data.get("counts", [])]
+    total = int(data.get("count", 0))
+    if total <= 0 or not bounds:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        prev_cumulative = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if i >= len(bounds):  # overflow bucket: unresolvable above it
+                return bounds[-1]
+            lo = bounds[i - 1] if i > 0 else 0.0
+            hi = bounds[i]
+            fraction = (rank - prev_cumulative) / count
+            return lo + (hi - lo) * min(max(fraction, 0.0), 1.0)
+    return bounds[-1]

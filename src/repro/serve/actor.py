@@ -1,0 +1,121 @@
+"""The per-user actor: one user's entire edge state behind one mailbox.
+
+The batch :class:`~repro.edge.device.EdgeDevice` multiplexes many users
+over shared mechanisms and a shared RNG; that sharing is exactly what a
+sharded service cannot have, because which users land together on a
+shard depends on the shard count.  A :class:`UserActor` therefore owns
+*everything* private to its user — profile windows, the permanent
+obfuscation table, the pin-state, the privacy ledger, the nomadic
+accountant, and the RNG — and seeds the RNG from
+``SeedSequence(entropy=seed, spawn_key=(user_index,))``: the actor's
+behaviour is a pure function of ``(seed, user_index,`` its own event
+subsequence``)``, never of which shard or process runs it.
+
+Events for one user are processed strictly in schedule order (the shard
+loop guarantees it), which is the actor-model serialisation the edge's
+permanence invariant needs: the obfuscation table is only ever touched
+by one event at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.accounting import LongitudinalExposureAccountant
+from repro.core.gaussian import GaussianMechanism, NFoldGaussianMechanism
+from repro.core.ledger import PrivacyLedger
+from repro.edge.clock import TimeSource, WallTimeSource
+from repro.edge.device import EdgeConfig
+from repro.edge.location_management import LocationManagementModule
+from repro.edge.obfuscation import ObfuscationModule
+from repro.edge.output_selection import OutputSelectionModule
+from repro.geo.point import Point
+from repro.profiles.checkin import CheckIn
+
+__all__ = ["UserActor"]
+
+
+class UserActor:
+    """One user's edge-private state and serve logic."""
+
+    def __init__(
+        self,
+        user_id: str,
+        user_index: int,
+        seed: int,
+        config: EdgeConfig,
+        time_source: Optional[TimeSource] = None,
+        ledger_max_epsilon: Optional[float] = None,
+    ) -> None:
+        self.user_id = user_id
+        self.user_index = user_index
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(2, user_index))
+        )
+        self.config = config
+        self.time_source: TimeSource = (
+            time_source if time_source is not None else WallTimeSource()
+        )
+        self._nfold = NFoldGaussianMechanism(config.budget, rng=rng)
+        self._nomadic = GaussianMechanism(config.budget.with_n(1), rng=rng)
+        self.ledger = PrivacyLedger(max_epsilon=ledger_max_epsilon)
+        self.accountant: LongitudinalExposureAccountant = (
+            LongitudinalExposureAccountant()
+        )
+        self.management = LocationManagementModule(
+            eta=config.eta,
+            window_days=config.window_days,
+            connect_radius=config.connect_radius,
+        )
+        self.obfuscation = ObfuscationModule(
+            self._nfold,
+            match_radius=config.match_radius,
+            ledger=self.ledger,
+            time_source=self.time_source,
+        )
+        self.selection = OutputSelectionModule.posterior(
+            self._nfold.posterior_sigma, rng=rng
+        )
+        self.events_handled = 0
+
+    def handle_checkin(self, timestamp: float, x: float, y: float) -> Tuple[Point, str]:
+        """Record the check-in and choose the location to report.
+
+        The pinned-candidate path serves known top locations via
+        posterior output selection (free post-processing); the nomadic
+        path draws a fresh one-shot perturbation and charges its
+        longitudinal exposure to the accountant — every release that
+        leaves the actor is paid for.
+        """
+        true_location = Point(x, y)
+        new_tops = self.management.record(CheckIn(timestamp, true_location))
+        if new_tops:
+            self.obfuscation.ensure_obfuscated(new_tops)
+        candidates = self.obfuscation.candidates_for(true_location)
+        self.events_handled += 1
+        if candidates is not None:
+            return self.selection.select(candidates), "top"
+        reported = self._nomadic.obfuscate(true_location)[0]
+        self.accountant.observe(
+            self.config.budget.epsilon / self.config.budget.r
+        )
+        return reported, "nomadic"
+
+    def finalize(self) -> None:
+        """Flush the trailing profile window (graceful shutdown).
+
+        Any tops surfacing from the partial window are pinned — and
+        ledger-charged — exactly as a window rollover would have.
+        """
+        tops = self.management.flush()
+        if tops:
+            self.obfuscation.ensure_obfuscated(tops)
+
+    def charged_since(self, n_entries: int) -> List[Tuple[float, float]]:
+        """(epsilon, delta) of ledger entries appended after ``n_entries``."""
+        return [
+            (entry.budget.epsilon, entry.budget.delta)
+            for entry in self.ledger.entries[n_entries:]
+        ]

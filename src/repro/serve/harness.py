@@ -1,0 +1,144 @@
+"""The load harness: run the service, report SLOs, emit bench payloads.
+
+This is the operational face of :mod:`repro.serve`: one call builds the
+seeded workload, runs the sharded service to completion, and reduces the
+fleet metrics snapshot to the numbers an operator watches — throughput,
+p50/p99 pin latency (from the additive-merge ``pin_seconds`` histogram),
+p50/p99 end-to-end latency (live mode), drop counts, and the
+epsilon/delta spend audit.  The same reduction feeds the committed
+``BENCH_serve.json`` consumed by ``repro bench --compare``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import quantile_from_histogram
+from repro.serve.events import ServeWorkloadConfig
+from repro.serve.service import ServeConfig, ServeResult, ServeService
+
+__all__ = ["bench_payload", "run_service", "slo_report"]
+
+
+def run_service(
+    n_users: int = 50,
+    n_events: int = 2_000,
+    n_campaigns: int = 200,
+    seed: int = 0,
+    n_shards: int = 2,
+    queue_capacity: int = 256,
+    batch_max: int = 32,
+    qps: float = 0.0,
+    replay: bool = False,
+    use_processes: bool = True,
+    ledger_max_epsilon: Optional[float] = None,
+    work_sleep_s: float = 0.0,
+    producer_burst: int = 1,
+) -> ServeResult:
+    """Build the workload and run the service end to end."""
+    workload = ServeWorkloadConfig(
+        n_users=n_users,
+        n_events=n_events,
+        n_campaigns=n_campaigns,
+        seed=seed,
+    )
+    config = ServeConfig(
+        workload=workload,
+        n_shards=n_shards,
+        queue_capacity=queue_capacity,
+        batch_max=batch_max,
+        qps=qps,
+        replay=replay,
+        use_processes=use_processes,
+        ledger_max_epsilon=ledger_max_epsilon,
+        work_sleep_s=work_sleep_s,
+        producer_burst=producer_burst,
+    )
+    return ServeService(config).run()
+
+
+def _histogram(result: ServeResult, name: str) -> Dict[str, Any]:
+    data = result.metrics.get("histograms", {}).get(name, {})
+    return data if isinstance(data, dict) else {}
+
+
+def slo_report(result: ServeResult) -> Dict[str, Any]:
+    """The operator's one-look view of a finished run."""
+    pin = _histogram(result, "edge.obfuscation.pin_seconds")
+    handle = _histogram(result, "serve.handle_seconds")
+    e2e = _histogram(result, "serve.e2e_seconds")
+    gauges = result.metrics.get("gauges", {})
+    qps_achieved = (
+        result.processed / result.wall_seconds if result.wall_seconds > 0 else 0.0
+    )
+    return {
+        "processed": result.processed,
+        "enqueued": result.enqueued,
+        "dropped": result.dropped,
+        "n_actors": result.n_actors,
+        "backend": result.backend,
+        "wall_seconds": result.wall_seconds,
+        "qps_achieved": qps_achieved,
+        "pin_p50_s": quantile_from_histogram(pin, 0.50),
+        "pin_p99_s": quantile_from_histogram(pin, 0.99),
+        "handle_p50_s": quantile_from_histogram(handle, 0.50),
+        "handle_p99_s": quantile_from_histogram(handle, 0.99),
+        "e2e_p50_s": quantile_from_histogram(e2e, 0.50),
+        "e2e_p99_s": quantile_from_histogram(e2e, 0.99),
+        "epsilon_spent": gauges.get("privacy.epsilon_spent", 0.0),
+        "delta_spent": gauges.get("privacy.delta_spent", 0.0),
+        "audit_epsilon": result.audit_epsilon,
+        "audit_delta": result.audit_delta,
+        "ledger_spends": result.ledger_spends,
+        "response_digest": result.digest,
+        "metrics_digest": result.metrics_digest(),
+    }
+
+
+def bench_payload(result: ServeResult, config: ServeConfig) -> Dict[str, Any]:
+    """A ``BENCH_serve.json`` payload for ``repro bench --compare``.
+
+    ``stage_seconds`` carries the latency quantiles so the regression
+    gate watches the SLOs, not just the wall clock.
+    """
+    report = slo_report(result)
+    notes: List[str] = [
+        f"backend={result.backend}",
+        f"shards={config.n_shards}",
+        f"replay={config.replay}",
+        f"qps_achieved={report['qps_achieved']:.0f}",
+        f"dropped={result.dropped}",
+    ]
+    return {
+        "experiment_id": "serve",
+        "title": "repro.serve: sharded streaming edge service",
+        "wall_seconds": result.wall_seconds,
+        "workers": config.n_shards,
+        "scale": {
+            "name": "serve-smoke",
+            "n_users": config.workload.n_users,
+            "n_events": config.workload.n_events,
+            "n_campaigns": config.workload.n_campaigns,
+            "seed": config.workload.seed,
+        },
+        "stage_seconds": {
+            "pin_p50": report["pin_p50_s"],
+            "pin_p99": report["pin_p99_s"],
+            "handle_p50": report["handle_p50_s"],
+            "handle_p99": report["handle_p99_s"],
+            "e2e_p50": report["e2e_p50_s"],
+            "e2e_p99": report["e2e_p99_s"],
+        },
+        "cache": None,
+        "rows": [
+            {
+                "processed": result.processed,
+                "enqueued": result.enqueued,
+                "dropped": result.dropped,
+                "qps_achieved": report["qps_achieved"],
+                "epsilon_spent": report["epsilon_spent"],
+                "delta_spent": report["delta_spent"],
+            }
+        ],
+        "notes": notes,
+    }

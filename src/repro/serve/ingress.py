@@ -1,0 +1,115 @@
+"""Bounded ingress queues: explicit backpressure, never unbounded growth.
+
+One queue fronts each shard.  The producer has two disciplines:
+
+* **shed** (:meth:`BoundedIngressQueue.offer`) — live mode.  A full
+  queue rejects the event immediately; the service counts the drop and
+  moves on.  The actor never sees a shed event, so the privacy ledger is
+  never charged for it — load shedding costs ad requests, not budget.
+* **block** (:meth:`BoundedIngressQueue.put`) — replay mode.  The
+  producer cooperatively waits for space, so every scheduled event is
+  processed and the replay digest is complete.
+
+The queue is single-producer / single-consumer within one asyncio event
+loop, so plain state plus two wake-up events is all the synchronisation
+it needs (no thread ever touches it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Optional, TypeVar
+
+__all__ = ["BoundedIngressQueue", "QueueClosedError"]
+
+T = TypeVar("T")
+
+
+class QueueClosedError(RuntimeError):
+    """Raised when events are offered to a queue after ``close()``."""
+
+
+class BoundedIngressQueue:
+    """A capacity-bounded FIFO with shed and block producer paths.
+
+    Attributes:
+        capacity: maximum queued events; beyond it ``offer`` sheds.
+        enqueued: events accepted so far.
+        dropped: events shed by ``offer`` against a full queue.
+        high_water: maximum observed depth (saturation witness).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enqueued = 0
+        self.dropped = 0
+        self.high_water = 0
+        self._items: Deque[int] = deque()
+        self._closed = False
+        self._item_ready = asyncio.Event()
+        self._space_ready = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the producer has finished (no more events will arrive)."""
+        return self._closed
+
+    def _append(self, item: int) -> None:
+        self._items.append(item)
+        self.enqueued += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+        self._item_ready.set()
+
+    def offer(self, item: int) -> bool:
+        """Non-blocking enqueue; shed (return False, count) when full."""
+        if self._closed:
+            raise QueueClosedError("cannot offer to a closed ingress queue")
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._append(item)
+        return True
+
+    async def put(self, item: int) -> None:
+        """Blocking enqueue: wait for space instead of shedding (replay)."""
+        if self._closed:
+            raise QueueClosedError("cannot put to a closed ingress queue")
+        while len(self._items) >= self.capacity:
+            self._space_ready.clear()
+            await self._space_ready.wait()
+            if self._closed:
+                raise QueueClosedError("ingress queue closed while waiting")
+        self._append(item)
+
+    def close(self) -> None:
+        """Signal end of stream; wakes the consumer to drain and exit."""
+        self._closed = True
+        self._item_ready.set()
+        self._space_ready.set()
+
+    async def get_batch(self, max_items: int) -> Optional[List[int]]:
+        """Up to ``max_items`` events in arrival order; None when drained.
+
+        Waits while the queue is empty and open; returns ``None`` exactly
+        once the queue is closed *and* fully drained — the consumer's
+        graceful-shutdown signal.
+        """
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        while not self._items:
+            if self._closed:
+                return None
+            self._item_ready.clear()
+            await self._item_ready.wait()
+        batch: List[int] = []
+        while self._items and len(batch) < max_items:
+            batch.append(self._items.popleft())
+        self._space_ready.set()
+        return batch

@@ -1,0 +1,75 @@
+"""Egress encoding: canonical bytes and the seq-ordered digest."""
+
+from repro.geo.point import Point
+from repro.serve.egress import (
+    ServeResponse,
+    build_response,
+    encode_response,
+    response_digest,
+)
+
+
+def response(seq=0, **overrides):
+    fields = dict(
+        seq=seq,
+        user_index=3,
+        path="top",
+        reported_x=10.5,
+        reported_y=-4.25,
+        ads=(("campaign-000001", 2.5), ("campaign-000002", 1.0)),
+        received=5,
+    )
+    fields.update(overrides)
+    return ServeResponse(**fields)
+
+
+class TestBuildResponse:
+    def test_copies_reported_and_ads(self):
+        class FakeAd:
+            campaign_id = "campaign-000009"
+            price_paid = 3.25
+
+        built = build_response(
+            seq=7,
+            user_index=1,
+            path="nomadic",
+            reported=Point(1.0, 2.0),
+            delivered=[FakeAd()],
+            received=4,
+        )
+        assert built.reported_x == 1.0 and built.reported_y == 2.0
+        assert built.ads == (("campaign-000009", 3.25),)
+        assert built.received == 4
+
+
+class TestEncoding:
+    def test_deterministic_bytes(self):
+        assert encode_response(response()) == encode_response(response())
+
+    def test_every_field_is_load_bearing(self):
+        base = encode_response(response())
+        assert encode_response(response(seq=1)) != base
+        assert encode_response(response(user_index=4)) != base
+        assert encode_response(response(path="nomadic")) != base
+        assert encode_response(response(reported_x=10.6)) != base
+        assert encode_response(response(ads=())) != base
+        assert encode_response(response(received=6)) != base
+
+    def test_float_bit_pattern_precision(self):
+        # Digest distinguishes doubles down to the last ulp.
+        import math
+
+        a = encode_response(response(reported_x=0.1))
+        b = encode_response(response(reported_x=math.nextafter(0.1, 1.0)))
+        assert a != b
+
+
+class TestDigest:
+    def test_order_independent_input_order(self):
+        rs = [response(seq=i) for i in range(5)]
+        assert response_digest(rs) == response_digest(list(reversed(rs)))
+
+    def test_content_sensitive(self):
+        rs = [response(seq=i) for i in range(5)]
+        changed = rs[:4] + [response(seq=4, received=99)]
+        assert response_digest(rs) != response_digest(changed)

@@ -1,0 +1,90 @@
+"""The serve workload: schedule determinism, routing, payload transport."""
+
+import numpy as np
+import pytest
+
+from repro.serve.events import (
+    EventSchedule,
+    ServeWorkloadConfig,
+    build_schedule,
+    shard_of_user,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(n_users=6, n_events=60, n_campaigns=20, seed=7)
+    defaults.update(overrides)
+    return ServeWorkloadConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            ServeWorkloadConfig(n_users=0)
+        with pytest.raises(ValueError):
+            ServeWorkloadConfig(n_events=0)
+        with pytest.raises(ValueError):
+            ServeWorkloadConfig(n_campaigns=-1)
+        with pytest.raises(ValueError):
+            ServeWorkloadConfig(days=0.0)
+
+
+class TestShardRouting:
+    def test_stable_and_in_range(self):
+        for n_shards in (1, 2, 4, 7):
+            for uid in ("user-000001", "user-000042", "abc"):
+                shard = shard_of_user(uid, n_shards)
+                assert 0 <= shard < n_shards
+                assert shard == shard_of_user(uid, n_shards)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of_user("u", 0)
+
+    def test_every_event_routed_to_its_users_shard(self):
+        schedule = build_schedule(small_config())
+        assignment = schedule.shard_assignment(3)
+        for seq in range(len(schedule)):
+            event = schedule.event(seq)
+            assert assignment[seq] == shard_of_user(event.user_id, 3)
+
+
+class TestBuildSchedule:
+    def test_deterministic(self):
+        a = build_schedule(small_config())
+        b = build_schedule(small_config())
+        assert a.user_ids == b.user_ids
+        np.testing.assert_array_equal(a.user_index, b.user_index)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        np.testing.assert_array_equal(a.xs, b.xs)
+        np.testing.assert_array_equal(a.ys, b.ys)
+
+    def test_seed_changes_schedule(self):
+        a = build_schedule(small_config())
+        b = build_schedule(small_config(seed=8))
+        assert not np.array_equal(a.xs, b.xs)
+
+    def test_event_count_and_split(self):
+        schedule = build_schedule(small_config(n_users=7, n_events=60))
+        assert len(schedule) == 60
+        counts = np.bincount(schedule.user_index, minlength=7)
+        # Even split: first 60 % 7 users carry one extra event.
+        assert sorted(counts) == sorted([9, 9, 9, 9, 8, 8, 8])
+
+    def test_timestamps_sorted(self):
+        schedule = build_schedule(small_config())
+        assert np.all(np.diff(schedule.timestamps) >= 0)
+
+    def test_payload_round_trip(self):
+        schedule = build_schedule(small_config())
+        rebuilt = EventSchedule.from_payload(schedule.payload())
+        assert rebuilt.user_ids == schedule.user_ids
+        np.testing.assert_array_equal(rebuilt.xs, schedule.xs)
+        assert rebuilt.event(3) == schedule.event(3)
+
+    def test_event_materialization(self):
+        schedule = build_schedule(small_config())
+        event = schedule.event(0)
+        assert event.seq == 0
+        assert event.user_id == schedule.user_ids[event.user_index]
+        assert event.point.x == event.x and event.point.y == event.y

@@ -1,0 +1,103 @@
+"""Bounded ingress queue semantics: shed, block, close, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.ingress import BoundedIngressQueue, QueueClosedError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOffer:
+    def test_sheds_when_full_and_counts_drops(self):
+        q = BoundedIngressQueue(capacity=2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)
+        assert not q.offer(4)
+        assert q.enqueued == 2
+        assert q.dropped == 2
+        assert len(q) == 2
+
+    def test_high_water_tracks_max_depth(self):
+        q = BoundedIngressQueue(capacity=8)
+        for i in range(5):
+            q.offer(i)
+        assert q.high_water == 5
+
+    def test_offer_after_close_raises(self):
+        q = BoundedIngressQueue(capacity=2)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.offer(1)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedIngressQueue(capacity=0)
+
+
+class TestPutGetBatch:
+    def test_put_blocks_until_space(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=1)
+            await q.put(1)
+            waiter = asyncio.ensure_future(q.put(2))
+            await asyncio.sleep(0)
+            assert not waiter.done()  # full: producer is parked
+            assert await q.get_batch(4) == [1]
+            await waiter
+            assert await q.get_batch(4) == [2]
+
+        run(scenario())
+
+    def test_get_batch_respects_max_items_and_order(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=8)
+            for i in range(5):
+                q.offer(i)
+            assert await q.get_batch(3) == [0, 1, 2]
+            assert await q.get_batch(3) == [3, 4]
+
+        run(scenario())
+
+    def test_get_batch_returns_none_when_closed_and_drained(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=4)
+            q.offer(1)
+            q.close()
+            assert await q.get_batch(4) == [1]  # drains the remainder first
+            assert await q.get_batch(4) is None
+
+        run(scenario())
+
+    def test_get_batch_wakes_on_close(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=4)
+            consumer = asyncio.ensure_future(q.get_batch(4))
+            await asyncio.sleep(0)
+            q.close()
+            assert await consumer is None
+
+        run(scenario())
+
+    def test_put_interrupted_by_close_raises(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=1)
+            await q.put(1)
+            waiter = asyncio.ensure_future(q.put(2))
+            await asyncio.sleep(0)
+            q.close()
+            with pytest.raises(QueueClosedError):
+                await waiter
+
+        run(scenario())
+
+    def test_get_batch_validates_max_items(self):
+        async def scenario():
+            q = BoundedIngressQueue(capacity=1)
+            with pytest.raises(ValueError):
+                await q.get_batch(0)
+
+        run(scenario())

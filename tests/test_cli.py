@@ -45,6 +45,43 @@ class TestAttackCommand:
         assert "home recovered" in out
 
 
+class TestServeCommand:
+    def test_replay_run_reports_and_writes_artifacts(self, capsys, tmp_path):
+        import json
+
+        prom = tmp_path / "serve.prom"
+        bench = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["serve", "--replay", "--shards", "2", "--duration-events", "120",
+             "--users", "5", "--campaigns", "30", "--inline",
+             "--prom-file", str(prom), "--bench-json", str(bench)]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["processed"] == 120
+        assert report["dropped"] == 0
+        # The exactness contract surfaces in the report itself.
+        assert report["epsilon_spent"] == report["audit_epsilon"]
+        assert len(report["response_digest"]) == 64
+        prom_text = prom.read_text()
+        assert "serve_events_total" in prom_text
+        assert "privacy_epsilon_spent" in prom_text
+        payload = json.loads(bench.read_text())
+        assert payload["experiment_id"] == "serve"
+        assert payload["wall_seconds"] > 0
+
+    def test_duration_sizes_workload_from_qps(self, capsys):
+        code = main(
+            ["serve", "--replay", "--shards", "1", "--inline", "--users", "4",
+             "--campaigns", "20", "--qps", "50", "--duration", "2"]
+        )
+        assert code == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["processed"] == 100
+
+
 class TestVerifyCommand:
     def test_valid_budget_passes(self, capsys):
         code = main(
