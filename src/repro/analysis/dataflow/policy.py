@@ -107,7 +107,10 @@ class FlowPolicy:
     obs_methods: FrozenSet[str] = frozenset({"annotate"})
     #: PRIV003: cache-artifact writes.
     cache_store_qnames: FrozenSet[str] = frozenset(
-        {"repro.data.cache.StageCache.store"}
+        {
+            "repro.data.cache.StageCache.store",
+            "repro.data.mmapstore.MmapStore.store",
+        }
     )
     cache_store_methods: FrozenSet[str] = frozenset({"store"})
     #: PRIV004: stdout / file-write calls (bare or dotted tails).
@@ -193,6 +196,7 @@ class FlowPolicy:
     #: on top of the PRIV003 reported at the caller's ``store(...)`` site.
     sink_exempt_prefixes: Tuple[str, ...] = (
         "repro.data.cache",
+        "repro.data.mmapstore",
         "repro.experiments.tables",
         "repro.experiments.runner",
         "repro.obs.",

@@ -26,7 +26,11 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.docs import MissingAnnotations, MissingDocstring
 from repro.analysis.rules.floats import FloatEquality
 from repro.analysis.rules.mutables import MutableDefaultArgument
-from repro.analysis.rules.perf import PerUserCsrLoop, ScalarCallInLoop
+from repro.analysis.rules.perf import (
+    PerUserCsrLoop,
+    ScalarCallInLoop,
+    ShardMaterialization,
+)
 from repro.analysis.rules.rng import (
     LegacyNumpyRandomCall,
     NonLocalRngSampling,
@@ -55,6 +59,7 @@ def all_rules() -> List[Rule]:
         MissingAnnotations(),
         ScalarCallInLoop(),
         PerUserCsrLoop(),
+        ShardMaterialization(),
     ]
     return sorted(rules, key=lambda r: r.id)
 

@@ -1,4 +1,4 @@
-"""Performance rules (``PERF001``–``PERF002``).
+"""Performance rules (``PERF001``–``PERF003``).
 
 The columnar data plane gives every hot primitive a vectorised batch
 entry point (``obfuscate_batch``, ``select_index_batch``,
@@ -21,7 +21,7 @@ from typing import Dict, Iterator
 
 from repro.analysis.engine import FileContext, Finding, Rule
 
-__all__ = ["ScalarCallInLoop", "PerUserCsrLoop"]
+__all__ = ["ScalarCallInLoop", "PerUserCsrLoop", "ShardMaterialization"]
 
 #: Per-element entry point -> the batch API that replaces it in a loop.
 BATCH_ALTERNATIVES: Dict[str, str] = {
@@ -157,4 +157,83 @@ class PerUserCsrLoop(Rule):
                 "the whole shard with a population kernel from "
                 "repro.kernels (or baseline/suppress with the reason this "
                 "path must stay per-user)",
+            )
+
+
+#: CSR shard column names: materializing a whole one onto the heap in a
+#: driver defeats the out-of-core serving path at exactly the tier sizes
+#: it exists for.
+SHARD_COLUMN_NAMES = frozenset(
+    {"xs", "ys", "timestamps", "offsets", "top_xs", "top_ys", "top_offsets"}
+)
+
+#: ``np.<name>(column)`` calls that copy their argument onto the heap.
+NUMPY_MATERIALIZERS = frozenset({"array", "asarray", "ascontiguousarray", "copy"})
+
+
+def _terminal_name(node: ast.AST) -> "str | None":
+    """The trailing identifier of ``xs`` / ``ck.xs`` / ``pop.checkins.xs``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ShardMaterialization(Rule):
+    """``PERF003``: whole-shard heap materialization in an experiment driver.
+
+    Flags ``np.asarray``/``np.array``/``np.ascontiguousarray``/``np.copy``
+    calls (and ``.copy()`` method calls) whose argument is a CSR shard
+    column (``xs``/``ys``/``timestamps``/``offsets``/``top_*``) inside
+    ``repro.experiments``.  Columns may be memmap-backed views served out
+    of core; copying one materializes the entire shard on the heap, which
+    re-introduces the peak-RSS wall the mmap plane removes and silently
+    breaks the flat-memory contract at metro-1M scale.  Kernels should
+    consume the views in place.  Sites that genuinely need a heap copy
+    (e.g. digesting a small derived array) are justified — baseline them
+    or suppress with the reason.
+    """
+
+    id = "PERF003"
+    name = "whole-shard materialization of a CSR column"
+    rationale = (
+        "Experiment drivers receive CSR columns that may be memmap-backed "
+        "views; np.asarray/.copy() on one copies the whole shard onto the "
+        "heap, defeating the out-of-core plane's flat peak-RSS contract "
+        "at large tiers."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag heap copies of CSR shard columns in experiment modules."""
+        if ctx.role != "src":
+            return
+        if ctx.module is None or not ctx.module.startswith("repro.experiments"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            column = None
+            how = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in NUMPY_MATERIALIZERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "np"
+                and node.args
+            ):
+                column = _terminal_name(node.args[0])
+                how = f"np.{func.attr}"
+            elif isinstance(func, ast.Attribute) and func.attr == "copy":
+                column = _terminal_name(func.value)
+                how = ".copy()"
+            if column not in SHARD_COLUMN_NAMES:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{how} materializes shard column '{column}' on the heap; "
+                "consume the (possibly memmap-backed) view in place, or "
+                "baseline/suppress with the reason a copy is required",
             )

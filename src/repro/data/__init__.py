@@ -12,7 +12,10 @@ counterparts:
   each expensive pipeline stage on a canonical hash of its config and
   stores ``.npz`` artifacts;
 * :mod:`repro.data.stages` — cached builders for the shared pipeline
-  stages (population generation, coordinate pools, candidate tables).
+  stages (population generation, coordinate pools, candidate tables);
+* :mod:`repro.data.mmapstore` — the out-of-core sibling of the cache:
+  ``.npy`` bundles opened with ``np.memmap`` so million-user tiers load
+  as lazily paged file-backed arrays instead of heap copies.
 
 Everything here preserves bit-identical results: the columns hold exactly
 the values the object path produced, and cached stage outputs are only
@@ -21,6 +24,7 @@ reused for configs whose outputs are deterministic functions of the key.
 
 from repro.data.cache import DEFAULT_CACHE_DIR, StageCache, stage_key
 from repro.data.columns import CheckInColumns, PopulationColumns
+from repro.data.mmapstore import MmapStore, release_pages
 from repro.data.stages import (
     CANDIDATE_TABLE_STAGE_VERSION,
     POPULATION_STAGE_VERSION,
@@ -32,6 +36,8 @@ from repro.data.stages import (
 __all__ = [
     "CheckInColumns",
     "PopulationColumns",
+    "MmapStore",
+    "release_pages",
     "StageCache",
     "stage_key",
     "DEFAULT_CACHE_DIR",

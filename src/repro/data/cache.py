@@ -187,7 +187,12 @@ class StageCache:
         return arrays
 
     def clear(self) -> int:
-        """Remove every artifact in the cache directory; returns the count."""
+        """Remove every artifact in the cache directory; returns the count.
+
+        Also clears the sibling ``mmap/`` bundle store — a "cold" bench
+        run must regenerate the out-of-core tiers too, not silently warm
+        itself from their ``.npy`` bundles.
+        """
         removed = 0
         if not self.directory.is_dir():
             return removed
@@ -197,6 +202,9 @@ class StageCache:
                 removed += 1
             except OSError:
                 pass
+        from repro.data.mmapstore import MmapStore
+
+        removed += MmapStore.for_cache_dir(self.directory).clear()
         return removed
 
     def stats(self) -> Dict[str, int]:

@@ -1,0 +1,305 @@
+"""Out-of-core array bundles: ``.npy`` files served through ``np.memmap``.
+
+The :class:`~repro.data.cache.StageCache` stores array bundles as ``.npz``
+zip archives, which must be decompressed **into the heap** on every load —
+fine at the city tier, fatal at a million users where one population is
+hundreds of megabytes and every pool dispatch used to copy it again into
+shared memory.  :class:`MmapStore` is the out-of-core sibling: each bundle
+is a directory of plain ``.npy`` files plus a JSON manifest, written
+atomically and opened with ``np.load(..., mmap_mode="r")`` so loads map
+pages lazily instead of materialising bytes.  The arrays a load returns
+are byte-identical to what was stored (the ``.npy`` payload *is* the
+array's memory), read-only, and backed by the file — the OS pages them
+in on first touch and may evict them under pressure, which is what keeps
+peak RSS bounded for populations that do not fit the worker fleet's
+budget.
+
+Memmap-backed arrays also change the worker-transport story: because the
+bytes already live in a file, :mod:`repro.parallel.shared` ships them to
+pool workers as ``MmapArrayRef`` path+offset descriptors instead of
+copying them into shared-memory segments — attach is an ``mmap`` call,
+zero bytes move.
+
+Corruption discipline mirrors the ``.npz`` cache: a bundle whose manifest
+is unreadable, whose files are missing, or whose ``.npy`` payload is
+truncated is dropped and reported as a miss, so a crashed writer degrades
+to regeneration rather than a crash at read time.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap_module
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
+
+__all__ = [
+    "MANIFEST_NAME",
+    "MMAP_SUBDIR",
+    "BundleWriter",
+    "MmapStore",
+    "release_pages",
+]
+
+#: Per-bundle metadata file: array names, dtypes, shapes, byte sizes.
+MANIFEST_NAME = "manifest.json"
+
+#: Subdirectory of a stage-cache directory where bundles live.
+MMAP_SUBDIR = "mmap"
+
+
+def _record_event(event: str, nbytes: int = 0) -> None:
+    """Meter one store interaction (hit/miss/store) when obs is on."""
+    if not _obs_enabled():
+        return
+    registry = _obs_registry()
+    registry.counter(f"mmapstore.{event}").inc()
+    if event == "hits":
+        registry.counter("mmapstore.mapped_bytes").inc(nbytes)
+    elif event == "stores":
+        registry.counter("mmapstore.written_bytes").inc(nbytes)
+
+
+def release_pages(*arrays: np.ndarray) -> None:
+    """Advise the kernel to drop resident pages behind memmap-backed arrays.
+
+    This is what keeps peak RSS flat for chunk-streamed walks over a
+    bundle much larger than memory: after a window is processed, its
+    pages are surrendered (``MADV_DONTNEED``), and the next window
+    faults its own pages in from the page cache.  Safe on shared
+    file mappings — dropped pages repopulate from the file — and a
+    silent no-op for heap arrays, read-only platforms, or interpreters
+    without ``mmap.madvise``.
+    """
+    for arr in arrays:
+        base: Any = arr
+        while base is not None and not isinstance(base, np.memmap):
+            base = getattr(base, "base", None)
+        if base is None:
+            continue
+        raw = getattr(base, "_mmap", None)
+        if raw is None:
+            continue
+        try:
+            raw.madvise(_mmap_module.MADV_DONTNEED)
+        except (AttributeError, ValueError, OSError):  # pragma: no cover
+            pass
+
+
+def _open_npy(path: Path, dtype: str, shape: Tuple[int, ...]) -> np.ndarray:
+    """Open one ``.npy`` payload read-only, memory-mapped when possible.
+
+    Zero-size arrays cannot be mmapped (there are no pages to map), so
+    they load eagerly — the cost is zero bytes by construction.  A
+    header/dtype/shape mismatch with the manifest, or a file shorter
+    than the header promises, raises ``ValueError`` for the caller's
+    corruption handling.
+    """
+    if int(np.prod(shape)) == 0:
+        arr = np.load(path)
+    else:
+        arr = np.load(path, mmap_mode="r")
+    if arr.dtype.str != dtype or tuple(arr.shape) != tuple(shape):
+        raise ValueError(
+            f"{path}: payload is {arr.dtype.str}{arr.shape}, "
+            f"manifest says {dtype}{tuple(shape)}"
+        )
+    arr.flags.writeable = False
+    return arr
+
+
+class BundleWriter:
+    """Preallocated writable bundle, committed atomically.
+
+    ``writer.arrays[name]`` are ``w+`` memmaps created in a temporary
+    sibling directory; filling them streams straight to disk, so the
+    writer's heap footprint is independent of the bundle size.
+    :meth:`commit` flushes, writes the manifest, and renames the
+    directory into place — readers only ever see complete bundles.
+    Use as a context manager: an exception aborts and removes the
+    temporary directory.
+    """
+
+    def __init__(
+        self, store: "MmapStore", key: str, specs: Mapping[str, Tuple[Tuple[int, ...], str]]
+    ) -> None:
+        self._store = store
+        self._key = key
+        self._final = store.path_for(key)
+        store.directory.mkdir(parents=True, exist_ok=True)
+        self._tmp = Path(
+            tempfile.mkdtemp(prefix=f".{key}.", suffix=".tmp", dir=str(store.directory))
+        )
+        self.arrays: Dict[str, np.ndarray] = {}
+        self._manifest: Dict[str, Dict[str, object]] = {}
+        for name, (shape, dtype) in specs.items():
+            path = self._tmp / f"{name}.npy"
+            if int(np.prod(shape)) == 0:
+                empty = np.empty(shape, dtype=np.dtype(dtype))
+                np.save(path, empty)
+                self.arrays[name] = empty
+            else:
+                self.arrays[name] = np.lib.format.open_memmap(
+                    str(path), mode="w+", dtype=np.dtype(dtype), shape=tuple(shape)
+                )
+            self._manifest[name] = {
+                "dtype": np.dtype(dtype).str,
+                "shape": list(shape),
+                "nbytes": int(np.dtype(dtype).itemsize * int(np.prod(shape))),
+            }
+
+    def __enter__(self) -> "BundleWriter":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def commit(self) -> Path:
+        """Flush every array, write the manifest, and publish the bundle."""
+        total = 0
+        for name, arr in self.arrays.items():
+            if isinstance(arr, np.memmap):
+                arr.flush()
+            total += int(arr.nbytes)
+        (self._tmp / MANIFEST_NAME).write_text(
+            json.dumps({"version": 1, "arrays": self._manifest}, sort_keys=True)
+        )
+        # Release the writable mappings before the rename: readers attach
+        # their own read-only maps to the published path.
+        self.arrays = {}
+        try:
+            os.replace(self._tmp, self._final)
+        except OSError:
+            # A concurrent writer published first; its bundle is
+            # byte-identical (content-addressed key), keep it.
+            shutil.rmtree(self._tmp, ignore_errors=True)
+        self._store.stores += 1
+        _record_event("stores", total)
+        return self._final
+
+    def abort(self) -> None:
+        """Discard the temporary directory without publishing."""
+        self.arrays = {}
+        shutil.rmtree(self._tmp, ignore_errors=True)
+
+
+class MmapStore:
+    """Content-addressed ``.npy`` bundle store with memory-mapped loads.
+
+    The API mirrors :class:`~repro.data.cache.StageCache` (``load`` /
+    ``store`` / ``clear`` / hit-miss stats) so tier builders can thread
+    either store; the difference is the return contract — ``load`` hands
+    back **read-only memmap-backed arrays** whose pages materialise on
+    first touch, not heap copies.
+    """
+
+    def __init__(self, directory: Path, *, enabled: bool = True) -> None:
+        self.directory = Path(directory)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def for_cache_dir(cls, cache_dir: Path, *, enabled: bool = True) -> "MmapStore":
+        """The store rooted inside a stage-cache directory (``<dir>/mmap``)."""
+        return cls(Path(cache_dir) / MMAP_SUBDIR, enabled=enabled)
+
+    def path_for(self, key: str) -> Path:
+        """The bundle directory a key addresses (may not exist)."""
+        return self.directory / key
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The stored arrays for ``key`` as read-only memmaps, or ``None``.
+
+        Any inconsistency — unreadable manifest, missing payload file,
+        truncated or reshaped ``.npy`` — removes the bundle and reports a
+        miss, exactly like the ``.npz`` cache's corruption path.
+        """
+        if not self.enabled:
+            self.misses += 1
+            _record_event("misses")
+            return None
+        bundle = self.path_for(key)
+        manifest_path = bundle / MANIFEST_NAME
+        if not manifest_path.is_file():
+            self.misses += 1
+            _record_event("misses")
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            entries = manifest["arrays"]
+            arrays: Dict[str, np.ndarray] = {}
+            total = 0
+            for name, entry in entries.items():
+                arrays[name] = _open_npy(
+                    bundle / f"{name}.npy",
+                    str(entry["dtype"]),
+                    tuple(int(d) for d in entry["shape"]),
+                )
+                total += int(entry["nbytes"])
+        except (OSError, ValueError, KeyError, TypeError, json.JSONDecodeError):
+            # Truncated/corrupt bundle: drop it and let the caller
+            # regenerate, same contract as a corrupt .npz artifact.
+            shutil.rmtree(bundle, ignore_errors=True)
+            self.misses += 1
+            _record_event("misses")
+            return None
+        self.hits += 1
+        _record_event("hits", total)
+        return arrays
+
+    def store(self, key: str, arrays: Mapping[str, np.ndarray]) -> Optional[Path]:
+        """Persist a bundle atomically; returns its path (None if disabled)."""
+        if not self.enabled:
+            return None
+        specs = {
+            name: (tuple(arr.shape), arr.dtype.str) for name, arr in arrays.items()
+        }
+        with BundleWriter(self, key, specs) as writer:
+            for name, arr in arrays.items():
+                if writer.arrays[name].size:
+                    writer.arrays[name][...] = arr
+        return self.path_for(key)
+
+    def writer(
+        self, key: str, specs: Mapping[str, Tuple[Tuple[int, ...], str]]
+    ) -> BundleWriter:
+        """A streaming :class:`BundleWriter` for ``key`` (shapes known upfront)."""
+        return BundleWriter(self, key, specs)
+
+    def clear(self) -> int:
+        """Remove every bundle in the store; returns the count removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for bundle in sorted(self.directory.iterdir()):
+            if bundle.is_dir():
+                shutil.rmtree(bundle, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters for reports and tests."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"MmapStore({self.directory}, {state}, {self.stats()})"

@@ -47,6 +47,7 @@ from repro.experiments import (
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
 from repro.obs import trace as _trace
+from repro.obs.rss import peak_rss_bytes
 from repro.parallel import (
     parallel_map_with_stats,
     set_shared_memory_enabled,
@@ -116,8 +117,12 @@ def _payload(
         "cache": report.meta.get("cache"),
         "rows": report.rows,
         "notes": report.notes,
+        # Process-lifetime high-water mark (parent or any reaped pool
+        # worker): the number that separates the out-of-core data plane
+        # from heap materialisation at the big tiers.
+        "peak_rss_bytes": peak_rss_bytes(include_children=True),
     }
-    for key in ("mode", "tier", "digest"):
+    for key in ("mode", "tier", "mmap", "digest"):
         if report.meta.get(key) is not None:
             out[key] = report.meta[key]
     if spans is not None:
@@ -172,6 +177,7 @@ def run_cold_warm(
     mode: Optional[str] = None,
     with_digest: bool = False,
     with_spans: bool = False,
+    mmap: bool = False,
 ) -> Tuple[dict, dict]:
     """Run ``exp_id`` cold (cleared cache) then warm; archive both runs.
 
@@ -179,20 +185,23 @@ def run_cold_warm(
     if a deterministic experiment's warm rows differ from its cold rows —
     a cache hit must be indistinguishable from a recompute.
 
-    ``tier``/``mode``/``with_digest`` parameterise the table2 workload
-    (dataset tier, kernel-vs-loop execution, candidate digest); the
-    bench id grows matching suffixes so each combination archives
-    separately.  ``with_spans`` wraps both runs in the observability
-    collector and attaches per-span-name timing summaries.
+    ``tier``/``mode``/``with_digest``/``mmap`` parameterise the table2
+    workload (dataset tier, kernel-vs-loop execution, candidate digest,
+    out-of-core serving); the bench id grows matching suffixes so each
+    combination archives separately.  ``with_spans`` wraps both runs in
+    the observability collector and attaches per-span-name timing
+    summaries.
     """
     if exp_id not in BENCH_RUNNERS:
         raise ValueError(
             f"unknown cache-aware experiment {exp_id!r}; "
             f"choose from {sorted(BENCH_RUNNERS)}"
         )
-    if tier is not None or mode is not None or with_digest:
+    if tier is not None or mode is not None or with_digest or mmap:
         if exp_id != "table2":
-            raise ValueError("tier/mode/digest options only apply to table2")
+            raise ValueError("tier/mode/digest/mmap options only apply to table2")
+        if mmap and tier is None:
+            raise ValueError("--mmap needs a --tier (only tiers are mmap-served)")
 
         def runner(
             scale: ExperimentScale, workers: Optional[int], cache: StageCache
@@ -204,10 +213,14 @@ def run_cold_warm(
                 tier=tier,
                 mode=mode or "kernel",
                 with_digest=with_digest,
+                mmap=mmap,
             )
 
         bench_id = "_".join(
-            [exp_id] + ([tier] if tier else []) + ([mode] if mode else [])
+            [exp_id]
+            + ([tier] if tier else [])
+            + ([mode] if mode else [])
+            + (["mmap"] if mmap else [])
         )
     else:
         runner = BENCH_RUNNERS[exp_id]
@@ -349,6 +362,10 @@ def _stage_regressions(
         )
     old_stages = old.get("stage_seconds") or {}
     new_stages = new.get("stage_seconds") or {}
+    if not isinstance(old_stages, dict):
+        old_stages = {}
+    if not isinstance(new_stages, dict):
+        new_stages = {}
     for stage in sorted(set(old_stages) & set(new_stages)):
         try:
             o, n = float(old_stages[stage]), float(new_stages[stage])
@@ -360,6 +377,38 @@ def _stage_regressions(
                 f"(+{(n / o - 1.0) * 100.0:.1f}%)"
             )
     return problems
+
+
+def stage_key_notes(old: dict, new: dict) -> List[str]:
+    """Non-fatal notes about stage keys the gate could not compare.
+
+    A stage-version bump (or a renamed span) silently drops keys out of
+    the OLD∩NEW intersection the regression gate walks; these notes make
+    the uncomparable keys explicit so a "clean" comparison that actually
+    compared nothing is visible in the gate's output.
+    """
+    old_stages = old.get("stage_seconds") or {}
+    new_stages = new.get("stage_seconds") or {}
+    if not isinstance(old_stages, dict) or not isinstance(new_stages, dict):
+        return ["stage_seconds is not a mapping in one archive; stages not compared"]
+    notes: List[str] = []
+    gone = sorted(set(old_stages) - set(new_stages))
+    added = sorted(set(new_stages) - set(old_stages))
+    if gone:
+        notes.append(
+            "stages only in OLD (removed or renamed, not compared): "
+            + ", ".join(repr(s) for s in gone)
+        )
+    if added:
+        notes.append(
+            "stages only in NEW (added or renamed, not compared): "
+            + ", ".join(repr(s) for s in added)
+        )
+    if old_stages and new_stages and not (set(old_stages) & set(new_stages)):
+        notes.append(
+            "no common stage keys — only the overall wall clock was gated"
+        )
+    return notes
 
 
 def compare_benches(
@@ -383,6 +432,8 @@ def _cmd_compare(old_path: str, new_path: str, threshold: float) -> int:
     new = json.loads(Path(new_path).read_text())
     problems = compare_benches(old, new, threshold)
     label = f"{old.get('experiment_id', old_path)} -> {new.get('experiment_id', new_path)}"
+    for note in stage_key_notes(old, new):
+        print(f"note ({label}): {note}")
     if problems:
         print(f"REGRESSION ({label}):")
         for p in problems:
@@ -430,7 +481,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--tier",
         choices=sorted(TIERS),
         default=None,
-        help="named dataset tier for the table2 workload (small/city/metro-100k)",
+        help="named dataset tier for the table2 workload "
+        "(small/city/metro-100k/metro-1M)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="serve the tier out of core: memmap-backed columns shipped "
+        "to workers by path+offset (--no-mmap restores the heap path)",
     )
     parser.add_argument(
         "--mode",
@@ -490,6 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         results_dir=args.results_dir,
         tier=args.tier,
         mode=args.mode,
+        mmap=args.mmap,
         with_digest=args.digest,
         with_spans=args.trace,
     )

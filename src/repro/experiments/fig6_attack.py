@@ -39,7 +39,9 @@ from repro.core.laplace import PlanarLaplaceMechanism
 from repro.core.params import GeoIndBudget
 from repro.data.cache import StageCache, stage_key
 from repro.data.columns import PopulationColumns, chunk_csr
+from repro.data.mmapstore import release_pages
 from repro.data.stages import population_columns
+from repro.data.tiers import tier_columns, tier_config
 from repro.datagen.population import PopulationConfig, SyntheticUser
 from repro.edge.location_management import DEFAULT_ETA
 from repro.experiments.config import (
@@ -110,6 +112,9 @@ def _attack_one_time_chunk(
             obs_xy = reported[coffsets[j]:coffsets[j + 1]]
             inferred = attack.infer_top_locations(obs_xy, 2)
             out.append([(r.location.x, r.location.y) for r in inferred])
+    # File-backed columns: hand this window's pages back so worker RSS
+    # stays one window deep (no-op for heap columns).
+    release_pages(ck.xs, ck.ys, ck.offsets)
     return out
 
 
@@ -155,6 +160,7 @@ def _attack_defended_chunk(
                 reported[coffsets[j]:coffsets[j + 1]], 2
             )
             out.append([(r.location.x, r.location.y) for r in inferred])
+    release_pages(ck.xs, ck.ys, ck.offsets)
     return out
 
 
@@ -263,6 +269,8 @@ def run(
     scale: ExperimentScale = SMALL,
     workers: Optional[int] = 1,
     cache: Optional[StageCache] = None,
+    tier: Optional[str] = None,
+    mmap: bool = False,
 ) -> ExperimentReport:
     """Regenerate Figure 6's attack-success comparison.
 
@@ -271,10 +279,19 @@ def run(
     warm ``cache``, the per-stage error arrays load straight from disk
     and population generation is skipped — rows stay bit-identical
     because they are computed from the same arrays either way.
+
+    ``tier`` swaps the scale's population for a named dataset tier
+    (``city`` .. ``metro-1M``); ``mmap`` serves it out of core with
+    memmap-backed columns shipped to workers by path+offset.  The error
+    stages are keyed on the tier's population config, so cached errors
+    are shared between mmap and heap serving — they are bit-identical.
     """
     if cache is None:
         cache = StageCache.disabled()
-    config = PopulationConfig(n_users=scale.n_users, seed=scale.seed)
+    if tier is not None:
+        config = tier_config(tier)
+    else:
+        config = PopulationConfig(n_users=scale.n_users, seed=scale.seed)
     stage_seconds: Dict[str, float] = {}
     pop: Optional[PopulationColumns] = None
 
@@ -282,8 +299,11 @@ def run(
         nonlocal pop
         if pop is None:
             start = time.perf_counter()
-            with _obs_span("fig6.datagen", n_users=config.n_users):
-                pop = population_columns(config, cache)
+            with _obs_span("fig6.datagen", n_users=config.n_users, mmap=mmap):
+                if tier is not None:
+                    pop = tier_columns(tier, cache, workers=workers, mmap=mmap)
+                else:
+                    pop = population_columns(config, cache)
             stage_seconds["population"] = time.perf_counter() - start
         return pop
 
@@ -345,6 +365,8 @@ def run(
         ],
         meta={
             "workers": workers,
+            "tier": tier,
+            "mmap": mmap if tier is not None else None,
             "stage_seconds": stage_seconds,
             "cache": cache.stats() if cache.enabled else None,
         },

@@ -38,11 +38,12 @@ from repro.experiments import (
     table2_obfuscation_time,
     table3_selection_time,
 )
+from repro.data.tiers import TIERS
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
 from repro.parallel import set_shared_memory_enabled
 
-__all__ = ["main", "EXPERIMENTS", "WORKER_AWARE", "CACHE_AWARE"]
+__all__ = ["main", "EXPERIMENTS", "WORKER_AWARE", "CACHE_AWARE", "TIER_AWARE"]
 
 SCALES: Dict[str, ExperimentScale] = {s.name: s for s in (SMALL, MEDIUM, FULL)}
 
@@ -71,6 +72,10 @@ WORKER_AWARE = frozenset({"fig6", "fig7", "fig8", "fig9", "table2", "table3"})
 #: Experiments whose ``run`` accepts a ``cache`` keyword (the stage-cached
 #: pipelines; cached and uncached runs produce bit-identical rows).
 CACHE_AWARE = frozenset({"fig6", "fig7", "fig9", "table2", "table3"})
+
+#: Experiments whose ``run`` accepts ``tier``/``mmap`` keywords (the
+#: population-tier workloads that can serve columns out of core).
+TIER_AWARE = frozenset({"fig6", "table2"})
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -112,6 +117,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default: --no-cache)",
     )
     parser.add_argument(
+        "--tier",
+        choices=sorted(TIERS),
+        default=None,
+        help="named dataset tier for the tier-aware experiments "
+        f"({', '.join(sorted(TIER_AWARE))}); overrides the scale's "
+        "population settings",
+    )
+    parser.add_argument(
+        "--mmap",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="serve the tier out of core (memmap-backed columns shipped "
+        "to workers by path+offset); needs --tier and --cache",
+    )
+    parser.add_argument(
         "--no-shm",
         action="store_true",
         help="ship worker payloads by pickle instead of shared memory "
@@ -141,6 +161,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.tier is not None:
+        not_tiered = [e for e in requested if e not in TIER_AWARE]
+        if not_tiered:
+            parser.error(
+                f"--tier only applies to {', '.join(sorted(TIER_AWARE))}; "
+                f"got: {', '.join(not_tiered)}"
+            )
+    if args.mmap:
+        if args.tier is None:
+            parser.error("--mmap needs a --tier (only tiers are mmap-served)")
+        if not args.cache:
+            parser.error("--mmap needs --cache (bundles live beside the stage cache)")
 
     if args.no_shm:
         set_shared_memory_enabled(False)
@@ -157,6 +189,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 kwargs["workers"] = args.workers
             if exp_id in CACHE_AWARE and cache is not None:
                 kwargs["cache"] = cache
+            if exp_id in TIER_AWARE and args.tier is not None:
+                kwargs["tier"] = args.tier
+                kwargs["mmap"] = args.mmap
             with obs.span("experiment", id=exp_id, scale=scale.name):
                 report = EXPERIMENTS[exp_id](scale, **kwargs)
             print(report.render())

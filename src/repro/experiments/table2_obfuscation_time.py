@@ -35,6 +35,7 @@ from repro.core.gaussian import NFoldGaussianMechanism
 from repro.core.params import GeoIndBudget
 from repro.data.cache import StageCache
 from repro.data.columns import CheckInColumns, chunk_csr
+from repro.data.mmapstore import release_pages
 from repro.data.stages import population_coords_pool
 from repro.data.tiers import tier_columns
 from repro.edge.location_management import DEFAULT_ETA
@@ -97,6 +98,9 @@ def _obfuscate_users_kernel(
             top_xs, top_ys, top_offsets, mechanism.sigma, budget.n, seed,
             user_ids=np.asarray(indices, dtype=np.int64),
         )
+    # Surrender this chunk's window of file-backed pages (no-op for heap
+    # columns): worker residency stays one window, not the whole tier.
+    release_pages(xs, ys, offsets)
     return [None] * len(indices)
 
 
@@ -114,6 +118,7 @@ def _obfuscate_users_loop(
             # Timing benchmark: output discarded, nothing released.
             # reprolint: disable=BUD101
             mechanism.obfuscate_batch(np.column_stack((top_xs, top_ys)))
+    release_pages(xs, ys, offsets)
     return [None] * len(indices)
 
 
@@ -140,9 +145,14 @@ def _digest_chunk(indices: List[int], rng: np.random.Generator, payload) -> list
         user_ids=np.asarray(indices, dtype=np.int64),
     )
     h = hashlib.sha256()
+    # Derived (heap) arrays, not tier columns: hashing requires the exact
+    # contiguous bytes the kernels produced.
+    # reprolint: disable=PERF003
     h.update(np.ascontiguousarray(top_offsets).tobytes())
+    # reprolint: disable=PERF003
     h.update(np.ascontiguousarray(candidates).tobytes())
     digest = h.hexdigest()
+    release_pages(xs, ys, offsets)
     return [digest] + [None] * (len(indices) - 1)
 
 
@@ -228,6 +238,7 @@ def run(
     tier: Optional[str] = None,
     mode: str = "kernel",
     with_digest: bool = False,
+    mmap: bool = False,
 ) -> ExperimentReport:
     """Regenerate Table II's obfuscation-time scaling rows.
 
@@ -235,15 +246,17 @@ def run(
     CSR population (sizes default to quarter/half/full tier) instead of
     the replicated coords pool.  Population generation is a test fixture,
     not measured work — it is served through the stage cache when one is
-    given.  ``with_digest`` adds the (untimed) candidate digest of the
-    largest size to the report meta.
+    given.  ``mmap`` serves the tier out of core (memmap-backed columns,
+    shipped to workers by path+offset); candidates are bit-identical to
+    the in-memory run, only peak RSS changes.  ``with_digest`` adds the
+    (untimed) candidate digest of the largest size to the report meta.
     """
     workers = resolve_workers(workers)
     budget = GeoIndBudget(r=500.0, epsilon=1.0, delta=PAPER_DELTA, n=PAPER_NFOLD_N)
     pool_start = time.perf_counter()
     if tier is not None:
-        with _obs_span("table2.datagen", tier=tier):
-            ck = tier_columns(tier, cache, workers=workers).checkins
+        with _obs_span("table2.datagen", tier=tier, mmap=mmap):
+            ck = tier_columns(tier, cache, workers=workers, mmap=mmap).checkins
         if sizes is None or sizes is DEFAULT_SIZES:
             sizes = (ck.n_users // 4, ck.n_users // 2, ck.n_users)
     else:
@@ -280,12 +293,14 @@ def run(
             "paper shape: ~2x time per 2x users; measured doubling ratios: "
             + ", ".join(f"{r:.2f}" for r in ratios),
             f"workers: {workers}, mode: {mode}"
-            + (f", tier: {tier}" if tier else ""),
+            + (f", tier: {tier}" if tier else "")
+            + (", mmap" if mmap else ""),
         ],
         meta={
             "workers": workers,
             "mode": mode,
             "tier": tier,
+            "mmap": mmap if tier is not None else None,
             "stage_seconds": {str(t.size): t.seconds for t in timings},
             "pool_seconds": pool_seconds,
             "digest": digest,

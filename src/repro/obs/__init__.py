@@ -34,9 +34,11 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MaxGauge,
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.rss import PEAK_RSS_METRIC, peak_rss_bytes, record_peak_rss
 from repro.obs.render import (
     SpanNode,
     TraceData,
@@ -63,8 +65,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MaxGauge",
     "MetricsRegistry",
     "merge_snapshots",
+    "PEAK_RSS_METRIC",
+    "peak_rss_bytes",
+    "record_peak_rss",
     "SpanNode",
     "TraceData",
     "build_span_tree",

@@ -10,7 +10,10 @@ kinds cover everything the edge pipeline needs to meter:
   batch sizes).
 
 Every metric merges **additively**: counters and gauges sum, histograms
-sum per-bucket counts (bucket bounds must match).  Additive merge makes
+sum per-bucket counts (bucket bounds must match).  The one exception is
+:class:`MaxGauge`, which merges by **maximum** — for high-water-mark
+quantities (peak RSS) where a worker's reading is not a contribution to a
+sum but a bound the fleet-wide value must dominate.  Additive merge makes
 aggregation across process-pool workers deterministic: each worker chunk
 returns its registry :meth:`~MetricsRegistry.snapshot` with its results,
 and the parent merges the snapshots in *chunk-index order* — the same
@@ -33,6 +36,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MaxGauge",
     "MetricsRegistry",
     "merge_snapshots",
     "quantile_from_histogram",
@@ -79,6 +83,28 @@ class Gauge:
     def add(self, amount: float) -> None:
         """Shift the gauge's level by ``amount`` (may be negative)."""
         self.value += amount
+
+
+class MaxGauge:
+    """A high-water mark: observations keep the maximum ever seen.
+
+    Unlike :class:`Gauge` (additive levels), a max gauge merges by
+    ``max`` — the right semantics for per-process peaks such as
+    ``process.peak_rss_bytes``, where summing worker readings would
+    invent memory nobody allocated.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Raise the high-water mark to ``value`` if it is higher."""
+        value = float(value)
+        if value > self.value:
+            self.value = value
 
 
 class Histogram:
@@ -130,6 +156,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._max_gauges: Dict[str, MaxGauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -144,6 +171,13 @@ class MetricsRegistry:
         metric = self._gauges.get(name)
         if metric is None:
             metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def max_gauge(self, name: str) -> MaxGauge:
+        """The max gauge registered under ``name`` (created on first use)."""
+        metric = self._max_gauges.get(name)
+        if metric is None:
+            metric = self._max_gauges[name] = MaxGauge(name)
         return metric
 
     def histogram(
@@ -168,7 +202,9 @@ class MetricsRegistry:
 
     def is_empty(self) -> bool:
         """True when no metric has been registered."""
-        return not (self._counters or self._gauges or self._histograms)
+        return not (
+            self._counters or self._gauges or self._max_gauges or self._histograms
+        )
 
     def snapshot(self) -> Snapshot:
         """The registry's full state as sorted, JSON-able primitives."""
@@ -178,6 +214,10 @@ class MetricsRegistry:
             },
             "gauges": {
                 name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "max_gauges": {
+                name: self._max_gauges[name].value
+                for name in sorted(self._max_gauges)
             },
             "histograms": {
                 name: {
@@ -202,6 +242,9 @@ class MetricsRegistry:
             self.counter(name).value += value
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).value += value
+        for name, value in snapshot.get("max_gauges", {}).items():
+            # Max, not sum: a peak observed in any worker bounds the fleet.
+            self.max_gauge(name).observe(value)
         for name, data in snapshot.get("histograms", {}).items():
             hist = self.histogram(name, tuple(data["bounds"]))
             if list(hist.bounds) != list(data["bounds"]):
@@ -218,6 +261,7 @@ class MetricsRegistry:
         """Drop every registered metric."""
         self._counters.clear()
         self._gauges.clear()
+        self._max_gauges.clear()
         self._histograms.clear()
 
 

@@ -157,6 +157,8 @@ def render_summary(trace: TraceData, max_tree_lines: int = 200) -> str:
             lines.append(f"  counter   {name} = {value}")
         for name, value in trace.metrics.get("gauges", {}).items():
             lines.append(f"  gauge     {name} = {value:.6g}")
+        for name, value in trace.metrics.get("max_gauges", {}).items():
+            lines.append(f"  max gauge {name} = {value:.6g}")
         for name, data in trace.metrics.get("histograms", {}).items():
             count = data.get("count", 0)
             mean = data.get("sum", 0.0) / count if count else 0.0
@@ -187,6 +189,12 @@ def render_prometheus(metrics: Optional[Snapshot]) -> str:
         lines.append(f"# TYPE {prom}_total counter")
         lines.append(f"{prom}_total {value}")
     for name, value in metrics.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, value in metrics.get("max_gauges", {}).items():
+        # Max-merged high-water marks still expose as plain gauges —
+        # Prometheus has no native "max" type.
         prom = _prom_name(name)
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")

@@ -1,0 +1,62 @@
+"""Peak resident-set-size measurement for the out-of-core data plane.
+
+``resource.getrusage`` reports ``ru_maxrss``, the process's lifetime
+high-water mark of resident memory — the number that distinguishes the
+heap-materialising in-memory pipeline from the memmap-backed streamed
+one.  The reading is a *peak*, not a level, so it travels through the
+:class:`~repro.obs.metrics.MaxGauge` max-merge path: every pool worker
+records its own peak inside its chunk observations, the parent merges
+them max-wise in chunk order, and the final gauge is the largest RSS any
+process in the fan-out ever held.
+
+Unit note: Linux reports ``ru_maxrss`` in kibibytes, macOS in bytes —
+:func:`peak_rss_bytes` normalises to bytes.  Platforms without the
+``resource`` module (Windows) read as 0, which the renderers and bench
+archives pass through untouched rather than guessing.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.trace import enabled as _obs_enabled
+from repro.obs.trace import get_registry as _obs_registry
+
+__all__ = ["PEAK_RSS_METRIC", "peak_rss_bytes", "record_peak_rss"]
+
+#: The max-gauge name peak RSS is recorded under.
+PEAK_RSS_METRIC = "process.peak_rss_bytes"
+
+
+def peak_rss_bytes(include_children: bool = False) -> int:
+    """This process's peak resident set size, in bytes (0 if unreadable).
+
+    ``include_children`` folds in ``RUSAGE_CHILDREN`` — the maximum over
+    reaped child processes, which covers pool workers once the executor
+    has joined them.  The result is ``max(self, children)``: RSS is a
+    per-process high-water mark, not an additive quantity.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix platforms
+        return 0
+    # ru_maxrss units differ by platform: bytes on macOS, KiB elsewhere.
+    unit = 1 if sys.platform == "darwin" else 1024
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    if include_children:
+        children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit
+        peak = max(peak, children)
+    return int(peak)
+
+
+def record_peak_rss(include_children: bool = False) -> int:
+    """Record the current peak RSS into the active metrics registry.
+
+    Returns the byte reading either way; the registry write only happens
+    when observability is enabled, same contract as every other metered
+    hot path.
+    """
+    value = peak_rss_bytes(include_children=include_children)
+    if _obs_enabled():
+        _obs_registry().max_gauge(PEAK_RSS_METRIC).observe(value)
+    return value

@@ -19,10 +19,12 @@ from repro.parallel.pool import (
 )
 from repro.parallel.shared import (
     SHARED_MIN_BYTES,
+    MmapArrayRef,
     SharedArrayRef,
     ShmLease,
     export_payload,
     import_payload,
+    memmap_backing,
 )
 
 __all__ = [
@@ -35,8 +37,10 @@ __all__ = [
     "set_shared_memory_enabled",
     "shared_memory_enabled",
     "SHARED_MIN_BYTES",
+    "MmapArrayRef",
     "SharedArrayRef",
     "ShmLease",
     "export_payload",
     "import_payload",
+    "memmap_backing",
 ]

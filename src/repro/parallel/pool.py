@@ -37,6 +37,7 @@ import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -46,6 +47,7 @@ from repro.metrics.timing import ChunkTiming, Stopwatch, summarize_chunks
 from repro.obs.trace import ChunkObservations
 from repro.obs.trace import absorb as _obs_absorb
 from repro.obs.trace import collect as _obs_collect
+from repro.obs.rss import record_peak_rss as _record_peak_rss
 from repro.obs.trace import enabled as _obs_enabled
 from repro.obs.trace import get_registry as _obs_registry
 from repro.parallel.shared import (
@@ -97,6 +99,8 @@ class ParallelStats:
     total_seconds: float = 0.0
     shared_arrays: int = 0
     shared_bytes: int = 0
+    mmap_arrays: int = 0
+    mmap_bytes: int = 0
     chunk_timings: List[ChunkTiming] = field(default_factory=list)
 
     def summary(self) -> Dict[str, Any]:
@@ -111,6 +115,8 @@ class ParallelStats:
             "total_seconds": self.total_seconds,
             "shared_arrays": self.shared_arrays,
             "shared_bytes": self.shared_bytes,
+            "mmap_arrays": self.mmap_arrays,
+            "mmap_bytes": self.mmap_bytes,
             **chunk_summary,
         }
 
@@ -184,6 +190,10 @@ def _run_chunk(
         # parent's chunk-ordered merge — are identical either way.
         with _obs_collect() as observations:
             out = fn(chunk, rng, payload) if with_payload else fn(chunk, rng)
+            # Peak RSS rides the chunk snapshot and max-merges in the
+            # parent: the gauge ends up as the largest peak any process
+            # in the fan-out reached.
+            _record_peak_rss()
     elif with_payload:
         out = fn(chunk, rng, payload)
     else:
@@ -265,6 +275,10 @@ def parallel_map_with_stats(
         registry.counter("parallel.items").inc(len(items))
         for timing in sorted(stats.chunk_timings, key=lambda c: c.index):
             registry.histogram("parallel.chunk_seconds").observe(timing.seconds)
+        # Parent-side reading: RUSAGE_CHILDREN covers the pool workers
+        # (reaped when the executor exited above), so after the max-merge
+        # the gauge bounds every process this call touched.
+        _record_peak_rss(include_children=True)
 
     flat: List[Any] = []
     for chunk_results in results:
@@ -321,10 +335,21 @@ def _execute(
                 fn, chunks, seqs, workers, with_payload, payload, stats,
                 use_shm, shm_min_bytes, collect_obs, observations,
             )
-        except (OSError, PermissionError, NotImplementedError, ImportError):
-            # No fork/semaphores in this environment: degrade gracefully.
+        except (
+            OSError,
+            PermissionError,
+            NotImplementedError,
+            ImportError,
+            BrokenProcessPool,
+        ):
+            # No fork/semaphores in this environment, or a worker died in
+            # its initializer (e.g. an exported mmap ref whose backing
+            # file vanished before attach): degrade gracefully — the
+            # serial path below reuses the original, un-exported payload.
             stats.shared_arrays = 0
             stats.shared_bytes = 0
+            stats.mmap_arrays = 0
+            stats.mmap_bytes = 0
     return _execute_serial(
         fn, chunks, seqs, with_payload, payload, stats, collect_obs, observations
     )
@@ -373,24 +398,32 @@ def _execute_pool(
     )
     if with_payload and use_shm:
         # Large payload arrays move into shared segments; only the tiny
-        # ref tree is pickled into the pool initializer.
+        # ref tree is pickled into the pool initializer.  File-backed
+        # arrays skip even that: they export as path+offset refs.
         payload, lease = export_payload(payload, shm_min_bytes)
         stats.shared_arrays = lease.n_segments
         stats.shared_bytes = lease.total_bytes
+        stats.mmap_arrays = lease.mmap_arrays
+        stats.mmap_bytes = lease.mmap_bytes
     if with_payload and _obs_enabled():
-        # shm-vs-pickle transport accounting: shared segments hold ONE
-        # copy no matter the worker count; whatever stayed on the pickle
-        # path is copied into every worker.
+        # Transport accounting: shared segments hold ONE copy no matter
+        # the worker count, mmap refs hold ZERO copies (the file is the
+        # copy); whatever stayed on the pickle path is copied into every
+        # worker.
         shm_arrays = lease.n_segments if lease is not None else 0
         shm_bytes = lease.total_bytes if lease is not None else 0
+        mmap_arrays = lease.mmap_arrays if lease is not None else 0
+        mmap_bytes = lease.mmap_bytes if lease is not None else 0
         registry = _obs_registry()
         registry.counter("parallel.transport.shm_arrays").inc(shm_arrays)
         registry.counter("parallel.transport.shm_bytes").inc(shm_bytes)
+        registry.counter("parallel.transport.mmap_arrays").inc(mmap_arrays)
+        registry.counter("parallel.transport.mmap_bytes").inc(mmap_bytes)
         registry.counter("parallel.transport.pickle_arrays").inc(
-            (payload_arrays - shm_arrays) * max_workers
+            (payload_arrays - shm_arrays - mmap_arrays) * max_workers
         )
         registry.counter("parallel.transport.pickle_bytes").inc(
-            (payload_bytes - shm_bytes) * max_workers
+            (payload_bytes - shm_bytes - mmap_bytes) * max_workers
         )
     initializer = _init_worker if with_payload else None
     initargs = (payload,) if with_payload else ()

@@ -14,6 +14,15 @@ reverses the walk inside the worker, attaching each segment once and
 returning read-only array views into it.  Small payloads pass through
 untouched, and any OS-level shared-memory failure falls back to plain
 pickling, so callers never need a second code path.
+
+Arrays that are already **file-backed** — ``np.memmap`` instances or
+views whose base chain bottoms out in one, e.g. columns served from
+:mod:`repro.data.mmapstore` — skip shared memory entirely: the bytes
+already live in a file, so the export emits a :class:`MmapArrayRef`
+(path + byte offset + shape) and the worker re-maps the same file
+read-only.  Nothing is copied anywhere, the parent holds no lease for
+them, and a vanished file degrades to the serial fallback exactly like a
+failed segment create.
 """
 
 from __future__ import annotations
@@ -27,11 +36,13 @@ import numpy as np
 
 __all__ = [
     "SHARED_MIN_BYTES",
+    "MmapArrayRef",
     "SharedArrayRef",
     "ShmLease",
     "count_payload_arrays",
     "export_payload",
     "import_payload",
+    "memmap_backing",
 ]
 
 #: Arrays below this size ride the normal pickle path: a 256 KiB copy per
@@ -46,6 +57,69 @@ class SharedArrayRef:
     name: str
     shape: Tuple[int, ...]
     dtype: str
+
+
+@dataclass(frozen=True)
+class MmapArrayRef:
+    """A by-path descriptor of one array living in a file on disk.
+
+    ``offset`` is the byte position of the array's first element within
+    the file (the ``.npy`` header plus any view displacement), so a
+    worker reattaches with a single ``np.memmap`` call — zero bytes
+    cross the process boundary and there is nothing to lease or unlink.
+    """
+
+    path: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+def memmap_backing(arr: np.ndarray) -> "np.memmap | None":
+    """The ``np.memmap`` an array is a view into, or ``None``.
+
+    Walks the ``.base`` chain: canonicalisation such as
+    ``np.ascontiguousarray`` strips the ``memmap`` subclass but keeps the
+    buffer, so file-backed columns usually arrive here as plain
+    ``ndarray`` views whose base bottoms out in the original map.  The
+    walk keeps the *deepest* memmap it sees: slicing a memmap yields a
+    memmap subclass view whose ``.offset`` attribute is inherited
+    verbatim from its parent (stale for the view), so only the root map's
+    offset is authoritative.
+    """
+    deepest = None
+    seen: Any = arr
+    while seen is not None:
+        if isinstance(seen, np.memmap):
+            deepest = seen
+        seen = getattr(seen, "base", None)
+    return deepest
+
+
+def _as_mmap_ref(arr: np.ndarray) -> "MmapArrayRef | None":
+    """Describe ``arr`` by path+offset if its bytes live in a file.
+
+    Requires a C-contiguous view with a known filename; anything else
+    (strided slices, anonymous maps) returns ``None`` and rides the
+    shm/pickle path instead.
+    """
+    mm = memmap_backing(arr)
+    if mm is None or not arr.flags.c_contiguous:
+        return None
+    filename = getattr(mm, "filename", None)
+    if filename is None:
+        return None
+    arr_ptr = arr.__array_interface__["data"][0]
+    mm_ptr = mm.__array_interface__["data"][0]
+    # mm's first byte sits at file offset mm.offset; arr's displacement
+    # within the map carries over verbatim.
+    offset = int(mm.offset) + (int(arr_ptr) - int(mm_ptr))
+    if offset < 0:
+        return None
+    return MmapArrayRef(
+        path=str(filename), shape=tuple(arr.shape), dtype=arr.dtype.str,
+        offset=offset,
+    )
 
 
 @dataclass(frozen=True)
@@ -73,6 +147,11 @@ class ShmLease:
     def __init__(self) -> None:
         self._segments: List[shared_memory.SharedMemory] = []
         self.total_bytes = 0
+        # File-backed arrays shipped by reference: counted here for the
+        # transport accounting, but never owned — the MmapStore bundle
+        # (or whoever created the file) controls its lifetime.
+        self.mmap_arrays = 0
+        self.mmap_bytes = 0
 
     @property
     def n_segments(self) -> int:
@@ -124,9 +203,15 @@ def count_payload_arrays(payload: Any) -> Tuple[int, int]:
 
 def _export_array(
     arr: np.ndarray, lease: ShmLease, min_bytes: int
-) -> "np.ndarray | SharedArrayRef":
+) -> "np.ndarray | SharedArrayRef | MmapArrayRef":
     if arr.nbytes < min_bytes or arr.nbytes == 0:
         return arr
+    mmap_ref = _as_mmap_ref(arr)
+    if mmap_ref is not None:
+        # Already on disk: ship the descriptor, copy nothing.
+        lease.mmap_arrays += 1
+        lease.mmap_bytes += arr.nbytes
+        return mmap_ref
     contiguous = np.ascontiguousarray(arr)
     segment = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
     lease.add(segment, contiguous.nbytes)
@@ -140,7 +225,7 @@ def _export_array(
 
 
 def _export(value: Any, lease: ShmLease, min_bytes: int) -> Any:
-    if isinstance(value, (SharedArrayRef, _DataclassNode)):
+    if isinstance(value, (SharedArrayRef, MmapArrayRef, _DataclassNode)):
         return value
     if isinstance(value, np.ndarray):
         return _export_array(value, lease, min_bytes)
@@ -202,6 +287,19 @@ def _attach(ref: SharedArrayRef) -> np.ndarray:
     return arr
 
 
+def _attach_mmap(ref: MmapArrayRef) -> np.ndarray:
+    """Re-map a file-backed array read-only at its recorded offset."""
+    arr: np.ndarray = np.memmap(
+        ref.path,
+        dtype=np.dtype(ref.dtype),
+        mode="r",
+        offset=ref.offset,
+        shape=ref.shape,
+    )
+    arr.flags.writeable = False
+    return arr
+
+
 def import_payload(payload: Any) -> Any:
     """Resolve every ref in an exported payload tree back into arrays.
 
@@ -210,6 +308,8 @@ def import_payload(payload: Any) -> Any:
     """
     if isinstance(payload, SharedArrayRef):
         return _attach(payload)
+    if isinstance(payload, MmapArrayRef):
+        return _attach_mmap(payload)
     if isinstance(payload, _DataclassNode):
         return payload.cls(
             **{name: import_payload(v) for name, v in payload.fields.items()}

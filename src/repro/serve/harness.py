@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import quantile_from_histogram
+from repro.obs.rss import peak_rss_bytes
 from repro.serve.events import ServeWorkloadConfig
 from repro.serve.service import ServeConfig, ServeResult, ServeService
 
@@ -90,6 +91,10 @@ def slo_report(result: ServeResult) -> Dict[str, Any]:
         "audit_epsilon": result.audit_epsilon,
         "audit_delta": result.audit_delta,
         "ledger_spends": result.ledger_spends,
+        # Read at report time in the parent (RUSAGE_CHILDREN covers reaped
+        # shard processes), never folded into the shard metric registries —
+        # metrics_digest must stay invariant to shard count.
+        "peak_rss_bytes": peak_rss_bytes(include_children=True),
         "response_digest": result.digest,
         "metrics_digest": result.metrics_digest(),
     }

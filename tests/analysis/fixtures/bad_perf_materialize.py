@@ -1,0 +1,12 @@
+"""PERF003 fixture: whole-shard heap copies in an experiment driver."""
+
+import hashlib
+
+import numpy as np
+
+
+def digest_chunk(xs: np.ndarray, top_offsets: np.ndarray) -> bytes:
+    """Copies whole (possibly memmap-backed) CSR columns onto the heap."""
+    heap_xs = np.asarray(xs)
+    heap_tops = top_offsets.copy()
+    return hashlib.sha256(heap_xs.tobytes() + heap_tops.tobytes()).digest()

@@ -26,12 +26,16 @@ EXPECTATIONS = {
     "bad_annotations.py": ("DOC002", 2),
     "bad_perf_scalar_loop.py": ("PERF001", 2),
     "bad_perf_csr_loop.py": ("PERF002", 2),
+    "bad_perf_materialize.py": ("PERF003", 2),
 }
 
 #: Fixtures whose rule only applies inside a specific package get a
 #: synthetic module path (analyze_source derives the module from it).
 MODULE_PATHS = {
     "bad_perf_csr_loop.py": Path("src/repro/experiments/bad_perf_csr_loop.py"),
+    "bad_perf_materialize.py": Path(
+        "src/repro/experiments/bad_perf_materialize.py"
+    ),
 }
 
 
@@ -135,4 +139,14 @@ def test_det003_accepts_sorted_wrapper():
     )
     rule = rules_by_id()["DET003"]
     findings, _ = analyze_source(src, Path("x.py"), [rule], role="src")
+    assert findings == []
+
+
+def test_perf003_only_applies_to_experiment_modules():
+    """Kernels and the data plane copy columns deliberately (canonicalise)."""
+    src = FIXTURES.joinpath("bad_perf_materialize.py").read_text()
+    rule = rules_by_id()["PERF003"]
+    findings, _ = analyze_source(
+        src, Path("src/repro/kernels/profiles.py"), [rule], role="src"
+    )
     assert findings == []

@@ -1,0 +1,142 @@
+"""MmapStore: bundle round-trips, manifests, corruption, page release."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.cache import StageCache, stage_key
+from repro.data.mmapstore import MANIFEST_NAME, BundleWriter, MmapStore, release_pages
+
+
+def _arrays():
+    return {
+        "xs": np.arange(10, dtype=np.float64),
+        "ys": np.linspace(-1.0, 1.0, 10),
+        "offsets": np.asarray([0, 4, 10], dtype=np.int64),
+    }
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        store = MmapStore(tmp_path)
+        key = stage_key("s", {"a": 1}, "1")
+        assert store.load(key) is None
+        store.store(key, _arrays())
+        loaded = store.load(key)
+        assert loaded is not None
+        for name, expected in _arrays().items():
+            np.testing.assert_array_equal(loaded[name], expected)
+            assert loaded[name].dtype == expected.dtype
+
+    def test_loaded_arrays_are_readonly_memmaps(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        loaded = store.load("k")
+        for arr in loaded.values():
+            assert isinstance(arr, np.memmap)
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 99.0
+
+    def test_zero_size_array_round_trips(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", {"empty": np.empty(0, dtype=np.float64)})
+        loaded = store.load("k")
+        assert loaded["empty"].shape == (0,)
+        assert loaded["empty"].dtype == np.float64
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = MmapStore(tmp_path, enabled=False)
+        store.store("k", _arrays())
+        assert store.load("k") is None
+
+    def test_clear_removes_bundles(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("a", _arrays())
+        store.store("b", _arrays())
+        assert store.clear() == 2
+        assert store.load("a") is None
+
+    def test_for_cache_dir_sits_beside_cache(self, tmp_path):
+        cache = StageCache(tmp_path)
+        store = MmapStore.for_cache_dir(cache.directory)
+        store.store("k", _arrays())
+        assert (tmp_path / "mmap").is_dir()
+        # StageCache.clear() sweeps the sibling mmap bundles too, so a
+        # cold bench run is cold on both serving paths.
+        assert cache.clear() >= 1
+        assert store.load("k") is None
+
+
+class TestCorruption:
+    def test_truncated_npy_is_a_miss(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        path = store.path_for("k") / "xs.npy"
+        path.write_bytes(path.read_bytes()[:-16])
+        assert store.load("k") is None
+        # The broken bundle is swept; a re-store round-trips again.
+        store.store("k", _arrays())
+        assert store.load("k") is not None
+
+    def test_missing_manifest_is_a_miss(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        (store.path_for("k") / MANIFEST_NAME).unlink()
+        assert store.load("k") is None
+
+    def test_manifest_dtype_mismatch_is_a_miss(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        manifest_path = store.path_for("k") / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["arrays"]["xs"]["dtype"] = "<i8"
+        manifest_path.write_text(json.dumps(manifest))
+        assert store.load("k") is None
+
+    def test_garbage_manifest_is_a_miss(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        (store.path_for("k") / MANIFEST_NAME).write_text("{not json")
+        assert store.load("k") is None
+
+
+class TestBundleWriter:
+    def test_commit_publishes_atomically(self, tmp_path):
+        store = MmapStore(tmp_path)
+        specs = {"xs": ((4,), "<f8")}
+        with store.writer("k", specs) as writer:
+            assert store.load("k") is None
+            writer.arrays["xs"][:] = [1.0, 2.0, 3.0, 4.0]
+        loaded = store.load("k")
+        np.testing.assert_array_equal(loaded["xs"], [1.0, 2.0, 3.0, 4.0])
+
+    def test_abort_on_error_leaves_no_bundle(self, tmp_path):
+        store = MmapStore(tmp_path)
+        with pytest.raises(RuntimeError):
+            with store.writer("k", {"xs": ((4,), "<f8")}):
+                raise RuntimeError("boom")
+        assert store.load("k") is None
+        assert not any(store.directory.iterdir())
+
+    def test_concurrent_commit_keeps_a_valid_bundle(self, tmp_path):
+        store = MmapStore(tmp_path)
+        first = BundleWriter(store, "k", {"xs": ((2,), "<f8")})
+        second = BundleWriter(store, "k", {"xs": ((2,), "<f8")})
+        first.arrays["xs"][:] = [1.0, 1.0]
+        second.arrays["xs"][:] = [2.0, 2.0]
+        first.commit()
+        second.commit()
+        loaded = store.load("k")
+        assert loaded["xs"][0] in (1.0, 2.0)
+
+
+class TestReleasePages:
+    def test_accepts_memmaps_views_and_heap_arrays(self, tmp_path):
+        store = MmapStore(tmp_path)
+        store.store("k", _arrays())
+        loaded = store.load("k")
+        # Memmap, a view of one, and a heap array: all must be accepted.
+        release_pages(loaded["xs"], loaded["xs"][2:5], np.arange(3.0))
+        np.testing.assert_array_equal(loaded["xs"], _arrays()["xs"])

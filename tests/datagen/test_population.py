@@ -5,11 +5,15 @@ import pytest
 
 from repro.attack.profiling import entropy_vs_checkins, fraction_below_entropy
 from repro.datagen.population import (
+    FIG3_ENTROPY_MARGINAL,
     PAPER_MAX_CHECKINS,
     PAPER_MIN_CHECKINS,
     PopulationConfig,
+    figure3_marginals,
     generate_population,
     iter_population,
+    rake_figure3_joint,
+    rake_marginals,
 )
 from repro.datagen.shanghai import shanghai_planar_bbox
 
@@ -96,3 +100,81 @@ class TestCalibration:
         counts = np.array([u.n_checkins for u in population])
         assert np.median(counts) < counts.mean()
         assert counts.max() > 2_000
+
+
+class TestRakeMarginals:
+    """IPF raking must converge onto the requested marginals."""
+
+    def test_converges_to_exact_marginals(self):
+        rng = np.random.default_rng(7)
+        seed = rng.uniform(0.1, 1.0, size=(4, 3))
+        rows = np.array([0.4, 0.3, 0.2, 0.1])
+        cols = np.array([0.5, 0.3, 0.2])
+        fitted, iters, err = rake_marginals(seed, rows, cols)
+        assert iters <= 500
+        assert err <= 1e-10
+        np.testing.assert_allclose(fitted.sum(axis=1), rows, atol=1e-9)
+        np.testing.assert_allclose(fitted.sum(axis=0), cols, atol=1e-9)
+
+    def test_preserves_cross_ratios(self):
+        """The IPF fixed point keeps the seed's odds structure."""
+        rng = np.random.default_rng(11)
+        seed = rng.uniform(0.5, 2.0, size=(3, 3))
+        fitted, _, _ = rake_marginals(
+            seed, np.full(3, 1 / 3), np.full(3, 1 / 3)
+        )
+        for i, j in [(0, 1), (1, 2)]:
+            seed_odds = (seed[i, i] * seed[j, j]) / (seed[i, j] * seed[j, i])
+            fit_odds = (fitted[i, i] * fitted[j, j]) / (fitted[i, j] * fitted[j, i])
+            assert fit_odds == pytest.approx(seed_odds, rel=1e-8)
+
+    def test_zero_cells_stay_zero(self):
+        seed = np.array([[1.0, 0.0], [1.0, 1.0]])
+        fitted, _, _ = rake_marginals(
+            seed, np.array([0.4, 0.6]), np.array([0.7, 0.3])
+        )
+        assert fitted[0, 1] == 0.0
+        np.testing.assert_allclose(
+            fitted, [[0.4, 0.0], [0.3, 0.3]], atol=1e-9
+        )
+
+    def test_rejects_mismatched_totals(self):
+        with pytest.raises(ValueError, match="totals disagree"):
+            rake_marginals(np.ones((2, 2)), [0.6, 0.6], [0.5, 0.5])
+
+    def test_rejects_infeasible_zero_row(self):
+        seed = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="zero seed row"):
+            rake_marginals(seed, [0.5, 0.5], [0.5, 0.5])
+
+    def test_unreachable_targets_raise_after_max_iters(self):
+        # A diagonal zero pattern cannot carry these marginals: row 0 must
+        # put all its mass in column 0, but column 0 wants less than that.
+        seed = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(RuntimeError, match="did not converge"):
+            rake_marginals(seed, [0.7, 0.3], [0.3, 0.7], max_iters=50)
+
+    def test_figure3_marginals_are_distributions(self):
+        edges, counts, entropy = figure3_marginals()
+        assert edges[0] == PAPER_MIN_CHECKINS
+        assert edges[-1] == PAPER_MAX_CHECKINS
+        assert counts.sum() == pytest.approx(1.0)
+        assert tuple(entropy) == FIG3_ENTROPY_MARGINAL
+
+    def test_rake_figure3_joint_hits_paper_split(self):
+        """Raking an empirical joint pins the 88.8% low-entropy share."""
+        population = generate_population(PopulationConfig(n_users=120, seed=3))
+        edges, _, _ = figure3_marginals()
+        obs = entropy_vs_checkins({u.user_id: u.trace for u in population})
+        joint = np.zeros((len(edges) - 1, 2))
+        for o in obs:
+            row = min(np.searchsorted(edges, o.checkins, side="right") - 1,
+                      len(edges) - 2)
+            joint[row, 0 if o.entropy < 2.0 else 1] += 1.0
+        fitted, _, err = rake_figure3_joint(joint)
+        assert err <= 1e-10
+        assert fitted[:, 0].sum() == pytest.approx(0.888)
+        # Figure 3's trend survives the raking: the heaviest count bin is
+        # more routine-bound than the lightest.
+        low_share = fitted[:, 0] / fitted.sum(axis=1)
+        assert low_share[-1] >= low_share[0]

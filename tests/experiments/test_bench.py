@@ -120,3 +120,40 @@ class TestShmBench:
                 < result["pickle"]["pickled_payload_bytes"]
             )
         assert (tmp_path / "BENCH_shm_fanout.json").is_file()
+
+
+class TestStageKeyNotes:
+    def test_shared_keys_produce_no_notes(self):
+        from repro.experiments.bench import stage_key_notes
+
+        old = _bench(1.0, {"attack": 0.9})
+        new = _bench(1.0, {"attack": 1.0})
+        assert stage_key_notes(old, new) == []
+
+    def test_missing_and_added_keys_reported(self):
+        from repro.experiments.bench import stage_key_notes
+
+        old = _bench(1.0, {"datagen.v1": 2.0, "attack": 0.9})
+        new = _bench(1.0, {"datagen.v2": 2.0, "attack": 0.9})
+        notes = stage_key_notes(old, new)
+        assert len(notes) == 2
+        assert "'datagen.v1'" in notes[0] and "OLD" in notes[0]
+        assert "'datagen.v2'" in notes[1] and "NEW" in notes[1]
+
+    def test_disjoint_keys_warn_wall_clock_only(self):
+        from repro.experiments.bench import stage_key_notes
+
+        notes = stage_key_notes(
+            _bench(1.0, {"a": 1.0}), _bench(1.0, {"b": 1.0})
+        )
+        assert any("wall clock" in n for n in notes)
+
+    def test_compare_cli_prints_notes_without_failing(self, tmp_path, capsys):
+        old_path = tmp_path / "old.json"
+        new_path = tmp_path / "new.json"
+        old_path.write_text(json.dumps(_bench(1.0, {"stage.v1": 1.0})))
+        new_path.write_text(json.dumps(_bench(1.0, {"stage.v2": 1.0})))
+        assert main(["--compare", str(old_path), str(new_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stage.v1" in out and "stage.v2" in out
+        assert "ok (" in out

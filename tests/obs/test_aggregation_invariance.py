@@ -44,13 +44,15 @@ class TestWorkerCountInvariance:
         serial_results, serial_snapshot = _run(1)
         pooled_results, pooled_snapshot = _run(workers)
         assert pooled_results == serial_results
-        # parallel.chunk_seconds is the pool's own wall-clock histogram —
-        # genuinely nondeterministic, so drop it; every metric the chunk
+        # parallel.chunk_seconds is the pool's own wall-clock histogram and
+        # process.peak_rss_bytes the pool's memory high-water mark — both
+        # genuinely nondeterministic, so drop them; every metric the chunk
         # function emitted must merge bit-identically (dict equality
         # compares the float sums exactly, thanks to chunk-index-order
         # absorption).
         for snap in (serial_snapshot, pooled_snapshot):
             snap["histograms"].pop("parallel.chunk_seconds")
+            snap["max_gauges"].pop("process.peak_rss_bytes")
         assert pooled_snapshot == serial_snapshot
         assert serial_snapshot["counters"]["test.items"] == 40
         assert serial_snapshot["histograms"]["test.values"]["count"] == 40

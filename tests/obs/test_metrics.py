@@ -92,9 +92,70 @@ class TestMerge:
     def test_snapshot_of_empty_registry(self):
         registry = MetricsRegistry()
         assert registry.is_empty()
-        assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "max_gauges": {}, "histograms": {}
+        }
 
     def test_clear_forgets_everything(self):
         registry = self._registry(1)
         registry.clear()
         assert registry.is_empty()
+
+
+class TestMaxGauge:
+    def test_observe_keeps_max(self):
+        registry = MetricsRegistry()
+        gauge = registry.max_gauge("process.peak_rss_bytes")
+        gauge.observe(100.0)
+        gauge.observe(40.0)
+        gauge.observe(250.0)
+        assert registry.snapshot()["max_gauges"]["process.peak_rss_bytes"] == 250.0
+
+    def test_merge_takes_max_not_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.max_gauge("peak").observe(300.0)
+        b.max_gauge("peak").observe(120.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["max_gauges"]["peak"] == 300.0
+
+    def test_merge_tolerates_legacy_snapshots(self):
+        """Snapshots recorded before max_gauges existed still merge."""
+        registry = MetricsRegistry()
+        registry.max_gauge("peak").observe(7.0)
+        legacy = {"counters": {}, "gauges": {}, "histograms": {}}
+        merged = merge_snapshots([legacy, registry.snapshot()])
+        assert merged["max_gauges"]["peak"] == 7.0
+
+    def test_clear_forgets_max_gauges(self):
+        registry = MetricsRegistry()
+        registry.max_gauge("peak").observe(1.0)
+        assert not registry.is_empty()
+        registry.clear()
+        assert registry.is_empty()
+
+
+class TestPeakRss:
+    def test_peak_rss_is_positive_bytes(self):
+        from repro.obs.rss import peak_rss_bytes
+
+        value = peak_rss_bytes()
+        # A running interpreter holds well over a megabyte.
+        assert value > 1 << 20
+        assert peak_rss_bytes(include_children=True) >= value
+
+    def test_record_peak_rss_lands_in_registry(self):
+        from repro import obs
+        from repro.obs.rss import PEAK_RSS_METRIC, record_peak_rss
+
+        obs.enable()
+        recorded = record_peak_rss()
+        snapshot = obs.shutdown()
+        assert snapshot["max_gauges"][PEAK_RSS_METRIC] == recorded > 0
+
+    def test_record_is_noop_when_disabled(self):
+        from repro import obs
+        from repro.obs.rss import record_peak_rss
+
+        assert not obs.enabled()
+        assert record_peak_rss() > 0
+        assert obs.get_registry().is_empty()

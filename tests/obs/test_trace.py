@@ -90,7 +90,9 @@ class TestCollectAbsorb:
     def test_absorb_none_is_noop(self):
         obs.enable()
         obs.absorb(None)
-        assert obs.shutdown() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert obs.shutdown() == {
+            "counters": {}, "gauges": {}, "max_gauges": {}, "histograms": {}
+        }
 
     def test_collect_restores_outer_runtime(self):
         obs.enable()

@@ -152,3 +152,101 @@ class TestPoolTransport:
             assert stats.shared_arrays == 0
         finally:
             set_shared_memory_enabled(True)
+
+
+def _mmap_sum_chunk(indices, rng, payload):
+    return [float(payload["xs"][i] + payload["offset"]) for i in indices]
+
+
+class TestMmapTransport:
+    """Memmap-backed arrays ship by path+offset, not by copy."""
+
+    def _mmap_payload(self, tmp_path, n=1 << 16):
+        from repro.data.mmapstore import MmapStore
+
+        store = MmapStore(tmp_path)
+        store.store("k", {"xs": np.arange(n, dtype=np.float64)})
+        return store.load("k")
+
+    def test_export_returns_mmap_ref_without_shm(self, tmp_path):
+        from repro.parallel import MmapArrayRef
+
+        loaded = self._mmap_payload(tmp_path)
+        exported, lease = export_payload({"xs": loaded["xs"]})
+        try:
+            ref = exported["xs"]
+            assert isinstance(ref, MmapArrayRef)
+            assert lease.n_segments == 0  # nothing copied into shm
+            assert lease.mmap_arrays == 1
+            assert lease.mmap_bytes == loaded["xs"].nbytes
+            imported = import_payload(exported)
+            assert isinstance(imported["xs"], np.memmap)
+            assert not imported["xs"].flags.writeable
+            np.testing.assert_array_equal(imported["xs"], loaded["xs"])
+        finally:
+            lease.release()
+
+    def test_view_slice_round_trips_with_byte_offset(self, tmp_path):
+        from repro.parallel import MmapArrayRef
+
+        loaded = self._mmap_payload(tmp_path)
+        view = loaded["xs"][1024:60000]  # stays above SHARED_MIN_BYTES
+        exported, lease = export_payload({"xs": view})
+        try:
+            assert isinstance(exported["xs"], MmapArrayRef)
+            assert exported["xs"].offset > 0
+            np.testing.assert_array_equal(import_payload(exported)["xs"], view)
+        finally:
+            lease.release()
+
+    def test_small_mmap_array_ships_by_pickle(self, tmp_path):
+        loaded = self._mmap_payload(tmp_path, n=8)
+        exported, lease = export_payload({"xs": loaded["xs"]})
+        try:
+            # Below SHARED_MIN_BYTES a copy is cheaper than a remap.
+            assert isinstance(exported["xs"], np.ndarray)
+        finally:
+            lease.release()
+
+    def test_canonicalised_columns_still_detected(self, tmp_path):
+        """ascontiguousarray strips the memmap subclass but keeps the base."""
+        from repro.parallel import MmapArrayRef, memmap_backing
+
+        loaded = self._mmap_payload(tmp_path)
+        canonical = np.ascontiguousarray(loaded["xs"])
+        assert type(canonical) is np.ndarray
+        assert memmap_backing(canonical) is not None
+        exported, lease = export_payload({"xs": canonical})
+        try:
+            assert isinstance(exported["xs"], MmapArrayRef)
+        finally:
+            lease.release()
+
+    def test_pool_results_identical_to_serial(self, tmp_path):
+        loaded = self._mmap_payload(tmp_path, n=1 << 16)
+        payload = {"xs": loaded["xs"], "offset": 0.5}
+        serial = parallel_map(
+            _mmap_sum_chunk, range(64), workers=1, seed=1, chunk_size=16, payload=payload
+        )
+        pooled, stats = parallel_map_with_stats(
+            _mmap_sum_chunk, range(64), workers=2, seed=1, chunk_size=16, payload=payload
+        )
+        assert pooled == serial
+        if stats.pool_used:
+            assert stats.mmap_arrays == 1
+            assert stats.shared_arrays == 0
+
+    def test_vanished_backing_file_falls_back_to_serial(self, tmp_path):
+        """Deleting the bundle between export and attach must not crash."""
+        loaded = self._mmap_payload(tmp_path)
+        payload = {"xs": np.ascontiguousarray(loaded["xs"]), "offset": 0.0}
+        expected = parallel_map(
+            _mmap_sum_chunk, range(16), workers=1, seed=2, chunk_size=4, payload=payload
+        )
+        import shutil
+
+        shutil.rmtree(tmp_path / "k")
+        results = parallel_map(
+            _mmap_sum_chunk, range(16), workers=2, seed=2, chunk_size=4, payload=payload
+        )
+        assert results == expected
