@@ -45,13 +45,13 @@ def _run() -> ExperimentReport:
         coords = np.array([(c.x, c.y) for c in observed])
         home = user.true_tops[0]
 
-        guess = alg1.infer_top1(coords)
+        tops = alg1.estimate_xy(coords, 1)
         errors["algorithm 1 (paper)"].append(
-            guess.distance_to(home) if guess else float("inf")
+            tops[0].distance_to(home) if tops else float("inf")
         )
-        guess = km.infer_top1(coords)
+        tops = km.estimate_xy(coords, 1)
         errors["k-means baseline"].append(
-            guess.distance_to(home) if guess else float("inf")
+            tops[0].distance_to(home) if tops else float("inf")
         )
         guess = temporal.infer_home(observed)
         errors["temporal (home)"].append(

@@ -110,6 +110,10 @@ class FlowPolicy:
         {
             "repro.data.cache.StageCache.store",
             "repro.data.mmapstore.MmapStore.store",
+            # Fleet checkpoints persist whole actor snapshots — including
+            # the open profile window's true check-ins — so every write
+            # is an audited artifact, same as the stage caches.
+            "repro.fleet.checkpoint.CheckpointStore.put",
         }
     )
     cache_store_methods: FrozenSet[str] = frozenset({"store"})
@@ -197,6 +201,7 @@ class FlowPolicy:
     sink_exempt_prefixes: Tuple[str, ...] = (
         "repro.data.cache",
         "repro.data.mmapstore",
+        "repro.fleet.checkpoint",
         "repro.experiments.tables",
         "repro.experiments.runner",
         "repro.obs.",

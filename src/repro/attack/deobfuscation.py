@@ -17,6 +17,7 @@ connected once a few hundred observations have accumulated.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.attack.clustering import largest_component_indices
 from repro.attack.trimming import trim_cluster_xy
+from repro.core.attacker import AttackerBase
 from repro.core.mechanism import LPPM
 from repro.geo.point import Point
 from repro.profiles.checkin import CheckIn, checkins_to_array
@@ -73,10 +75,19 @@ def attack_params_for(
     )
 
 
-class DeobfuscationAttack:
-    """The longitudinal de-obfuscation attack (Algorithm 1)."""
+class DeobfuscationAttack(AttackerBase):
+    """The longitudinal de-obfuscation attack (Algorithm 1).
+
+    Satisfies the :class:`repro.core.attacker.Attacker` protocol:
+    ``estimate_xy``/``estimate`` are the canonical entry points;
+    :meth:`infer_top_locations` remains the *detailed* API returning
+    :class:`InferredLocation` records with support and trim statistics.
+    """
+
+    name = "algorithm1"
 
     def __init__(self, theta: float, r_alpha: float, use_trimming: bool = True) -> None:
+        super().__init__()
         self.params = AttackParameters(theta=theta, r_alpha=r_alpha)
         #: Trimming can be disabled for the ablation study; the attack then
         #: reports raw largest-cluster centroids.
@@ -104,8 +115,24 @@ class DeobfuscationAttack:
         coords = self._as_coords(observations)
         return list(self._infer(coords, n))
 
+    def estimate_xy(self, coords: np.ndarray, n: int) -> List[Point]:
+        """Canonical batch path: the locations only, in support order."""
+        coords = self._check_request(coords, n)
+        return [r.location for r in self._infer(coords, n)]
+
     def infer_top1(self, observations: "np.ndarray | Sequence[CheckIn]") -> Optional[Point]:
-        """Convenience: the single most supported location, if any."""
+        """Deprecated: use ``estimate_xy(coords, 1)`` (Attacker protocol).
+
+        One-release shim for the pre-protocol duck-typed surface; also
+        still accepts check-in sequences, which the canonical path does
+        not.
+        """
+        warnings.warn(
+            "DeobfuscationAttack.infer_top1 is deprecated; use "
+            "estimate_xy(coords, 1) from the Attacker protocol",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         results = self.infer_top_locations(observations, 1)
         return results[0].location if results else None
 

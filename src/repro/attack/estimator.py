@@ -17,11 +17,13 @@ sufficient statistic again), and under planar Laplace noise it is
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.attacker import AttackerBase
 from repro.geo.point import Point, points_to_array
 
 __all__ = [
@@ -124,27 +126,95 @@ def map_estimate(
     return MAPEstimate(candidate=cand_list[idx], index=idx, posterior=posterior)
 
 
-class MAPAttack:
-    """Convenience wrapper binding a noise model to the MAP estimator."""
+class MAPAttack(AttackerBase):
+    """Convenience wrapper binding a noise model to the MAP estimator.
 
-    def __init__(self, log_likelihood: LogLikelihood) -> None:
+    Satisfies the :class:`repro.core.attacker.Attacker` protocol when a
+    candidate set is bound (at construction or via
+    :meth:`with_candidates`): ``estimate_xy`` ranks the bound candidates
+    by posterior given the coordinates, ``estimate(n)`` does the same
+    over the evidence buffer.  The pre-protocol ``estimate(observations,
+    candidates)`` spelling collided with the protocol's ``estimate(n)``;
+    it lives on as :meth:`map_candidate`, with a one-release dispatching
+    shim on ``estimate``.
+    """
+
+    name = "map"
+
+    def __init__(
+        self,
+        log_likelihood: LogLikelihood,
+        candidates: Optional[Sequence[Point]] = None,
+        prior: Optional[np.ndarray] = None,
+    ) -> None:
+        super().__init__()
         self._loglik = log_likelihood
+        self._candidates = list(candidates) if candidates is not None else None
+        self._prior = prior
 
     @classmethod
-    def gaussian(cls, sigma: float) -> "MAPAttack":
+    def gaussian(cls, sigma: float, **kwargs: object) -> "MAPAttack":
         """MAP attack against isotropic Gaussian noise of scale sigma."""
-        return cls(gaussian_log_likelihood(sigma))
+        return cls(gaussian_log_likelihood(sigma), **kwargs)  # type: ignore[arg-type]
 
     @classmethod
-    def laplace(cls, epsilon: float) -> "MAPAttack":
+    def laplace(cls, epsilon: float, **kwargs: object) -> "MAPAttack":
         """MAP attack against planar Laplace noise with budget epsilon."""
-        return cls(laplace_log_likelihood(epsilon))
+        return cls(laplace_log_likelihood(epsilon), **kwargs)  # type: ignore[arg-type]
 
-    def estimate(
+    def with_candidates(
+        self, candidates: Sequence[Point], prior: Optional[np.ndarray] = None
+    ) -> "MAPAttack":
+        """A copy of this attack bound to a prior candidate set."""
+        clone = MAPAttack(self._loglik, candidates=candidates, prior=prior)
+        clone.name = self.name
+        return clone
+
+    def map_candidate(
         self,
         observations: Sequence[Point],
         candidates: Sequence[Point],
         prior: Optional[np.ndarray] = None,
     ) -> MAPEstimate:
-        """Run Eq. 5 with this attack's bound noise model."""
+        """Run Eq. 5 with this attack's bound noise model.
+
+        (Renamed from ``estimate``, which the Attacker protocol now
+        claims for the evidence-buffer entry point.)
+        """
         return map_estimate(observations, candidates, self._loglik, prior)
+
+    def estimate_xy(self, coords: np.ndarray, n: int) -> List[Point]:
+        """The bound candidates ranked by posterior, best first.
+
+        Requires a candidate set (Eq. 5 is an argmax over a prior
+        candidate pool, not free-space inference).
+        """
+        coords = self._check_request(coords, n)
+        if self._candidates is None:
+            raise ValueError(
+                "MAPAttack.estimate_xy needs a bound candidate set; "
+                "construct with candidates=... or use with_candidates()"
+            )
+        cand_xy = points_to_array(self._candidates)
+        _, posterior = map_estimate_xy(coords, cand_xy, self._loglik, self._prior)
+        order = np.argsort(posterior)[::-1]
+        return [self._candidates[int(i)] for i in order[:n]]
+
+    def estimate(self, *args: Any, **kwargs: Any) -> Any:
+        """Protocol ``estimate(n)``, plus the one-release legacy shim.
+
+        ``estimate(n)`` ranks the bound candidates against the evidence
+        buffer.  The legacy spelling ``estimate(observations,
+        candidates, prior=None)`` still works but warns; call
+        :meth:`map_candidate` instead.
+        """
+        if len(args) == 1 and not kwargs and isinstance(args[0], int):
+            return super().estimate(args[0])
+        warnings.warn(
+            "MAPAttack.estimate(observations, candidates) is deprecated; "
+            "use map_candidate(...) (the Attacker protocol claims "
+            "estimate(n))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.map_candidate(*args, **kwargs)

@@ -12,11 +12,13 @@ needs k as an input and (b) lets far-away nomadic noise drag centroids.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.attacker import AttackerBase
 from repro.geo.point import Point
 
 __all__ = ["KMeansResult", "kmeans", "KMeansAttack"]
@@ -138,33 +140,51 @@ def kmeans(
     )
 
 
-class KMeansAttack:
+class KMeansAttack(AttackerBase):
     """Top-n location inference by k-means over obfuscated check-ins.
 
     ``k`` is the number of clusters the attacker assumes; the inferred
     top-i location is the centroid of the i-th largest cluster.
+    Satisfies the :class:`repro.core.attacker.Attacker` protocol.
     """
 
+    name = "kmeans"
+
     def __init__(self, k: int = 8, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
-    def infer_top_locations(self, observations: np.ndarray, n: int) -> List[Point]:
+    def estimate_xy(self, coords: np.ndarray, n: int) -> List[Point]:
         """The n largest-cluster centroids (fewer if data is scarce)."""
-        observations = np.asarray(observations, dtype=float)
-        if n < 1:
-            raise ValueError(f"n must be >= 1, got {n}")
-        if len(observations) == 0:
+        coords = self._check_request(coords, n)
+        if len(coords) == 0:
             return []
-        k = min(self.k, len(observations))
-        result = kmeans(observations, k, rng=self._rng)
+        k = min(self.k, len(coords))
+        result = kmeans(coords, k, rng=self._rng)
         return [
             Point(float(x), float(y)) for x, y in result.centroids[:n]
         ]
 
+    def infer_top_locations(self, observations: np.ndarray, n: int) -> List[Point]:
+        """Deprecated: use ``estimate_xy`` (Attacker protocol).  One-release shim."""
+        warnings.warn(
+            "KMeansAttack.infer_top_locations is deprecated; use "
+            "estimate_xy(coords, n) from the Attacker protocol",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.estimate_xy(observations, n)
+
     def infer_top1(self, observations: np.ndarray) -> Optional[Point]:
-        """The largest cluster's centroid (None on empty input)."""
-        tops = self.infer_top_locations(observations, 1)
+        """Deprecated: use ``estimate_xy(coords, 1)``.  One-release shim."""
+        warnings.warn(
+            "KMeansAttack.infer_top1 is deprecated; use "
+            "estimate_xy(coords, 1) from the Attacker protocol",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        tops = self.estimate_xy(observations, 1)
         return tops[0] if tops else None

@@ -57,7 +57,8 @@ class DeviceLinker:
         """The device's inferred primary location (None if too sparse)."""
         if len(observations) == 0:
             return None
-        return self.attack.infer_top1(observations)
+        tops = self.attack.estimate_xy(observations, 1)
+        return tops[0] if tops else None
 
     def link(self, device_observations: Dict[str, np.ndarray]) -> List[DeviceLink]:
         """Group devices whose inferred anchors lie within the link radius.

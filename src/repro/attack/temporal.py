@@ -17,8 +17,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.attack.deobfuscation import DeobfuscationAttack
+from repro.core.attacker import AttackerBase
 from repro.geo.point import Point
-from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
+from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn, checkins_to_array
 
 __all__ = ["HourWindow", "NIGHT", "OFFICE_HOURS", "TemporalAttack"]
 
@@ -49,11 +50,23 @@ NIGHT = HourWindow(21.0, 7.0)
 OFFICE_HOURS = HourWindow(9.0, 18.0)
 
 
-class TemporalAttack:
-    """Infer semantically labelled locations from time-sliced observations."""
+class TemporalAttack(AttackerBase):
+    """Infer semantically labelled locations from time-sliced observations.
+
+    Satisfies the :class:`repro.core.attacker.Attacker` protocol by
+    delegating the canonical (window-free) path to its base attack; the
+    window methods are this attacker's own semantic surface.
+    """
+
+    name = "temporal"
 
     def __init__(self, base_attack: DeobfuscationAttack) -> None:
+        super().__init__()
         self.base_attack = base_attack
+
+    def estimate_xy(self, coords: np.ndarray, n: int) -> List[Point]:
+        """Window-free estimates, straight from the base attack."""
+        return self.base_attack.estimate_xy(coords, n)
 
     def infer_in_window(
         self, observations: Sequence[CheckIn], window: HourWindow
@@ -62,7 +75,8 @@ class TemporalAttack:
         sliced = [c for c in observations if window.contains(c.timestamp)]
         if not sliced:
             return None
-        return self.base_attack.infer_top1(sliced)
+        tops = self.base_attack.estimate_xy(checkins_to_array(sliced), 1)
+        return tops[0] if tops else None
 
     def infer_home(self, observations: Sequence[CheckIn]) -> Optional[Point]:
         """The dominant night-time location."""

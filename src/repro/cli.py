@@ -11,6 +11,8 @@ Subcommands::
                                                 # streaming edge service run
     repro serve --replay --shards 2 --duration-events 2000
                                                 # bit-identical replay mode
+    repro fleet run churn10 --shards 4          # serve under deterministic
+                                                # fault injection (docs/fleet.md)
     repro attack --level ln2                    # case-study attack demo
     repro verify --r 500 --epsilon 1 --delta 0.01 --n 10
                                                 # check a budget's calibration
@@ -64,27 +66,19 @@ def _common_options() -> argparse.ArgumentParser:
     """The shared option set every work-running subcommand inherits.
 
     One parent parser (``parents=[...]``) keeps spelling, defaults, and
-    help text identical across ``experiments``, ``simulate``, ``attack``,
-    and ``verify``.  ``--seed`` defaults to ``None`` so each handler can
-    keep its historical fallback (0 for simulate, 11 for attack, the
-    scale preset for experiments).
+    help text identical across ``experiments``, ``simulate``, ``serve``,
+    ``fleet``, ``attack``, and ``verify``.  The data-plane flags
+    (``--workers``, ``--cache``, ``--tier``, ``--mmap``, ``--no-shm``,
+    ``--cache-dir``) come from :mod:`repro.data.plane`, so every
+    subcommand documents them identically and a handler turns them into
+    one :class:`~repro.data.plane.DataPlaneConfig`.  ``--seed`` defaults
+    to ``None`` so each handler can keep its historical fallback (0 for
+    simulate, 11 for attack, the scale preset for experiments).
     """
+    from repro.data.plane import add_data_plane_arguments
+
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="process-pool size where the subcommand parallelizes "
-        "(default: all cores; ignored otherwise)",
-    )
-    common.add_argument(
-        "--cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="reuse content-addressed stage artifacts where the subcommand "
-        "caches (bit-identical results; ignored otherwise)",
-    )
+    add_data_plane_arguments(common)
     common.add_argument(
         "--seed",
         type=int,
@@ -115,11 +109,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("ids", nargs="+", help="experiment ids or 'all'")
     p_exp.add_argument("--scale", default="small", choices=["small", "medium", "full"])
-    p_exp.add_argument(
-        "--no-shm",
-        action="store_true",
-        help="ship worker payloads by pickle instead of shared memory",
-    )
 
     p_bench = sub.add_parser(
         "bench",
@@ -201,6 +190,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a BENCH payload (for 'repro bench --compare') to PATH",
     )
 
+    p_flt = sub.add_parser(
+        "fleet",
+        help="run the serve workload under deterministic fault injection "
+        "(see docs/fleet.md)",
+        parents=[common],
+    )
+    flt_sub = p_flt.add_subparsers(dest="fleet_command", required=True)
+    p_flt_run = flt_sub.add_parser(
+        "run",
+        help="run one scenario (a built-in name or a YAML/JSON file) "
+        "against the seeded serve workload",
+        parents=[common],
+    )
+    p_flt_run.add_argument(
+        "scenario",
+        help="built-in scenario name (churn10, churn25, lossy-crash) or a "
+        "scenario file path",
+    )
+    p_flt_run.add_argument(
+        "--shards", type=int, default=2, help="actor shards (worker processes)"
+    )
+    p_flt_run.add_argument("--users", type=int, default=50)
+    p_flt_run.add_argument("--campaigns", type=int, default=200)
+    p_flt_run.add_argument(
+        "--duration-events",
+        type=int,
+        default=2_000,
+        metavar="N",
+        help="workload size in events",
+    )
+    p_flt_run.add_argument(
+        "--live",
+        action="store_true",
+        help="wall-clock mode (fleet runs replay by default: virtual "
+        "clock, bit-identical digests at any shard count)",
+    )
+    p_flt_run.add_argument(
+        "--qps",
+        type=float,
+        default=0.0,
+        help="live-mode producer pacing in events/s (0 = unpaced)",
+    )
+    p_flt_run.add_argument(
+        "--inline",
+        action="store_true",
+        help="run shards inline instead of in worker processes",
+    )
+    p_flt_run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="mirror actor crash snapshots to JSON files under DIR",
+    )
+    p_flt_run.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the no-fault baseline and print the SLO deltas",
+    )
+    p_flt_run.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write a BENCH_fleet payload (needs --baseline) to PATH",
+    )
+
     p_atk = sub.add_parser(
         "attack", help="case-study de-obfuscation attack", parents=[common]
     )
@@ -238,15 +292,27 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.data.plane import DataPlaneConfig
     from repro.experiments.runner import main as runner_main
 
+    try:
+        plane = DataPlaneConfig.from_args(args)
+    except ValueError as exc:
+        print(f"repro experiments: error: {exc}", file=sys.stderr)
+        return 2
     argv = list(args.ids) + ["--scale", args.scale]
-    if args.workers is not None:
-        argv += ["--workers", str(args.workers)]
-    if args.cache:
+    if plane.workers is not None:
+        argv += ["--workers", str(plane.workers)]
+    if plane.cache:
         argv += ["--cache"]
-    if args.no_shm:
+    if plane.tier is not None:
+        argv += ["--tier", plane.tier]
+    if plane.mmap:
+        argv += ["--mmap"]
+    if not plane.shm:
         argv += ["--no-shm"]
+    if plane.cache_dir is not None:
+        argv += ["--cache-dir", str(plane.cache_dir)]
     if args.seed is not None:
         argv += ["--seed", str(args.seed)]
     if args.trace is not None:
@@ -304,8 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.render import render_prometheus
-    from repro.serve import ServeConfig, ServeService, ServeWorkloadConfig
-    from repro.serve.harness import bench_payload, slo_report
+    from repro.serve.harness import bench_payload, run_service
 
     seed = args.seed if args.seed is not None else 0
     qps = args.qps
@@ -315,33 +380,94 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_events = max(1, int(qps * args.duration))
     else:
         n_events = args.duration_events
-    workload = ServeWorkloadConfig(
-        n_users=args.users,
-        n_events=n_events,
-        n_campaigns=args.campaigns,
-        seed=seed,
-    )
-    config = ServeConfig(
-        workload=workload,
-        n_shards=args.shards,
-        queue_capacity=args.queue_capacity,
-        batch_max=args.batch_max,
-        qps=0.0 if args.replay else qps,
-        replay=args.replay,
-        use_processes=not args.inline,
-    )
     with _maybe_trace(args.trace):
-        result = ServeService(config).run()
-    print(json.dumps(slo_report(result), indent=2, sort_keys=True))
+        report = run_service(
+            n_users=args.users,
+            n_events=n_events,
+            n_campaigns=args.campaigns,
+            seed=seed,
+            n_shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            batch_max=args.batch_max,
+            qps=0.0 if args.replay else qps,
+            replay=args.replay,
+            use_processes=not args.inline,
+        )
+    print(json.dumps(report.slo, indent=2, sort_keys=True))
     if args.prom_file is not None:
         with open(args.prom_file, "w", encoding="utf-8") as fh:
-            fh.write(render_prometheus(result.metrics))
+            fh.write(render_prometheus(report.metrics))
             fh.write("\n")
     if args.bench_json is not None:
         with open(args.bench_json, "w", encoding="utf-8") as fh:
-            json.dump(bench_payload(result, config), fh, indent=2, sort_keys=True)
+            json.dump(
+                bench_payload(report.result, report.config),
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
             fh.write("\n")
     return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.data.plane import DataPlaneConfig
+    from repro.fleet import bench_fleet_payload, run_fleet
+
+    try:
+        plane = DataPlaneConfig.from_args(args)
+    except ValueError as exc:
+        print(f"repro fleet: error: {exc}", file=sys.stderr)
+        return 2
+    plane.apply()
+    if args.bench_json is not None and not args.baseline:
+        print(
+            "repro fleet: error: --bench-json needs --baseline "
+            "(the payload pins churn SLOs against the no-fault run)",
+            file=sys.stderr,
+        )
+        return 2
+    seed = args.seed if args.seed is not None else 0
+    kwargs = dict(
+        n_users=args.users,
+        n_events=args.duration_events,
+        n_campaigns=args.campaigns,
+        seed=seed,
+        n_shards=args.shards,
+        replay=not args.live,
+        use_processes=not args.inline,
+        qps=args.qps if args.live else 0.0,
+    )
+    with _maybe_trace(args.trace):
+        try:
+            report = run_fleet(
+                args.scenario, checkpoint_dir=args.checkpoint_dir, **kwargs
+            )
+        except ValueError as exc:
+            print(f"repro fleet: error: {exc}", file=sys.stderr)
+            return 2
+        payload = report.to_dict()
+        if args.baseline:
+            baseline = run_fleet(None, **kwargs)
+            payload["baseline"] = {
+                "qps_achieved": baseline.slo["qps_achieved"],
+                "pin_p99_s": baseline.slo["pin_p99_s"],
+                "response_digest": baseline.digest,
+                "processed": baseline.processed,
+            }
+            if args.bench_json is not None:
+                with open(args.bench_json, "w", encoding="utf-8") as fh:
+                    json.dump(
+                        bench_fleet_payload(report, baseline),
+                        fh,
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    fh.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if report.audit.ok else 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -353,7 +479,7 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     )
     from repro.datagen import make_fig4_user, one_time_obfuscate
     from repro.datagen.shanghai import STUDY_START_TS
-    from repro.profiles import SECONDS_PER_DAY, filter_window
+    from repro.profiles import SECONDS_PER_DAY, checkins_to_array, filter_window
 
     seed = args.seed if args.seed is not None else 11
     with _maybe_trace(args.trace):
@@ -377,8 +503,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             window = filter_window(
                 observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
             )
-            guess = attack.infer_top1(window)
-            err = guess.distance_to(user.true_tops[0]) if guess else float("inf")
+            tops = (
+                attack.estimate_xy(checkins_to_array(window), 1) if window else []
+            )
+            err = (
+                tops[0].distance_to(user.true_tops[0]) if tops else float("inf")
+            )
             print(f"  {label:>9}: home recovered to {err:7.1f} m ({len(window)} obs)")
     return 0
 
@@ -436,6 +566,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "simulate": _cmd_simulate,
     "serve": _cmd_serve,
+    "fleet": _cmd_fleet,
     "attack": _cmd_attack,
     "verify": _cmd_verify,
     "lint": _cmd_lint,

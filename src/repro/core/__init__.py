@@ -5,6 +5,7 @@ from repro.core.accounting import (
     SigmaComparison,
     composition_vs_sufficient_statistic,
 )
+from repro.core.attacker import Attacker, AttackerBase
 from repro.core.baselines import NaivePostProcessingMechanism, PlainCompositionMechanism
 from repro.core.calibration import (
     gaussian_sigma_composition,
@@ -40,6 +41,8 @@ from repro.core.verification import (
 
 __all__ = [
     "LPPM",
+    "Attacker",
+    "AttackerBase",
     "Mechanism",
     "default_rng",
     "GeoIndBudget",

@@ -77,6 +77,22 @@ class LongitudinalExposureAccountant:
         """Forget all recorded observations."""
         self.epsilons.clear()
 
+    def to_state(self) -> List[float]:
+        """The accountant's state (the observation list) as primitives."""
+        return [float(e) for e in self.epsilons]
+
+    @classmethod
+    def from_state(cls, state: List[float]) -> "LongitudinalExposureAccountant":
+        """Rebuild an accountant from :meth:`to_state` output.
+
+        Like :meth:`PrivacyLedger.from_state <repro.core.ledger.PrivacyLedger.from_state>`,
+        restoration bypasses :meth:`observe` so the longitudinal gauges are
+        not re-emitted for exposure that was already metered.
+        """
+        accountant = cls()
+        accountant.epsilons.extend(float(e) for e in state)
+        return accountant
+
 
 @dataclass(frozen=True)
 class SigmaComparison:

@@ -13,7 +13,7 @@ and the edge must fall back to coarser protection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.params import GeoIndBudget
 from repro.obs.trace import enabled as _obs_enabled
@@ -101,6 +101,52 @@ class PrivacyLedger:
             registry.gauge("privacy.delta_spent").add(budget.delta)
             registry.counter("privacy.ledger_spends").inc()
         return entry
+
+    def to_state(self) -> Dict[str, Any]:
+        """The ledger's full state as JSON-able primitives.
+
+        The state is a *record*, not a transcript: restoring it via
+        :meth:`from_state` reconstructs the entries directly and never
+        replays :meth:`spend`, so a checkpoint/restore round trip adds
+        nothing to the ``privacy.epsilon_spent``/``delta_spent`` gauges —
+        a restored ledger must not double-charge the observability audit.
+        """
+        return {
+            "max_epsilon": self.max_epsilon,
+            "max_delta": self.max_delta,
+            "entries": [
+                [
+                    e.budget.r,
+                    e.budget.epsilon,
+                    e.budget.delta,
+                    e.budget.n,
+                    e.label,
+                    e.timestamp,
+                ]
+                for e in self.entries
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "PrivacyLedger":
+        """Rebuild a ledger from :meth:`to_state` output (no gauge emission)."""
+        ledger = cls(
+            max_epsilon=state.get("max_epsilon"),
+            max_delta=state.get("max_delta"),
+        )
+        for r, epsilon, delta, n, label, timestamp in state.get("entries", []):
+            # Append directly: these spends were already charged (and
+            # metered) when they first happened.
+            ledger.entries.append(
+                LedgerEntry(
+                    budget=GeoIndBudget(
+                        r=float(r), epsilon=float(epsilon), delta=float(delta), n=int(n)
+                    ),
+                    label=str(label),
+                    timestamp=float(timestamp),
+                )
+            )
+        return ledger
 
     def remaining_epsilon(self) -> float:
         """Epsilon headroom (infinite when uncapped)."""

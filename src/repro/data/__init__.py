@@ -15,7 +15,10 @@ counterparts:
   stages (population generation, coordinate pools, candidate tables);
 * :mod:`repro.data.mmapstore` — the out-of-core sibling of the cache:
   ``.npy`` bundles opened with ``np.memmap`` so million-user tiers load
-  as lazily paged file-backed arrays instead of heap copies.
+  as lazily paged file-backed arrays instead of heap copies;
+* :mod:`repro.data.plane` — :class:`~repro.data.plane.DataPlaneConfig`,
+  the one frozen config (and shared argparse flags) for the
+  workers/cache/tier/mmap/shm knobs every CLI driver used to re-plumb.
 
 Everything here preserves bit-identical results: the columns hold exactly
 the values the object path produced, and cached stage outputs are only
@@ -25,6 +28,7 @@ reused for configs whose outputs are deterministic functions of the key.
 from repro.data.cache import DEFAULT_CACHE_DIR, StageCache, stage_key
 from repro.data.columns import CheckInColumns, PopulationColumns
 from repro.data.mmapstore import MmapStore, release_pages
+from repro.data.plane import DataPlaneConfig, add_data_plane_arguments
 from repro.data.stages import (
     CANDIDATE_TABLE_STAGE_VERSION,
     POPULATION_STAGE_VERSION,
@@ -35,7 +39,9 @@ from repro.data.stages import (
 
 __all__ = [
     "CheckInColumns",
+    "DataPlaneConfig",
     "PopulationColumns",
+    "add_data_plane_arguments",
     "MmapStore",
     "release_pages",
     "StageCache",

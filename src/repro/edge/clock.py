@@ -124,3 +124,22 @@ class VirtualTimeSource(TimeSource):
         if ticks < 0:
             raise ValueError("cannot advance by a negative duration")
         self._ticks += int(ticks)
+
+    @property
+    def ticks(self) -> int:
+        """The integer reading count (the source's whole durable state)."""
+        return self._ticks
+
+    def seek(self, ticks: int) -> None:
+        """Restore the reading count from a checkpoint (monotonic only).
+
+        Used by shard checkpoint/restore: a shard rebuilt from a
+        checkpoint must resume its virtual timeline exactly where the
+        original left off, or every later latency reading — and hence the
+        replay metrics digest — would shift.
+        """
+        if ticks < self._ticks:
+            raise ValueError(
+                f"virtual time cannot move backwards: {ticks} < {self._ticks}"
+            )
+        self._ticks = int(ticks)

@@ -194,3 +194,50 @@ class EdgeDevice:
         tops = state.management.flush()
         if tops:
             self._maybe_pin(state, tops)
+
+    def snapshot_user(self, user_id: str) -> Optional[Dict[str, object]]:
+        """One user's durable edge state as JSON-able primitives.
+
+        Captures everything that must survive a device handoff: the open
+        profile window, the permanent obfuscation table, the privacy
+        ledger, and the module counters.  The device-shared mechanisms and
+        their RNG are deliberately *not* per-user state — a user restored
+        onto another device draws from that device's streams (the serve
+        layer's :class:`~repro.serve.actor.UserActor`, which owns a
+        private RNG, snapshots it too).  Returns ``None`` for a user this
+        device has never served.
+        """
+        state = self._users.get(user_id)
+        if state is None:
+            return None
+        ledger = state.obfuscation.ledger
+        return {
+            "user_id": user_id,
+            "management": state.management.snapshot(),
+            "obfuscation": state.obfuscation.snapshot(),
+            "ledger": None if ledger is None else ledger.to_state(),
+            "selection_count": state.selection.selection_count,
+            "protect": state.protect,
+        }
+
+    def restore_user(self, user_id: str, snapshot: Dict[str, object]) -> None:
+        """Adopt a user from :meth:`snapshot_user` output (handoff target).
+
+        The restored modules are wired to *this* device's shared
+        mechanisms; the snapshot supplies only the durable per-user state.
+        Restoring never replays ledger spends, so budget gauges are not
+        double-charged (see :meth:`PrivacyLedger.from_state
+        <repro.core.ledger.PrivacyLedger.from_state>`).
+        """
+        state = self.state_for(user_id)
+        state.management.restore(snapshot["management"])  # type: ignore[arg-type]
+        state.obfuscation.restore(snapshot["obfuscation"])  # type: ignore[arg-type]
+        ledger_state = snapshot.get("ledger")
+        if ledger_state is not None:
+            state.obfuscation.ledger = PrivacyLedger.from_state(
+                ledger_state  # type: ignore[arg-type]
+            )
+        state.selection.selection_count = int(
+            snapshot.get("selection_count", 0)  # type: ignore[arg-type]
+        )
+        state.protect = bool(snapshot.get("protect", True))

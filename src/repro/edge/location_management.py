@@ -8,8 +8,7 @@ must (permanently) obfuscate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.geo.point import Point
 from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
@@ -81,6 +80,38 @@ class LocationManagementModule:
         self._top_locations = eta_frequent_set(profile, self.eta)
         self.top_history.append(list(self._top_locations))
         return list(self._top_locations)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Durable per-user profile state as JSON-able primitives.
+
+        Carries the open profile window (buffered check-ins) and the
+        current eta-frequent set with its history.  The per-window
+        :class:`LocationProfile` itself is *not* serialized — it is a
+        derived artifact, recomputed at the next window rollover — so a
+        restored module reports ``profile is None`` until then.
+        """
+        return {
+            "eta": self.eta,
+            "builder": self._builder.snapshot(),
+            "top_locations": [[p.x, p.y] for p in self._top_locations],
+            "windows_closed": self.windows_closed,
+            "top_history": [
+                [[p.x, p.y] for p in tops] for tops in self.top_history
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reload profile state from :meth:`snapshot` output."""
+        self._builder.restore(state["builder"])
+        self._profile = None
+        self._top_locations = [
+            Point(float(x), float(y)) for x, y in state.get("top_locations", [])
+        ]
+        self.windows_closed = int(state.get("windows_closed", 0))
+        self.top_history = [
+            [Point(float(x), float(y)) for x, y in tops]
+            for tops in state.get("top_history", [])
+        ]
 
     def is_top_location(self, location: Point, match_radius: float) -> bool:
         """Is ``location`` within ``match_radius`` of a current top location?"""

@@ -10,8 +10,7 @@ and degrade the budget by composition.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.ledger import PrivacyLedger
 from repro.core.mechanism import LPPM
@@ -68,6 +67,28 @@ class ObfuscationTable:
     def entries(self) -> List[Tuple[Point, List[Point]]]:
         """Pinned (true location, candidate set) pairs."""
         return [(loc, list(cands)) for loc, cands in self._entries]
+
+    def snapshot(self) -> List[Any]:
+        """The pinned entries as JSON-able coordinate pairs, in pin order."""
+        return [
+            [[loc.x, loc.y], [[c.x, c.y] for c in cands]]
+            for loc, cands in self._entries
+        ]
+
+    def restore(self, state: List[Any]) -> None:
+        """Reload pinned entries from :meth:`snapshot` output.
+
+        Restoration bypasses :meth:`pin`'s duplicate check (the entries
+        were validated when first pinned) but preserves pin order, which
+        :meth:`lookup` ties break on.
+        """
+        self._entries = [
+            (
+                Point(float(loc[0]), float(loc[1])),
+                [Point(float(x), float(y)) for x, y in cands],
+            )
+            for loc, cands in state
+        ]
 
 
 class ObfuscationModule:
@@ -141,3 +162,22 @@ class ObfuscationModule:
     def candidates_for(self, location: Point) -> Optional[List[Point]]:
         """The pinned candidates covering ``location``, if it is a known top."""
         return self.table.lookup(location)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The module's durable state (table + counters) as primitives.
+
+        The mechanism and ledger are *not* captured here — they are wired
+        in by whoever owns the module (the serve actor snapshots the
+        ledger itself, next to the RNG state the mechanism draws from).
+        """
+        return {
+            "table": self.table.snapshot(),
+            "obfuscation_count": self.obfuscation_count,
+            "skipped_by_ledger": self.skipped_by_ledger,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reload table and counters from :meth:`snapshot` output."""
+        self.table.restore(state["table"])
+        self.obfuscation_count = int(state.get("obfuscation_count", 0))
+        self.skipped_by_ledger = int(state.get("skipped_by_ledger", 0))

@@ -35,8 +35,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.data.cache import DEFAULT_CACHE_DIR, StageCache
-from repro.data.tiers import TIERS
+from repro.data.cache import StageCache
+from repro.data.plane import DataPlaneConfig, add_data_plane_arguments
 from repro.experiments import (
     fig6_attack,
     fig7_mechanisms,
@@ -476,21 +476,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="small", help="experiment scale"
     )
-    parser.add_argument("--workers", type=int, default=1, metavar="N")
-    parser.add_argument(
-        "--tier",
-        choices=sorted(TIERS),
-        default=None,
-        help="named dataset tier for the table2 workload "
-        "(small/city/metro-100k/metro-1M)",
-    )
-    parser.add_argument(
-        "--mmap",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="serve the tier out of core: memmap-backed columns shipped "
-        "to workers by path+offset (--no-mmap restores the heap path)",
-    )
+    # Benches always cache (cold-then-warm is the point), default to one
+    # worker for stable timings.
+    add_data_plane_arguments(parser, default_workers=1, default_cache=True)
     parser.add_argument(
         "--mode",
         choices=("kernel", "loop"),
@@ -508,12 +496,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="collect repro.obs span timings into the archives",
     )
     parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help=f"stage-cache directory (default: {DEFAULT_CACHE_DIR})",
-    )
-    parser.add_argument(
         "--results-dir",
         type=Path,
         default=Path("benchmarks") / "results",
@@ -525,10 +507,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args.compare[0], args.compare[1], args.threshold)
     if args.target is None:
         parser.error("give an experiment/shm target or --compare OLD NEW")
+    try:
+        plane = DataPlaneConfig.from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not plane.cache:
+        parser.error("benches measure the stage cache; --no-cache is meaningless")
+    plane.apply()
 
     if args.target == "shm":
         result = run_shm_bench(
-            workers=max(args.workers, 2), results_dir=args.results_dir
+            workers=max(plane.workers or 1, 2), results_dir=args.results_dir
         )
         shm, pkl = result["shm"], result["pickle"]
         print(
@@ -544,12 +533,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     cold, warm = run_cold_warm(
         args.target,
         SCALES[args.scale],
-        workers=args.workers,
-        cache_dir=args.cache_dir,
+        workers=plane.workers,
+        cache_dir=plane.cache_dir,
         results_dir=args.results_dir,
-        tier=args.tier,
+        tier=plane.tier,
         mode=args.mode,
-        mmap=args.mmap,
+        mmap=plane.mmap,
         with_digest=args.digest,
         with_spans=args.trace,
     )

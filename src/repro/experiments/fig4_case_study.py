@@ -21,7 +21,7 @@ from repro.datagen.obfuscate import one_time_obfuscate
 from repro.datagen.shanghai import STUDY_START_TS
 from repro.experiments.config import PAPER_ONETIME_RADIUS_M
 from repro.experiments.tables import ExperimentReport
-from repro.profiles.checkin import SECONDS_PER_DAY, filter_window
+from repro.profiles.checkin import SECONDS_PER_DAY, checkins_to_array, filter_window
 
 __all__ = ["run"]
 
@@ -45,11 +45,11 @@ def run(level: float = math.log(2), seed: int = 11) -> ExperimentReport:
         window = filter_window(
             observed, STUDY_START_TS, STUDY_START_TS + days * SECONDS_PER_DAY
         )
-        inferred = attack.infer_top1(window)
+        tops = (
+            attack.estimate_xy(checkins_to_array(window), 1) if window else []
+        )
         error = (
-            inferred.distance_to(user.true_tops[0])
-            if inferred is not None
-            else float("inf")
+            tops[0].distance_to(user.true_tops[0]) if tops else float("inf")
         )
         rows.append(
             {

@@ -110,8 +110,8 @@ def _attack_one_time_chunk(
         out = []
         for j in range(len(indices)):
             obs_xy = reported[coffsets[j]:coffsets[j + 1]]
-            inferred = attack.infer_top_locations(obs_xy, 2)
-            out.append([(r.location.x, r.location.y) for r in inferred])
+            inferred = attack.estimate_xy(obs_xy, 2)
+            out.append([(p.x, p.y) for p in inferred])
     # File-backed columns: hand this window's pages back so worker RSS
     # stays one window deep (no-op for heap columns).
     release_pages(ck.xs, ck.ys, ck.offsets)
@@ -156,10 +156,10 @@ def _attack_defended_chunk(
     with _obs_span("fig6.attack", deployment="defended", users=len(indices)):
         out = []
         for j in range(len(indices)):
-            inferred = attack.infer_top_locations(
+            inferred = attack.estimate_xy(
                 reported[coffsets[j]:coffsets[j + 1]], 2
             )
-            out.append([(r.location.x, r.location.y) for r in inferred])
+            out.append([(p.x, p.y) for p in inferred])
     release_pages(ck.xs, ck.ys, ck.offsets)
     return out
 

@@ -24,7 +24,7 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
-from repro.data.cache import StageCache
+from repro.data.plane import DataPlaneConfig, add_data_plane_arguments
 from repro.experiments import (
     ext_adaptive,
     fig2_mobility,
@@ -38,10 +38,8 @@ from repro.experiments import (
     table2_obfuscation_time,
     table3_selection_time,
 )
-from repro.data.tiers import TIERS
 from repro.experiments.config import FULL, MEDIUM, SMALL, ExperimentScale
 from repro.experiments.tables import ExperimentReport
-from repro.parallel import set_shared_memory_enabled
 
 __all__ = ["main", "EXPERIMENTS", "WORKER_AWARE", "CACHE_AWARE", "TIER_AWARE"]
 
@@ -100,43 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also draw ASCII charts for experiments with curve series",
     )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="process-pool size for parallelizable experiments "
-        "(default: all cores; results are identical for any N)",
-    )
-    parser.add_argument(
-        "--cache",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="reuse content-addressed stage artifacts under "
-        "benchmarks/results/cache (rows are bit-identical either way; "
-        "default: --no-cache)",
-    )
-    parser.add_argument(
-        "--tier",
-        choices=sorted(TIERS),
-        default=None,
-        help="named dataset tier for the tier-aware experiments "
-        f"({', '.join(sorted(TIER_AWARE))}); overrides the scale's "
-        "population settings",
-    )
-    parser.add_argument(
-        "--mmap",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="serve the tier out of core (memmap-backed columns shipped "
-        "to workers by path+offset); needs --tier and --cache",
-    )
-    parser.add_argument(
-        "--no-shm",
-        action="store_true",
-        help="ship worker payloads by pickle instead of shared memory "
-        "(results are identical; debugging aid)",
-    )
+    add_data_plane_arguments(parser)
     parser.add_argument(
         "--seed",
         type=int,
@@ -153,30 +115,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.workers is not None and args.workers < 0:
-        parser.error(f"--workers must be >= 0, got {args.workers}")
+    try:
+        plane = DataPlaneConfig.from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
     requested = (
         list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
     unknown = [e for e in requested if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    if args.tier is not None:
+    if plane.tier is not None:
         not_tiered = [e for e in requested if e not in TIER_AWARE]
         if not_tiered:
             parser.error(
                 f"--tier only applies to {', '.join(sorted(TIER_AWARE))}; "
                 f"got: {', '.join(not_tiered)}"
             )
-    if args.mmap:
-        if args.tier is None:
-            parser.error("--mmap needs a --tier (only tiers are mmap-served)")
-        if not args.cache:
-            parser.error("--mmap needs --cache (bundles live beside the stage cache)")
 
-    if args.no_shm:
-        set_shared_memory_enabled(False)
-    cache = StageCache() if args.cache else None
+    plane.apply()
+    cache = plane.stage_cache()
     scale = SCALES[args.scale]
     if args.seed is not None:
         scale = dataclasses.replace(scale, seed=args.seed)
@@ -186,12 +144,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in requested:
             kwargs: Dict[str, object] = {}
             if exp_id in WORKER_AWARE:
-                kwargs["workers"] = args.workers
+                kwargs["workers"] = plane.workers
             if exp_id in CACHE_AWARE and cache is not None:
                 kwargs["cache"] = cache
-            if exp_id in TIER_AWARE and args.tier is not None:
-                kwargs["tier"] = args.tier
-                kwargs["mmap"] = args.mmap
+            if exp_id in TIER_AWARE and plane.tier is not None:
+                kwargs["tier"] = plane.tier
+                kwargs["mmap"] = plane.mmap
             with obs.span("experiment", id=exp_id, scale=scale.name):
                 report = EXPERIMENTS[exp_id](scale, **kwargs)
             print(report.render())

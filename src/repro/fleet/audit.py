@@ -1,0 +1,103 @@
+"""Fleet-wide replicated privacy-ledger audit.
+
+Two independent accountings of the run's privacy spend must agree after
+any amount of churn:
+
+* the **gauges** (``privacy.epsilon_spent``/``privacy.delta_spent``),
+  accumulated event by event inside the shard workers and merged
+  parent-side in canonical order; and
+* the **audit sums**, folded from the raw per-event ledger charges the
+  shards shipped alongside their responses, through the *same* float
+  operation sequence.
+
+These two must be **bitwise equal** — crash, restore, and handoff all
+preserve the property because a restore never re-emits a gauge and a
+snapshot never drops a recorded charge.  The third accounting, the sum
+over the *surviving* per-actor ledgers, is allowed to fall short of the
+audit by exactly the budget that unpersisted crashes destroyed: that
+loss is surfaced on the ``ledger.lost_*`` gauges, and the conservation
+check here verifies ``surviving + lost ≈ audited`` (approximately —
+the three sums associate their floats differently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.obs.fleet import (
+    LEDGER_LOST_DELTA,
+    LEDGER_LOST_ENTRIES,
+    LEDGER_LOST_EPSILON,
+)
+
+if TYPE_CHECKING:
+    from repro.serve.service import ServeResult
+
+__all__ = ["FleetAudit", "audit_fleet"]
+
+#: Relative tolerance for the (re-associated) conservation sum.
+CONSERVATION_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class FleetAudit:
+    """The three-way budget reconciliation for one service run."""
+
+    #: Metered spend: the merged ``privacy.*_spent`` gauges.
+    gauge_epsilon: float
+    gauge_delta: float
+    #: Audited spend: ledger charges folded in gauge operation order.
+    audit_epsilon: float
+    audit_delta: float
+    #: Spend still on the books of actors alive at drain time.
+    surviving_epsilon: float
+    surviving_delta: float
+    #: Spend destroyed by unpersisted crashes (explicit, never silent).
+    lost_epsilon: float
+    lost_delta: float
+    lost_entries: int
+    #: The hard invariant: gauges equal the audit *bitwise*.
+    gauge_matches_audit: bool
+    #: surviving + lost ≈ audited (re-associated float sums).
+    conservation_ok: bool
+    conservation_residual_epsilon: float
+
+    @property
+    def ok(self) -> bool:
+        """Both checks passed."""
+        return self.gauge_matches_audit and self.conservation_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form for reports and the CLI."""
+        return asdict(self)
+
+
+def audit_fleet(result: "ServeResult") -> FleetAudit:
+    """Reconcile one run's gauges, audit sums, and surviving ledgers."""
+    gauges = result.metrics.get("gauges", {})
+    gauge_eps = float(gauges.get("privacy.epsilon_spent", 0.0))
+    gauge_delta = float(gauges.get("privacy.delta_spent", 0.0))
+    lost_eps = float(gauges.get(LEDGER_LOST_EPSILON, 0.0))
+    lost_delta = float(gauges.get(LEDGER_LOST_DELTA, 0.0))
+    counters = result.metrics.get("counters", {})
+    lost_entries = int(counters.get(LEDGER_LOST_ENTRIES, 0))
+    residual = (result.ledger_epsilon + lost_eps) - result.audit_epsilon
+    tolerance = CONSERVATION_REL_TOL * max(1.0, abs(result.audit_epsilon))
+    return FleetAudit(
+        gauge_epsilon=gauge_eps,
+        gauge_delta=gauge_delta,
+        audit_epsilon=result.audit_epsilon,
+        audit_delta=result.audit_delta,
+        surviving_epsilon=result.ledger_epsilon,
+        surviving_delta=result.ledger_delta,
+        lost_epsilon=lost_eps,
+        lost_delta=lost_delta,
+        lost_entries=lost_entries,
+        gauge_matches_audit=(
+            gauge_eps == result.audit_epsilon
+            and gauge_delta == result.audit_delta
+        ),
+        conservation_ok=abs(residual) <= tolerance,
+        conservation_residual_epsilon=residual,
+    )

@@ -1,0 +1,91 @@
+"""The per-shard checkpoint store backing crash/restart/handoff.
+
+A :class:`CheckpointStore` holds the durable snapshots of crashed or
+roaming user actors — profile windows, obfuscation tables, privacy
+ledgers, RNG streams — keyed by ``user_index``.  It is in-memory by
+default; given a directory it also mirrors every entry to a JSON file,
+which is what ``repro fleet run --checkpoint-dir`` uses to leave an
+inspectable trail of what survived each fault.
+
+Privacy note: a snapshot contains the user's *true* buffered check-ins
+(the open profile window), so the store is a sensitive sink and is
+registered with the flow linter's policy
+(:mod:`repro.analysis.dataflow.policy`) — writes here are audited, not
+incidental.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Keyed snapshot storage with optional on-disk mirroring."""
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._entries: Dict[int, Dict[str, Any]] = {}
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        #: Lifetime put() count (round trips, for tests and reports).
+        self.puts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, user_index: int) -> bool:
+        return user_index in self._entries
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._entries))
+
+    def _path(self, user_index: int) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"seat-{user_index:06d}.json")
+
+    def put(self, user_index: int, snapshot: Dict[str, Any]) -> None:
+        """Persist one actor snapshot (overwrites any previous one)."""
+        self._entries[user_index] = snapshot
+        self.puts += 1
+        if self.directory is not None:
+            with open(self._path(user_index), "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh)
+
+    def get(self, user_index: int) -> Optional[Dict[str, Any]]:
+        """The stored snapshot, or None."""
+        return self._entries.get(user_index)
+
+    def pop(self, user_index: int) -> Optional[Dict[str, Any]]:
+        """Remove and return the stored snapshot, or None.
+
+        Restores *pop* rather than read: a consumed checkpoint must not
+        be restorable twice, or a later drain would double-finalize the
+        user.
+        """
+        snapshot = self._entries.pop(user_index, None)
+        if snapshot is not None and self.directory is not None:
+            try:
+                os.remove(self._path(user_index))
+            except FileNotFoundError:
+                pass
+        return snapshot
+
+    def discard(self, user_index: int) -> bool:
+        """Destroy the stored snapshot (lossy crash); True if one existed."""
+        return self.pop(user_index) is not None
+
+    def keys(self) -> Iterator[int]:
+        """Stored user indexes, ascending."""
+        return iter(sorted(self._entries))
+
+    def contents(self) -> Dict[int, Dict[str, Any]]:
+        """A shallow copy of every entry (for shard checkpointing)."""
+        return dict(self._entries)
+
+    def restore_contents(self, entries: Dict[int, Dict[str, Any]]) -> None:
+        """Replace the store's entries (shard restore path)."""
+        self._entries = {int(k): v for k, v in entries.items()}

@@ -1,0 +1,414 @@
+"""The per-shard fleet runtime: scenario events applied deterministically.
+
+The runtime compiles a :class:`~repro.fleet.scenario.Scenario` into one
+*personal timeline* per user: a list of (``at``, action) entries produced
+by walking the scenario's device-level events in stable ``(at,
+position)`` order while tracking which users live on which device and
+each device's health.  At serve time, a user's pending entries are
+applied lazily — inside the user's own next event (or their finalize
+slot), within that event's metrics-collection window — so every fault's
+side effects (snapshot round trips, lost-budget gauges, recovery
+histograms) land at a position on the global timeline that is a pure
+function of the scenario and the workload, never of the shard count.
+That lazy application is what keeps the replayed metrics digest
+bit-identical across ``--shards 1/2/4`` while faults are firing.
+
+The runtime is deliberately collaborator-agnostic: the shard hands it
+the actor table and a revive callback, so this module never imports the
+serve orchestration (only the actor type, for annotations).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.edge.clock import TimeSource, VirtualTimeSource
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.scenario import (
+    DeviceCrash,
+    DeviceRestart,
+    Scenario,
+    SlowShard,
+    UserHandoff,
+    device_of,
+)
+from repro.obs import trace
+from repro.obs.fleet import (
+    FLEET_CRASHES,
+    FLEET_CRASHES_LOSSY,
+    FLEET_DRAIN_RESTORES,
+    FLEET_FRESH_STARTS,
+    FLEET_HANDOFFS,
+    FLEET_RECOVERY_SECONDS,
+    FLEET_RESTORES,
+    FLEET_SLOW_EVENTS,
+    FLEET_UNSERVED,
+    LEDGER_LOST_DELTA,
+    LEDGER_LOST_ENTRIES,
+    LEDGER_LOST_EPSILON,
+)
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+
+if TYPE_CHECKING:
+    from repro.serve.actor import UserActor
+
+__all__ = ["EventDisposition", "FleetShardRuntime"]
+
+#: Rebuild an actor from a snapshot (the shard supplies construction
+#: context: edge config, time source, ledger cap).
+ReviveFn = Callable[[Dict[str, Any]], "UserActor"]
+
+_END_OF_TIME = sys.maxsize
+
+
+@dataclass(frozen=True)
+class EventDisposition:
+    """What the fleet decided about one schedule event."""
+
+    #: False means the user's device is down: skip the event entirely
+    #: (no response, no charge) and count it as unserved.
+    served: bool
+    #: Slow-device latency injected before serving (0.0 when healthy).
+    latency_s: float = 0.0
+
+
+@dataclass
+class _Entry:
+    """One compiled personal-timeline entry for one user."""
+
+    at: int
+    kind: str  # "crash" | "restart" | "handoff" | "slow"
+    persist: bool = True
+    #: Handoff: health inherited from the target device at that instant.
+    down: bool = False
+    latency_s: Optional[float] = None
+
+
+@dataclass
+class _Seat:
+    """One user's fleet-side state (beside, not inside, the actor)."""
+
+    cursor: int = 0
+    down: bool = False
+    latency_s: Optional[float] = None
+    #: Bumped whenever the seat's durable state is destroyed; actors
+    #: created at epoch > 0 reseed with an epoch-suffixed spawn key.
+    epoch: int = 0
+
+
+def _compile(
+    scenario: Scenario, user_ids: Sequence[str]
+) -> Dict[int, List[_Entry]]:
+    """Walk the scenario once, emitting each user's personal timeline."""
+    n_devices = scenario.n_devices
+    index_of = {uid: i for i, uid in enumerate(user_ids)}
+    membership = {
+        i: device_of(uid, n_devices) for i, uid in enumerate(user_ids)
+    }
+    users_on: Dict[int, Set[int]] = {d: set() for d in range(n_devices)}
+    for i, device in membership.items():
+        users_on[device].add(i)
+    # (down, slow latency) per device, tracked through the walk so
+    # handoff entries can inherit the exact target health.
+    status: Dict[int, List[object]] = {
+        d: [False, None] for d in range(n_devices)
+    }
+    entries: Dict[int, List[_Entry]] = {i: [] for i in range(len(user_ids))}
+
+    for event in scenario.shard_events():
+        if isinstance(event, DeviceCrash):
+            for i in sorted(users_on[event.device]):
+                entries[i].append(
+                    _Entry(at=event.at, kind="crash", persist=event.persist_tables)
+                )
+            status[event.device][0] = True
+            status[event.device][1] = None
+        elif isinstance(event, DeviceRestart):
+            for i in sorted(users_on[event.device]):
+                entries[i].append(_Entry(at=event.at, kind="restart"))
+            status[event.device][0] = False
+            status[event.device][1] = None
+        elif isinstance(event, SlowShard):
+            for i in sorted(users_on[event.device]):
+                entries[i].append(
+                    _Entry(at=event.at, kind="slow", latency_s=event.latency_s)
+                )
+            status[event.device][1] = event.latency_s
+        elif isinstance(event, UserHandoff):
+            i = index_of.get(event.user)
+            if i is None:
+                raise ValueError(
+                    f"scenario hands off unknown user {event.user!r}"
+                )
+            old = membership[i]
+            if event.from_device is not None and event.from_device != old:
+                raise ValueError(
+                    f"handoff at={event.at}: user {event.user!r} is on "
+                    f"device {old}, not {event.from_device}"
+                )
+            users_on[old].discard(i)
+            users_on[event.to_device].add(i)
+            membership[i] = event.to_device
+            down, latency = status[event.to_device]
+            entries[i].append(
+                _Entry(
+                    at=event.at,
+                    kind="handoff",
+                    down=bool(down),
+                    latency_s=latency,  # type: ignore[arg-type]
+                )
+            )
+    return entries
+
+
+class FleetShardRuntime:
+    """Apply one scenario's device-level faults inside one shard.
+
+    Each shard builds its own runtime from the same scenario and the
+    same global user list; since a user's events and finalize slot
+    always live on exactly one shard, the store round trips and metric
+    emissions below happen exactly once per user, in the same global
+    order, at any shard count.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        user_ids: Sequence[str],
+        time_source: TimeSource,
+        checkpoint_dir: Optional[str] = None,
+        owned: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.user_ids = list(user_ids)
+        self.time_source = time_source
+        self.store = CheckpointStore(checkpoint_dir)
+        self._entries = _compile(scenario, self.user_ids)
+        self._seats = {i: _Seat() for i in range(len(self.user_ids))}
+        #: User indexes routed to this shard.  Timelines are compiled for
+        #: everyone (membership is global), but only owned seats are ever
+        #: applied or drained — otherwise every shard would re-apply every
+        #: fault at finalize and the fleet counters would scale with the
+        #: shard count.
+        self._owned: Optional[Set[int]] = (
+            None if owned is None else set(owned)
+        )
+
+    # -- serve-time hooks -------------------------------------------------
+
+    def before_event(
+        self,
+        seq: int,
+        user_index: int,
+        actors: Dict[int, "UserActor"],
+        revive: ReviveFn,
+    ) -> EventDisposition:
+        """Apply the user's pending faults, then rule on the event.
+
+        Must run inside the event's metrics-collection window: every
+        counter/gauge emitted here merges at this event's seq position.
+        """
+        seat = self._seats[user_index]
+        self._apply_until(seq, user_index, seat, actors, revive)
+        registry = trace.get_registry()
+        if seat.down:
+            registry.counter(FLEET_UNSERVED).inc()
+            return EventDisposition(served=False)
+        if seat.latency_s:
+            registry.counter(FLEET_SLOW_EVENTS).inc()
+            self._inject_latency(seat.latency_s)
+            return EventDisposition(served=True, latency_s=seat.latency_s)
+        return EventDisposition(served=True)
+
+    def spawn_epoch(self, user_index: int) -> int:
+        """The epoch a freshly created actor should reseed with."""
+        seat = self._seats.get(user_index)
+        if seat is None:
+            return 0
+        if seat.epoch > 0:
+            trace.get_registry().counter(FLEET_FRESH_STARTS).inc()
+        return seat.epoch
+
+    # -- drain-time hooks -------------------------------------------------
+
+    def finalize_seats(self, actors: Dict[int, "UserActor"]) -> List[int]:
+        """Every seat the drain must visit, in user-index order.
+
+        Live actors, parked snapshots, and seats with faults still
+        pending (e.g. a lossy crash scheduled past the user's last
+        event) all get a finalize slot, so no side effect is dropped.
+        """
+        pending = {
+            i
+            for i, entries in self._entries.items()
+            if self._seats[i].cursor < len(entries)
+            and (self._owned is None or i in self._owned)
+        }
+        return sorted(set(actors) | set(self.store.keys()) | pending)
+
+    def before_finalize(
+        self,
+        user_index: int,
+        actors: Dict[int, "UserActor"],
+        revive: ReviveFn,
+    ) -> None:
+        """Drain-time catch-up for one seat (inside its collect window).
+
+        Applies every remaining timeline entry, then revives a parked
+        snapshot so the user's trailing window is flushed and their
+        surviving ledger is counted.
+        """
+        seat = self._seats[user_index]
+        self._apply_until(_END_OF_TIME, user_index, seat, actors, revive)
+        if user_index not in actors:
+            state = self.store.pop(user_index)
+            if state is not None:
+                self._revive(user_index, state, actors, revive, FLEET_DRAIN_RESTORES)
+
+    # -- shard checkpoint (network partition support) ---------------------
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """The runtime's durable state, for shard checkpoint/restore."""
+        return {
+            "seats": {
+                str(i): [seat.cursor, seat.down, seat.latency_s, seat.epoch]
+                for i, seat in self._seats.items()
+            },
+            "store": {str(k): v for k, v in self.store.contents().items()},
+            "puts": self.store.puts,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt :meth:`checkpoint_state` output (same scenario/users)."""
+        seats = state["seats"]
+        assert isinstance(seats, dict)
+        for key, packed in seats.items():
+            cursor, down, latency, epoch = packed
+            seat = self._seats[int(key)]
+            seat.cursor = int(cursor)
+            seat.down = bool(down)
+            seat.latency_s = None if latency is None else float(latency)
+            seat.epoch = int(epoch)
+        contents = state["store"]
+        assert isinstance(contents, dict)
+        self.store.restore_contents(
+            {int(k): v for k, v in contents.items()}
+        )
+        self.store.puts = int(state.get("puts", 0))
+
+    # -- internals --------------------------------------------------------
+
+    def _apply_until(
+        self,
+        seq: int,
+        user_index: int,
+        seat: _Seat,
+        actors: Dict[int, "UserActor"],
+        revive: ReviveFn,
+    ) -> None:
+        entries = self._entries.get(user_index, [])
+        while seat.cursor < len(entries) and entries[seat.cursor].at <= seq:
+            self._apply(entries[seat.cursor], user_index, seat, actors, revive)
+            seat.cursor += 1
+
+    def _apply(
+        self,
+        entry: _Entry,
+        user_index: int,
+        seat: _Seat,
+        actors: Dict[int, "UserActor"],
+        revive: ReviveFn,
+    ) -> None:
+        registry = trace.get_registry()
+        if entry.kind == "crash":
+            registry.counter(FLEET_CRASHES).inc()
+            actor = actors.pop(user_index, None)
+            if entry.persist:
+                if actor is not None:
+                    self.store.put(user_index, actor.snapshot())
+            else:
+                destroyed = False
+                if actor is not None:
+                    destroyed = True
+                    registry.gauge(LEDGER_LOST_EPSILON).add(
+                        actor.ledger.total_epsilon
+                    )
+                    registry.gauge(LEDGER_LOST_DELTA).add(
+                        actor.ledger.total_delta
+                    )
+                    registry.counter(LEDGER_LOST_ENTRIES).inc(
+                        actor.ledger.spends
+                    )
+                parked = self.store.pop(user_index)
+                if parked is not None:
+                    # A snapshot parked from an earlier fault is state
+                    # too: its ledger is destroyed with the device, and
+                    # the loss is surfaced identically.
+                    destroyed = True
+                    ledger = parked["ledger"]
+                    assert isinstance(ledger, dict)
+                    rows = ledger["entries"]
+                    registry.gauge(LEDGER_LOST_EPSILON).add(
+                        float(sum(row[1] for row in rows))
+                    )
+                    registry.gauge(LEDGER_LOST_DELTA).add(
+                        float(sum(row[2] for row in rows))
+                    )
+                    registry.counter(LEDGER_LOST_ENTRIES).inc(len(rows))
+                if destroyed:
+                    seat.epoch += 1
+                    registry.counter(FLEET_CRASHES_LOSSY).inc()
+            seat.down = True
+            seat.latency_s = None
+        elif entry.kind == "restart":
+            seat.down = False
+            seat.latency_s = None
+            state = self.store.pop(user_index)
+            if state is not None:
+                self._revive(user_index, state, actors, revive, FLEET_RESTORES)
+        elif entry.kind == "handoff":
+            registry.counter(FLEET_HANDOFFS).inc()
+            actor = actors.pop(user_index, None)
+            if actor is not None:
+                self.store.put(user_index, actor.snapshot())
+            seat.down = entry.down
+            seat.latency_s = entry.latency_s
+            if not seat.down:
+                state = self.store.pop(user_index)
+                if state is not None:
+                    self._revive(
+                        user_index, state, actors, revive, FLEET_RESTORES
+                    )
+        elif entry.kind == "slow":
+            seat.latency_s = entry.latency_s
+        else:  # pragma: no cover - compile emits only the kinds above
+            raise RuntimeError(f"unknown fleet entry kind: {entry.kind!r}")
+
+    def _revive(
+        self,
+        user_index: int,
+        state: Dict[str, Any],
+        actors: Dict[int, "UserActor"],
+        revive: ReviveFn,
+        counter_name: str,
+    ) -> None:
+        registry = trace.get_registry()
+        t0 = self.time_source.monotonic()
+        actors[user_index] = revive(state)
+        registry.counter(counter_name).inc()
+        registry.histogram(FLEET_RECOVERY_SECONDS, DEFAULT_TIME_BUCKETS).observe(
+            self.time_source.monotonic() - t0
+        )
+
+    def _inject_latency(self, latency_s: float) -> None:
+        """Deterministic slow-device delay: virtual ticks or a real sleep."""
+        if isinstance(self.time_source, VirtualTimeSource):
+            if self.time_source.tick > 0:
+                self.time_source.advance(
+                    int(round(latency_s / self.time_source.tick))
+                )
+        else:
+            time.sleep(latency_s)

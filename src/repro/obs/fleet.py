@@ -1,0 +1,78 @@
+"""Canonical metric names for the fleet fault-injection layer.
+
+Collected here (rather than as string literals at each call site) so the
+serve layer, the fleet runtime, the audit, and the dashboards agree on
+one spelling — and so the fleet-smoke CI job can assert on names that
+cannot drift.
+
+All fleet counters and the two lost-budget gauges are *deterministic*
+under ``--replay``: every scenario event applies exactly once, at a
+position on the global event timeline that does not depend on the shard
+count, so these metrics are part of the replayed metrics digest.
+
+The exception is the environment-dependent trio — ``fleet.rejoins``,
+``fleet.dispatch_retries``, ``fleet.backend_recoveries`` — whose values
+depend on whether this sandbox can spawn worker processes and on
+wall-clock timeouts, not on the scenario.  Like the ``backend`` field,
+they are excluded from replay metrics (recorded in live mode only) so
+the replayed metrics digest stays invariant across execution backends.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FLEET_CRASHES",
+    "FLEET_CRASHES_LOSSY",
+    "FLEET_RESTORES",
+    "FLEET_FRESH_STARTS",
+    "FLEET_DRAIN_RESTORES",
+    "FLEET_HANDOFFS",
+    "FLEET_UNSERVED",
+    "FLEET_SLOW_EVENTS",
+    "FLEET_PARTITIONS",
+    "FLEET_HEALS",
+    "FLEET_REJOINS",
+    "FLEET_DISPATCH_RETRIES",
+    "FLEET_BACKEND_RECOVERIES",
+    "FLEET_RECOVERY_SECONDS",
+    "LEDGER_LOST_EPSILON",
+    "LEDGER_LOST_DELTA",
+    "LEDGER_LOST_ENTRIES",
+]
+
+#: Seats hit by a device crash (counted per affected user seat).
+FLEET_CRASHES = "fleet.crashes"
+#: Seats whose durable state was actually destroyed by an unpersisted crash.
+FLEET_CRASHES_LOSSY = "fleet.crashes_lossy"
+#: Snapshot-to-actor revivals driven by scenario events (restart/handoff).
+FLEET_RESTORES = "fleet.restores"
+#: Actors rebuilt from scratch (epoch > 0) after a lossy crash.
+FLEET_FRESH_STARTS = "fleet.fresh_starts"
+#: Revivals performed at drain time for seats still parked in the store.
+FLEET_DRAIN_RESTORES = "fleet.drain_restores"
+#: User handoffs applied (one per scenario handoff event).
+FLEET_HANDOFFS = "fleet.handoffs"
+#: Events skipped because the user's device was down.
+FLEET_UNSERVED = "fleet.unserved_events"
+#: Events served with injected slow-device latency.
+FLEET_SLOW_EVENTS = "fleet.slow_events"
+#: Network partitions applied to shard backends.
+FLEET_PARTITIONS = "fleet.partitions"
+#: Heal events applied (counted whether or not a rejoin happened).
+FLEET_HEALS = "fleet.heals"
+#: Degraded shard backends that re-spawned a worker on heal.
+FLEET_REJOINS = "fleet.rejoins"
+#: Shard dispatch attempts retried after a timeout or worker failure.
+FLEET_DISPATCH_RETRIES = "fleet.dispatch_retries"
+#: Unplanned backend failures recovered by event-sourced inline rebuild.
+FLEET_BACKEND_RECOVERIES = "fleet.backend_recoveries"
+#: Snapshot-restore latency histogram (virtual ticks under --replay).
+FLEET_RECOVERY_SECONDS = "fleet.recovery_seconds"
+
+#: Privacy budget destroyed by unpersisted crashes — surfaced, never
+#: silently dropped.  Conservation: surviving ledger epsilon plus this
+#: gauge accounts for the full audited spend.
+LEDGER_LOST_EPSILON = "ledger.lost_epsilon"
+LEDGER_LOST_DELTA = "ledger.lost_delta"
+#: Ledger entries destroyed along with the lost budget.
+LEDGER_LOST_ENTRIES = "ledger.lost_entries"

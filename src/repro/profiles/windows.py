@@ -11,8 +11,9 @@ profiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.geo.point import Point
 from repro.profiles.checkin import SECONDS_PER_DAY, CheckIn
 from repro.profiles.profile import DEFAULT_CONNECT_RADIUS_M, LocationProfile
 
@@ -83,6 +84,30 @@ class WindowedProfileBuilder:
         if not self._buffer or self._window_start is None:
             return None
         return self._close_window(self._window_start + self.window_seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The builder's open-window state as JSON-able primitives.
+
+        Captures the buffered check-ins and the window origin, which is
+        everything a crashed edge device needs to resume windowing exactly
+        where it left off (closed windows already left as profiles).
+        """
+        return {
+            "window_seconds": self.window_seconds,
+            "connect_radius": self.connect_radius,
+            "window_start": self._window_start,
+            "buffer": [[c.timestamp, c.point.x, c.point.y] for c in self._buffer],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Reload the open-window state from :meth:`snapshot` output."""
+        self._window_start = (
+            None if state["window_start"] is None else float(state["window_start"])
+        )
+        self._buffer = [
+            CheckIn(float(ts), Point(float(x), float(y)))
+            for ts, x, y in state.get("buffer", [])
+        ]
 
     def _close_window(self, window_end: float) -> WindowResult:
         profile = LocationProfile.from_checkins(self._buffer, self.connect_radius)

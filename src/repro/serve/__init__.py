@@ -23,7 +23,12 @@ from repro.serve.events import (
     build_schedule,
     shard_of_user,
 )
-from repro.serve.harness import bench_payload, run_service, slo_report
+from repro.serve.harness import (
+    ServiceReport,
+    bench_payload,
+    run_service,
+    slo_report,
+)
 from repro.serve.ingress import BoundedIngressQueue
 from repro.serve.service import ServeConfig, ServeResult, ServeService
 from repro.serve.shard import ShardSpec, ShardState
@@ -37,6 +42,7 @@ __all__ = [
     "ServeResult",
     "ServeService",
     "ServeWorkloadConfig",
+    "ServiceReport",
     "ShardSpec",
     "ShardState",
     "UserActor",

@@ -19,7 +19,7 @@ by one event at a time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -48,12 +48,29 @@ class UserActor:
         config: EdgeConfig,
         time_source: Optional[TimeSource] = None,
         ledger_max_epsilon: Optional[float] = None,
+        epoch: int = 0,
     ) -> None:
         self.user_id = user_id
         self.user_index = user_index
-        rng = np.random.default_rng(
-            np.random.SeedSequence(entropy=seed, spawn_key=(2, user_index))
+        self.seed = seed
+        #: Incarnation number.  Epoch 0 is the original actor; a *lossy*
+        #: device crash (state not persisted) bumps it, so the rebuilt
+        #: actor draws a fresh — still deterministic — noise stream
+        #: instead of replaying the one the attacker already saw.  Epoch 0
+        #: keeps the historical ``(2, user_index)`` spawn key so no-fault
+        #: digests are unchanged.
+        self.epoch = epoch
+        spawn_key: Tuple[int, ...] = (
+            (2, user_index) if epoch == 0 else (2, user_index, epoch)
         )
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=spawn_key)
+        )
+        #: The single Generator shared by the n-fold mechanism, the
+        #: nomadic mechanism, and posterior output selection.  Keeping the
+        #: reference lets checkpoint/restore capture every noise stream by
+        #: saving one bit-generator state.
+        self._rng = rng
         self.config = config
         self.time_source: TimeSource = (
             time_source if time_source is not None else WallTimeSource()
@@ -119,3 +136,65 @@ class UserActor:
             (entry.budget.epsilon, entry.budget.delta)
             for entry in self.ledger.entries[n_entries:]
         ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The actor's full durable state as JSON-able primitives.
+
+        Everything a crashed device needs to resume *bit-identically*:
+        the module states, the privacy ledger, the longitudinal
+        accountant, and — crucially — the state of the one RNG shared by
+        all three noise consumers.  ``ledger_max_epsilon`` rides along
+        inside the ledger state; ``seed``/``epoch`` pin the identity.
+        """
+        return {
+            "user_id": self.user_id,
+            "user_index": self.user_index,
+            "seed": self.seed,
+            "epoch": self.epoch,
+            "events_handled": self.events_handled,
+            "rng_state": self._rng.bit_generator.state,
+            "ledger": self.ledger.to_state(),
+            "accountant": self.accountant.to_state(),
+            "management": self.management.snapshot(),
+            "obfuscation": self.obfuscation.snapshot(),
+            "selection_count": self.selection.selection_count,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        state: Dict[str, Any],
+        config: EdgeConfig,
+        time_source: Optional[TimeSource] = None,
+        ledger_max_epsilon: Optional[float] = None,
+    ) -> "UserActor":
+        """Rebuild an actor from :meth:`snapshot` output.
+
+        The actor is constructed normally (wiring mechanisms, modules and
+        the shared RNG exactly as a fresh one would), then each module's
+        durable state is overlaid.  Restoring the bit-generator state once
+        covers the n-fold, nomadic, and selection streams because they
+        share the generator.  Ledger and accountant restoration bypass
+        ``spend``/``observe``, so no budget gauge is ever re-emitted — a
+        restore is free, only new releases are charged.
+        """
+        actor = cls(
+            user_id=str(state["user_id"]),
+            user_index=int(state["user_index"]),
+            seed=int(state["seed"]),
+            config=config,
+            time_source=time_source,
+            ledger_max_epsilon=ledger_max_epsilon,
+            epoch=int(state.get("epoch", 0)),
+        )
+        actor.events_handled = int(state.get("events_handled", 0))
+        actor._rng.bit_generator.state = state["rng_state"]
+        actor.ledger = PrivacyLedger.from_state(state["ledger"])
+        actor.obfuscation.ledger = actor.ledger
+        actor.accountant = LongitudinalExposureAccountant.from_state(
+            state["accountant"]
+        )
+        actor.management.restore(state["management"])
+        actor.obfuscation.restore(state["obfuscation"])
+        actor.selection.selection_count = int(state.get("selection_count", 0))
+        return actor

@@ -34,6 +34,7 @@ __all__ = [
     "EventSchedule",
     "build_schedule",
     "shard_of_user",
+    "workload_user_ids",
 ]
 
 
@@ -167,6 +168,17 @@ class EventSchedule:
         )
 
 
+def workload_user_ids(n_users: int) -> List[str]:
+    """The canonical workload user ids, without building a schedule.
+
+    Scenario builders need the id list (fault targets hash the user id
+    to a device) before any schedule exists; this is the same format
+    :func:`build_schedule` assigns, kept in one place so they cannot
+    drift.
+    """
+    return [f"user-{i:06d}" for i in range(n_users)]
+
+
 def _user_model(user_index: int, config: ServeWorkloadConfig) -> MobilityModel:
     """One user's mobility model from their private seed stream.
 
@@ -198,7 +210,7 @@ def _user_model(user_index: int, config: ServeWorkloadConfig) -> MobilityModel:
         for (p, kind), w in zip(anchors, weights / weights.sum())
     ]
     return MobilityModel(
-        user_id=f"user-{user_index:06d}",
+        user_id=f"user-{user_index:06d}",  # == workload_user_ids(n)[user_index]
         top_locations=tops,
         nomadic_fraction=float(rng.uniform(0.05, 0.2)),
         region=region,

@@ -1,24 +1,150 @@
 """The load harness: run the service, report SLOs, emit bench payloads.
 
-This is the operational face of :mod:`repro.serve`: one call builds the
-seeded workload, runs the sharded service to completion, and reduces the
-fleet metrics snapshot to the numbers an operator watches — throughput,
-p50/p99 pin latency (from the additive-merge ``pin_seconds`` histogram),
-p50/p99 end-to-end latency (live mode), drop counts, and the
-epsilon/delta spend audit.  The same reduction feeds the committed
-``BENCH_serve.json`` consumed by ``repro bench --compare``.
+This is the operational face of :mod:`repro.serve`: one call —
+:func:`run_service`, the documented programmatic entry point — builds
+the seeded workload, runs the sharded service to completion, and wraps
+the outcome in a typed :class:`ServiceReport`: the raw
+:class:`~repro.serve.service.ServeResult`, the SLO reduction an operator
+watches (throughput, p50/p99 pin latency from the additive-merge
+``pin_seconds`` histogram, p50/p99 end-to-end latency in live mode,
+drop counts), and the fleet privacy audit
+(:class:`~repro.fleet.audit.FleetAudit`).  The ``repro serve`` and
+``repro fleet`` CLI commands are thin wrappers over this function; the
+same reduction feeds the committed ``BENCH_serve.json`` consumed by
+``repro bench --compare``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.obs.metrics import quantile_from_histogram
+from repro.fleet.scenario import Scenario
+from repro.obs.metrics import Snapshot, quantile_from_histogram
 from repro.obs.rss import peak_rss_bytes
+from repro.serve.egress import ServeResponse
 from repro.serve.events import ServeWorkloadConfig
 from repro.serve.service import ServeConfig, ServeResult, ServeService
 
-__all__ = ["bench_payload", "run_service", "slo_report"]
+if TYPE_CHECKING:
+    from repro.fleet.audit import FleetAudit
+
+__all__ = ["ServiceReport", "bench_payload", "run_service", "slo_report"]
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Typed report for one service run: result + SLO view + audit.
+
+    The raw :class:`ServeResult` stays reachable as ``.result``; the
+    commonly asserted fields are re-exposed as passthrough properties so
+    the report can be dropped in anywhere a result was used.
+    """
+
+    result: ServeResult
+    config: ServeConfig
+
+    # -- passthrough properties (drop-in for ServeResult call sites) ----
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical response encoding, in seq order."""
+        return self.result.digest
+
+    @property
+    def responses(self) -> List[ServeResponse]:
+        """Every response, in global ``seq`` order."""
+        return self.result.responses
+
+    @property
+    def metrics(self) -> Snapshot:
+        """The merged fleet metrics snapshot."""
+        return self.result.metrics
+
+    def metrics_digest(self) -> str:
+        """SHA-256 over the canonical metrics encoding."""
+        return self.result.metrics_digest()
+
+    @property
+    def audit_epsilon(self) -> float:
+        """Ledger charges folded in gauge merge order (epsilon)."""
+        return self.result.audit_epsilon
+
+    @property
+    def audit_delta(self) -> float:
+        """Ledger charges folded in gauge merge order (delta)."""
+        return self.result.audit_delta
+
+    @property
+    def ledger_epsilon(self) -> float:
+        """Epsilon still on surviving actors' ledgers at drain."""
+        return self.result.ledger_epsilon
+
+    @property
+    def ledger_delta(self) -> float:
+        """Delta still on surviving actors' ledgers at drain."""
+        return self.result.ledger_delta
+
+    @property
+    def ledger_spends(self) -> int:
+        """Ledger entries recorded across surviving actors."""
+        return self.result.ledger_spends
+
+    @property
+    def enqueued(self) -> int:
+        """Events admitted to the ingress queues."""
+        return self.result.enqueued
+
+    @property
+    def dropped(self) -> int:
+        """Events shed by backpressure (live mode only)."""
+        return self.result.dropped
+
+    @property
+    def processed(self) -> int:
+        """Events actually served by actors."""
+        return self.result.processed
+
+    @property
+    def n_actors(self) -> int:
+        """User actors alive at drain time."""
+        return self.result.n_actors
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall clock of the whole run."""
+        return self.result.wall_seconds
+
+    @property
+    def backend(self) -> str:
+        """Execution backend used: ``"inline"`` or ``"process"``."""
+        return self.result.backend
+
+    @property
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard queue/batch/actor statistics."""
+        return self.result.shard_stats
+
+    # -- the typed report surface ---------------------------------------
+    @property
+    def slo(self) -> Dict[str, Any]:
+        """The operator's one-look SLO view (see :func:`slo_report`)."""
+        return slo_report(self.result)
+
+    @property
+    def audit(self) -> "FleetAudit":
+        """The three-way privacy-budget reconciliation for this run."""
+        from repro.fleet.audit import audit_fleet
+
+        return audit_fleet(self.result)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able report: SLO snapshot plus the audit block."""
+        payload = self.slo
+        payload["audit"] = self.audit.to_dict()
+        if self.config.scenario is not None:
+            payload["scenario"] = self.config.scenario.name
+            payload["scenario_hash"] = self.config.scenario.content_hash()
+        return payload
 
 
 def run_service(
@@ -35,8 +161,17 @@ def run_service(
     ledger_max_epsilon: Optional[float] = None,
     work_sleep_s: float = 0.0,
     producer_burst: int = 1,
-) -> ServeResult:
-    """Build the workload and run the service end to end."""
+    scenario: Optional[Scenario] = None,
+    checkpoint_dir: Optional[str] = None,
+    dispatch_timeout_s: Optional[float] = None,
+) -> ServiceReport:
+    """Build the workload, run the service end to end, report.
+
+    This is the supported programmatic entry point: it returns a typed
+    :class:`ServiceReport` (digest, SLO snapshot, privacy audit) and
+    never prints.  Pass a :class:`~repro.fleet.scenario.Scenario` to run
+    the same workload under deterministic fault injection.
+    """
     workload = ServeWorkloadConfig(
         n_users=n_users,
         n_events=n_events,
@@ -54,8 +189,12 @@ def run_service(
         ledger_max_epsilon=ledger_max_epsilon,
         work_sleep_s=work_sleep_s,
         producer_burst=producer_burst,
+        scenario=scenario,
+        checkpoint_dir=checkpoint_dir,
+        dispatch_timeout_s=dispatch_timeout_s,
     )
-    return ServeService(config).run()
+    result = ServeService(config).run()
+    return ServiceReport(result=result, config=config)
 
 
 def _histogram(result: ServeResult, name: str) -> Dict[str, Any]:

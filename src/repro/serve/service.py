@@ -36,11 +36,19 @@ import json
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.edge.clock import DEFAULT_VIRTUAL_TICK
 from repro.edge.device import EdgeConfig
+from repro.fleet.scenario import NetworkHeal, NetworkPartition, Scenario
 from repro.obs import trace
+from repro.obs.fleet import (
+    FLEET_BACKEND_RECOVERIES,
+    FLEET_DISPATCH_RETRIES,
+    FLEET_HEALS,
+    FLEET_PARTITIONS,
+    FLEET_REJOINS,
+)
 from repro.obs.metrics import MetricsRegistry, Snapshot
 from repro.parallel.shared import export_payload
 from repro.serve.egress import ServeResponse, response_digest
@@ -52,9 +60,11 @@ from repro.serve.shard import (
     Charge,
     ShardSpec,
     ShardState,
+    _checkpoint_shard,
     _finalize_shard,
     _init_shard,
     _process_batch,
+    _restore_shard,
 )
 
 __all__ = ["ServeConfig", "ServeResult", "ServeService"]
@@ -85,6 +95,20 @@ class ServeConfig:
     virtual_tick: float = DEFAULT_VIRTUAL_TICK
     #: Test knob, forwarded to the shards (see :class:`ShardSpec`).
     work_sleep_s: float = 0.0
+    #: Optional fault-injection program (see :mod:`repro.fleet`).
+    #: Device-level events run inside the shards; partition/heal events
+    #: run here, against the shard backends.
+    scenario: Optional[Scenario] = None
+    #: When set, fleet actor snapshots are mirrored to JSON files here.
+    checkpoint_dir: Optional[str] = None
+    #: Per-batch dispatch timeout to a shard worker (None: wait forever).
+    dispatch_timeout_s: Optional[float] = None
+    #: Bounded retries after a dispatch failure, each preceded by an
+    #: exponentially growing backoff and an event-sourced inline rebuild
+    #: of the shard (exactly-once: a wedged worker's late results are
+    #: discarded with its executor).
+    dispatch_retries: int = 2
+    dispatch_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -97,6 +121,12 @@ class ServeConfig:
             raise ValueError("qps must be >= 0")
         if self.producer_burst < 1:
             raise ValueError("producer_burst must be >= 1")
+        if self.dispatch_timeout_s is not None and self.dispatch_timeout_s <= 0:
+            raise ValueError("dispatch_timeout_s must be positive when set")
+        if self.dispatch_retries < 0:
+            raise ValueError("dispatch_retries must be >= 0")
+        if self.dispatch_backoff_s < 0:
+            raise ValueError("dispatch_backoff_s must be >= 0")
 
     def shard_spec(self, shard_id: int) -> ShardSpec:
         """The picklable spec for one shard worker."""
@@ -111,6 +141,8 @@ class ServeConfig:
             virtual_tick=self.virtual_tick,
             ledger_max_epsilon=self.ledger_max_epsilon,
             work_sleep_s=self.work_sleep_s,
+            scenario=self.scenario,
+            checkpoint_dir=self.checkpoint_dir,
         )
 
 
@@ -145,7 +177,17 @@ class ServeResult:
 
 
 class _ShardBackend:
-    """One shard's execution seat: a worker process, or inline state."""
+    """One shard's execution seat: a worker process, or inline state.
+
+    The backend records every batch it has successfully processed
+    (``history``) so an unplanned worker failure — a dispatch timeout or
+    a broken executor — can be recovered by *event-sourced rebuild*:
+    discard the worker, replay the shard's whole batch history against a
+    fresh inline state (discarding the replayed outputs, which were
+    already accounted upstream), and continue inline.  A planned
+    :class:`~repro.fleet.scenario.NetworkPartition` takes the cheaper
+    path: checkpoint the worker's state and restore it inline.
+    """
 
     def __init__(
         self,
@@ -154,12 +196,19 @@ class _ShardBackend:
         executor: Optional[ProcessPoolExecutor],
     ) -> None:
         self.spec = spec
+        self.schedule = schedule
         self.executor = executor
         self.state: Optional[ShardState] = (
             None if executor is not None else ShardState(spec, schedule)
         )
+        #: Batches successfully processed, in order (the rebuild log).
+        self.history: List[List[int]] = []
+        #: True while a partition (or failure) has this shard inline
+        #: although the run wanted worker processes.
+        self.degraded = False
 
-    async def process(self, batch: List[int]) -> BatchResult:
+    async def process_once(self, batch: List[int]) -> BatchResult:
+        """One dispatch attempt, no retry policy (the service adds it)."""
         if self.executor is not None:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(self.executor, _process_batch, batch)
@@ -173,6 +222,35 @@ class _ShardBackend:
         assert self.state is not None
         return self.state.finalize()
 
+    async def checkpoint(self) -> Dict[str, Any]:
+        """The shard's durable state, from wherever it currently runs."""
+        if self.executor is not None:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self.executor, _checkpoint_shard)
+        assert self.state is not None
+        return self.state.checkpoint()
+
+    def rebuild_inline(self) -> None:
+        """Event-sourced recovery: fresh inline state, history replayed."""
+        if self.executor is not None:
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+        state = ShardState(self.spec, self.schedule)
+        for past in self.history:
+            state.process(past)
+        self.state = state
+        self.degraded = True
+
+    def degrade_from_checkpoint(self, checkpoint: Dict[str, Any]) -> None:
+        """Planned partition: continue inline from the worker's checkpoint."""
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+            self.executor = None
+            self.degraded = True
+        self.state = ShardState.from_checkpoint(
+            self.spec, self.schedule, checkpoint
+        )
+
 
 class ServeService:
     """Run the sharded edge service over one workload to completion."""
@@ -184,6 +262,18 @@ class ServeService:
         self.schedule = schedule if schedule is not None else build_schedule(
             config.workload
         )
+        #: Partition/heal events in stable order; each applies exactly
+        #: once (``_net_applied`` tracks positions), so the fleet
+        #: counters are invariant to shard count and batching.
+        self._net_events = (
+            config.scenario.network_events()
+            if config.scenario is not None
+            else []
+        )
+        self._net_applied: Set[int] = set()
+        #: Stashed by :meth:`_build_backends` (process mode) so a
+        #:  heal-rejoin can hand the schedule payload to a new worker.
+        self._exported: Optional[Dict[str, Any]] = None
 
     def run(self) -> ServeResult:
         """Ingest the whole schedule, drain, and return the fleet result."""
@@ -218,6 +308,7 @@ class ServeService:
                     _ShardBackend(spec, self.schedule, pool)
                     for spec, pool in zip(specs, executors)
                 ]
+                self._exported = exported
                 return backends, lease, "process"
             except _POOL_UNAVAILABLE + (BrokenExecutor,):
                 for pool in executors:
@@ -256,18 +347,28 @@ class ServeService:
 
     async def _consume(
         self,
+        shard_id: int,
         queue: BoundedIngressQueue,
         backend: _ShardBackend,
         batches: List[BatchResult],
         enqueue_times: Dict[int, float],
         e2e: Optional[MetricsRegistry],
+        parent: MetricsRegistry,
     ) -> None:
-        """Drain one shard's queue to its backend until closed and empty."""
+        """Drain one shard's queue to its backend until closed and empty.
+
+        Planned partition/heal events land here, between batches, and
+        any still pending when the queue closes are applied at drain
+        time — each scenario event applies exactly once, whatever the
+        shard count or batching.
+        """
         while True:
             batch = await queue.get_batch(self.config.batch_max)
             if batch is None:
+                await self._apply_network_events(shard_id, backend, None, parent)
                 return
-            result = await backend.process(batch)
+            await self._apply_network_events(shard_id, backend, batch[0], parent)
+            result = await self._dispatch(backend, batch, parent)
             batches.append(result)
             if e2e is not None:
                 done = time.perf_counter()
@@ -275,6 +376,97 @@ class ServeService:
                     started = enqueue_times.pop(seq, None)
                     if started is not None:
                         e2e.histogram("serve.e2e_seconds").observe(done - started)
+
+    async def _dispatch(
+        self,
+        backend: _ShardBackend,
+        batch: List[int],
+        parent: MetricsRegistry,
+    ) -> BatchResult:
+        """Process one batch with timeout, bounded retry, and recovery.
+
+        An attempt that times out or loses its worker is never
+        re-dispatched to the same process (the batch is not idempotent
+        inside a wedged worker): the executor is discarded, the shard is
+        rebuilt inline from its event-sourced history, and the batch is
+        retried there — exactly-once end to end.
+        """
+        cfg = self.config
+        delay = cfg.dispatch_backoff_s
+        last_error: Optional[BaseException] = None
+        for attempt in range(cfg.dispatch_retries + 1):
+            if attempt > 0:
+                if not cfg.replay:
+                    parent.counter(FLEET_DISPATCH_RETRIES).inc()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                delay *= 2
+            try:
+                if cfg.dispatch_timeout_s is not None and backend.executor is not None:
+                    result = await asyncio.wait_for(
+                        backend.process_once(batch), cfg.dispatch_timeout_s
+                    )
+                else:
+                    result = await backend.process_once(batch)
+            except (asyncio.TimeoutError, BrokenExecutor) + _POOL_UNAVAILABLE as exc:
+                last_error = exc
+                if not cfg.replay:
+                    parent.counter(FLEET_BACKEND_RECOVERIES).inc()
+                backend.rebuild_inline()
+                continue
+            backend.history.append(list(batch))
+            return result
+        assert last_error is not None
+        raise last_error
+
+    async def _apply_network_events(
+        self,
+        shard_id: int,
+        backend: _ShardBackend,
+        next_seq: Optional[int],
+        parent: MetricsRegistry,
+    ) -> None:
+        """Apply this shard's due partition/heal events, exactly once."""
+        cfg = self.config
+        for position, event in enumerate(self._net_events):
+            if position in self._net_applied:
+                continue
+            if next_seq is not None and event.at > next_seq:
+                break
+            if event.shard % cfg.n_shards != shard_id:
+                continue
+            self._net_applied.add(position)
+            if isinstance(event, NetworkPartition):
+                parent.counter(FLEET_PARTITIONS).inc()
+                backend.degrade_from_checkpoint(await backend.checkpoint())
+            elif isinstance(event, NetworkHeal):
+                parent.counter(FLEET_HEALS).inc()
+                await self._rejoin(backend, parent)
+
+    async def _rejoin(
+        self, backend: _ShardBackend, parent: MetricsRegistry
+    ) -> None:
+        """Heal: try to hand the inline state back to a fresh worker."""
+        if not backend.degraded or self._exported is None:
+            return
+        assert backend.state is not None
+        checkpoint = backend.state.checkpoint()
+        loop = asyncio.get_running_loop()
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=_restore_shard,
+                initargs=(backend.spec, self._exported, checkpoint),
+            )
+            # Probe now so a failed spawn keeps us inline, not mid-batch.
+            await loop.run_in_executor(pool, _process_batch, [])
+        except _POOL_UNAVAILABLE + (BrokenExecutor,):
+            return
+        backend.executor = pool
+        backend.state = None
+        backend.degraded = False
+        if not self.config.replay:
+            parent.counter(FLEET_REJOINS).inc()
 
     async def _run(self) -> ServeResult:
         cfg = self.config
@@ -287,9 +479,13 @@ class ServeService:
         try:
             consumers = [
                 asyncio.ensure_future(
-                    self._consume(q, b, out, enqueue_times, e2e)
+                    self._consume(
+                        shard_id, q, b, out, enqueue_times, e2e, parent
+                    )
                 )
-                for q, b, out in zip(queues, backends, per_shard_batches)
+                for shard_id, (q, b, out) in enumerate(
+                    zip(queues, backends, per_shard_batches)
+                )
             ]
             await self._produce(queues, enqueue_times)
             await asyncio.gather(*consumers)

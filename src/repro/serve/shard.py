@@ -41,12 +41,14 @@ from repro.edge.clock import (
 from repro.edge.device import EdgeConfig
 from repro.edge.system import seed_campaigns
 from repro.datagen.shanghai import shanghai_planar_bbox
+from repro.fleet.runtime import FleetShardRuntime
+from repro.fleet.scenario import Scenario
 from repro.obs import trace
 from repro.obs.metrics import Snapshot
 from repro.parallel.shared import import_payload
 from repro.serve.actor import UserActor
 from repro.serve.egress import ServeResponse, build_response
-from repro.serve.events import EventSchedule
+from repro.serve.events import EventSchedule, shard_of_user
 
 __all__ = [
     "ActorFinalize",
@@ -76,6 +78,13 @@ class ShardSpec:
     #: Test knob: sleep this long per event so a slow consumer can be
     #: provoked deterministically in backpressure tests.
     work_sleep_s: float = 0.0
+    #: Optional fault-injection program (see :mod:`repro.fleet`): device
+    #: crashes, restarts, handoffs, and slow devices applied on the
+    #: deterministic event timeline inside this shard.
+    scenario: Optional[Scenario] = None
+    #: When set, the fleet checkpoint store mirrors actor snapshots to
+    #: JSON files under this directory.
+    checkpoint_dir: Optional[str] = None
 
 
 @dataclass
@@ -131,10 +140,25 @@ class ShardState:
             )
         )
         self.actors: Dict[int, UserActor] = {}
+        self.fleet: Optional[FleetShardRuntime] = None
+        if spec.scenario is not None:
+            user_ids = list(self.schedule.user_ids)
+            self.fleet = FleetShardRuntime(
+                spec.scenario,
+                user_ids,
+                self.time_source,
+                checkpoint_dir=spec.checkpoint_dir,
+                owned=[
+                    i
+                    for i, uid in enumerate(user_ids)
+                    if shard_of_user(uid, spec.n_shards) == spec.shard_id
+                ],
+            )
 
     def _actor(self, user_index: int) -> UserActor:
         actor = self.actors.get(user_index)
         if actor is None:
+            epoch = 0 if self.fleet is None else self.fleet.spawn_epoch(user_index)
             actor = self.actors[user_index] = UserActor(
                 user_id=self.schedule.user_ids[user_index],
                 user_index=user_index,
@@ -142,12 +166,33 @@ class ShardState:
                 config=self.spec.edge,
                 time_source=self.time_source,
                 ledger_max_epsilon=self.spec.ledger_max_epsilon,
+                epoch=epoch,
             )
         return actor
 
-    def _handle_event(self, seq: int) -> Tuple[ServeResponse, List[Charge]]:
-        """Serve one event end to end: edge decision, auction, delivery."""
+    def _revive(self, state: Dict[str, Any]) -> UserActor:
+        """Rebuild an actor from a fleet snapshot, wired to this shard."""
+        return UserActor.from_snapshot(
+            state,
+            config=self.spec.edge,
+            time_source=self.time_source,
+            ledger_max_epsilon=self.spec.ledger_max_epsilon,
+        )
+
+    def _handle_event(self, seq: int) -> Tuple[Optional[ServeResponse], List[Charge]]:
+        """Serve one event end to end: edge decision, auction, delivery.
+
+        Under a fleet scenario the event may come back unserved (device
+        down): ``(None, [])`` — no response, no charge, counted on
+        ``fleet.unserved_events``.
+        """
         event = self.schedule.event(seq)
+        if self.fleet is not None:
+            disposition = self.fleet.before_event(
+                seq, event.user_index, self.actors, self._revive
+            )
+            if not disposition.served:
+                return None, []
         actor = self._actor(event.user_index)
         entries_before = len(actor.ledger.entries)
         t0 = self.time_source.monotonic()
@@ -182,31 +227,60 @@ class ShardState:
             for seq in batch:
                 with trace.collect() as obs:
                     response, charged = self._handle_event(seq)
-                result.responses.append(response)
+                if response is not None:
+                    result.responses.append(response)
                 result.observations.append((seq, obs.metrics))
                 result.charges.append((seq, charged))
         else:
             with trace.collect() as obs:
                 for seq in batch:
                     response, charged = self._handle_event(seq)
-                    result.responses.append(response)
+                    if response is not None:
+                        result.responses.append(response)
                     result.charges.append((seq, charged))
             result.observations.append((-1, obs.metrics))
         return result
 
     def finalize(self) -> List[ActorFinalize]:
-        """Drain every actor (flush trailing windows), in user order.
+        """Drain every seat (flush trailing windows), in user order.
 
         Ordering by ``user_index`` — not by shard arrival — lets the
         service merge finalize observations identically for any shard
-        count.
+        count.  Under a fleet scenario the drain also visits parked and
+        destroyed seats: pending faults are applied (inside the seat's
+        own collect window), parked snapshots are revived so their
+        ledgers survive into the accounting, and a seat left with no
+        actor (lossy crash, never rebuilt) contributes an empty record
+        so its loss gauges still merge at the right position.
         """
         results: List[ActorFinalize] = []
-        for user_index in sorted(self.actors):
-            actor = self.actors[user_index]
-            entries_before = len(actor.ledger.entries)
+        if self.fleet is None:
+            seats = sorted(self.actors)
+        else:
+            seats = self.fleet.finalize_seats(self.actors)
+        for user_index in seats:
             with trace.collect() as obs:
-                actor.finalize()
+                if self.fleet is not None:
+                    self.fleet.before_finalize(
+                        user_index, self.actors, self._revive
+                    )
+                actor = self.actors.get(user_index)
+                if actor is not None:
+                    entries_before = len(actor.ledger.entries)
+                    actor.finalize()
+            if actor is None:
+                results.append(
+                    ActorFinalize(
+                        user_index=user_index,
+                        metrics=obs.metrics,
+                        charges=[],
+                        events_handled=0,
+                        ledger_epsilon=0.0,
+                        ledger_delta=0.0,
+                        ledger_spends=0,
+                    )
+                )
+                continue
             results.append(
                 ActorFinalize(
                     user_index=user_index,
@@ -219,6 +293,57 @@ class ShardState:
                 )
             )
         return results
+
+    # -- checkpointing (network-partition support) ------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """The shard's full durable state, picklable and JSON-able.
+
+        Carries every actor snapshot, the fleet runtime's seat/store
+        state, and the virtual clock reading.  The ad network is *not*
+        checkpointed: its campaign inventory is a pure function of the
+        spec seed, and its request counter and bid log never reach the
+        response or metrics digests — a restored shard rebuilds it
+        fresh and continues bit-identically.
+        """
+        return {
+            "actors": {
+                str(i): actor.snapshot()
+                for i, actor in sorted(self.actors.items())
+            },
+            "fleet": (
+                None if self.fleet is None else self.fleet.checkpoint_state()
+            ),
+            "virtual_ticks": (
+                self.time_source.ticks
+                if isinstance(self.time_source, VirtualTimeSource)
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        spec: ShardSpec,
+        schedule: EventSchedule,
+        checkpoint: Dict[str, Any],
+    ) -> "ShardState":
+        """Rebuild a shard from :meth:`checkpoint` output.
+
+        The restored shard resumes the virtual timeline (``seek``) and
+        every actor's RNG stream exactly, so a partition-degrade (or a
+        heal-rejoin) in replay mode leaves both digests untouched.
+        """
+        state = cls(spec, schedule)
+        ticks = checkpoint.get("virtual_ticks")
+        if ticks is not None and isinstance(state.time_source, VirtualTimeSource):
+            state.time_source.seek(int(ticks))
+        fleet_state = checkpoint.get("fleet")
+        if fleet_state is not None and state.fleet is not None:
+            state.fleet.restore_state(fleet_state)
+        for key, snap in checkpoint.get("actors", {}).items():
+            state.actors[int(key)] = state._revive(snap)
+        return state
 
 
 # ---------------------------------------------------------------------------
@@ -250,3 +375,19 @@ def _finalize_shard() -> List[ActorFinalize]:
     if _SHARD_STATE is None:
         raise RuntimeError("shard worker used before _init_shard")
     return _SHARD_STATE.finalize()
+
+
+def _checkpoint_shard() -> Dict[str, Any]:
+    """Snapshot the worker's shard state (partition-degrade path)."""
+    if _SHARD_STATE is None:
+        raise RuntimeError("shard worker used before _init_shard")
+    return _SHARD_STATE.checkpoint()
+
+
+def _restore_shard(
+    spec: ShardSpec, payload: Dict[str, Any], checkpoint: Dict[str, Any]
+) -> None:
+    """Worker initializer for heal-rejoin: resume from a checkpoint."""
+    global _SHARD_STATE
+    schedule = EventSchedule.from_payload(import_payload(payload))
+    _SHARD_STATE = ShardState.from_checkpoint(spec, schedule, checkpoint)

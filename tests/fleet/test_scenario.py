@@ -1,0 +1,135 @@
+"""The scenario DSL: round trips, content hashing, validation."""
+
+import json
+
+import pytest
+
+from repro.fleet.scenario import (
+    BUILTIN_SCENARIOS,
+    DeviceCrash,
+    DeviceRestart,
+    NetworkHeal,
+    NetworkPartition,
+    Scenario,
+    SlowShard,
+    UserHandoff,
+    builtin_scenario,
+    churn_scenario,
+    device_of,
+)
+from repro.serve.events import workload_user_ids
+
+USERS = workload_user_ids(5)
+
+
+def sample_scenario():
+    return Scenario(
+        name="sample",
+        n_devices=4,
+        events=(
+            DeviceCrash(at=10, device=1, persist_tables=False),
+            DeviceRestart(at=15, device=1),
+            UserHandoff(at=20, user=USERS[0], to_device=2),
+            SlowShard(at=25, device=3, latency_s=0.004),
+            NetworkPartition(at=12, shard=0),
+            NetworkHeal(at=30, shard=0),
+        ),
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_events_and_hash(self):
+        scenario = sample_scenario()
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.content_hash() == scenario.content_hash()
+
+    def test_from_file_json(self, tmp_path):
+        scenario = sample_scenario()
+        path = tmp_path / "sample.json"
+        path.write_text(scenario.to_json(), encoding="utf-8")
+        assert Scenario.from_file(str(path)) == scenario
+
+    def test_from_file_yaml(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        scenario = sample_scenario()
+        path = tmp_path / "sample.yaml"
+        path.write_text(
+            yaml.safe_dump(scenario.to_dict()), encoding="utf-8"
+        )
+        assert Scenario.from_file(str(path)) == scenario
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        text = sample_scenario().to_json()
+        assert " " not in text
+        assert json.loads(text)["name"] == "sample"
+
+    def test_unknown_event_kind_rejected(self):
+        data = sample_scenario().to_dict()
+        data["events"][0]["kind"] = "meteor_strike"
+        with pytest.raises(ValueError, match="meteor_strike"):
+            Scenario.from_dict(data)
+
+
+class TestContentHash:
+    def test_hash_independent_of_authoring_format(self, tmp_path):
+        scenario = sample_scenario()
+        path = tmp_path / "s.json"
+        path.write_text(scenario.to_json(), encoding="utf-8")
+        assert Scenario.from_file(str(path)).content_hash() == scenario.content_hash()
+
+    def test_hash_sensitive_to_every_field(self):
+        base = sample_scenario()
+        moved = Scenario(
+            name=base.name,
+            n_devices=base.n_devices,
+            events=(DeviceCrash(at=11, device=1, persist_tables=False),)
+            + base.events[1:],
+        )
+        renamed = Scenario(name="other", n_devices=4, events=base.events)
+        hashes = {base.content_hash(), moved.content_hash(), renamed.content_hash()}
+        assert len(hashes) == 3
+
+    def test_builtins_are_pure_functions_of_workload(self):
+        for name in BUILTIN_SCENARIOS:
+            a = builtin_scenario(name, 200, USERS)
+            b = builtin_scenario(name, 200, USERS)
+            assert a.content_hash() == b.content_hash()
+            assert a.content_hash() != builtin_scenario(
+                name, 300, USERS
+            ).content_hash()
+
+
+class TestValidation:
+    def test_device_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Scenario(name="bad", n_devices=2, events=(DeviceCrash(at=0, device=5),))
+
+    def test_negative_at(self):
+        with pytest.raises(ValueError, match="at must be"):
+            Scenario(name="bad", n_devices=2, events=(DeviceRestart(at=-1, device=0),))
+
+    def test_device_of_is_stable(self):
+        assert device_of("user-000000", 4) == device_of("user-000000", 4)
+        with pytest.raises(ValueError):
+            device_of("user-000000", 0)
+
+
+class TestEventPartitioning:
+    def test_shard_vs_network_split_is_stable_ordered(self):
+        scenario = sample_scenario()
+        shard = scenario.shard_events()
+        net = scenario.network_events()
+        assert len(shard) + len(net) == len(scenario.events)
+        assert [e.at for e in shard] == sorted(e.at for e in shard)
+        assert [e.at for e in net] == sorted(e.at for e in net)
+        assert all(isinstance(e, (NetworkPartition, NetworkHeal)) for e in net)
+
+    def test_churn_scenario_persist_fraction(self):
+        scenario = churn_scenario(
+            400, USERS, n_devices=8, churn=0.5, persist_fraction=0.75, seed=2
+        )
+        crashes = [e for e in scenario.events if isinstance(e, DeviceCrash)]
+        assert crashes, "churn must schedule crashes"
+        lossy = sum(1 for c in crashes if not c.persist_tables)
+        assert 0 < lossy < len(crashes)
